@@ -1,0 +1,469 @@
+// Benchmark harness: one benchmark per table and figure of the paper
+// plus one per performance experiment (see DESIGN.md's index). The
+// table benchmarks measure regeneration + diff of the paper artifact;
+// the figure benchmarks measure the bus-level machinery the figure
+// describes; the P* benchmarks each run a complete simulation of the
+// corresponding experiment's configuration and report protocol-level
+// metrics alongside ns/op.
+package futurebus_test
+
+import (
+	"testing"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/cache"
+	"futurebus/internal/core"
+	"futurebus/internal/hierarchy"
+	"futurebus/internal/litmus"
+	"futurebus/internal/memory"
+	"futurebus/internal/protocols"
+	"futurebus/internal/sim"
+	"futurebus/internal/tablegen"
+	"futurebus/internal/verify"
+	"futurebus/internal/workload"
+)
+
+// benchArtifact regenerates and diffs one paper table per iteration.
+func benchArtifact(b *testing.B, id string) {
+	b.Helper()
+	var artifact tablegen.Artifact
+	for _, a := range tablegen.Artifacts() {
+		if a.ID == id {
+			artifact = a
+		}
+	}
+	if artifact.ID == "" {
+		b.Fatalf("no artifact %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if diffs := artifact.Diff(); len(diffs) != 0 {
+			b.Fatalf("%s diverges: %v", id, diffs)
+		}
+		if artifact.Render() == "" {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchArtifact(b, "T1") }
+func BenchmarkTable2(b *testing.B) { benchArtifact(b, "T2") }
+func BenchmarkTable3(b *testing.B) { benchArtifact(b, "T3") }
+func BenchmarkTable4(b *testing.B) { benchArtifact(b, "T4") }
+func BenchmarkTable5(b *testing.B) { benchArtifact(b, "T5") }
+func BenchmarkTable6(b *testing.B) { benchArtifact(b, "T6") }
+func BenchmarkTable7(b *testing.B) { benchArtifact(b, "T7") }
+
+// BenchmarkFigure1Handshake simulates the Figure 1 broadcast wired-OR
+// handshake.
+func BenchmarkFigure1Handshake(b *testing.B) {
+	cfg := bus.DefaultHandshakeConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := bus.SimulateBroadcastHandshake(cfg)
+		if tr.Complete == 0 {
+			b.Fatal("no completion")
+		}
+	}
+}
+
+// BenchmarkFigure2AddressCycle measures one full Figure 2 address cycle
+// on a live bus: broadcast snoop of 7 caches plus data phase.
+func BenchmarkFigure2AddressCycle(b *testing.B) {
+	mem := memory.New(32)
+	bb := bus.New(mem, bus.Config{LineSize: 32})
+	for i := 0; i < 7; i++ {
+		cache.New(i, bb, protocols.MOESI(), cache.Config{Sets: 64, Ways: 2})
+	}
+	tx := &bus.Transaction{MasterID: 99, Signals: core.SigCA, Op: core.BusRead, Addr: 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bb.Execute(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3Classify measures the attribute→state mapping of
+// Figure 3.
+func BenchmarkFigure3Classify(b *testing.B) {
+	var sink core.State
+	for i := 0; i < b.N; i++ {
+		sink = core.StateFromAttributes(i&1 == 0, i&2 == 0, i&4 == 0)
+	}
+	_ = sink
+}
+
+// BenchmarkFigure4Pairs measures the state-pair predicates of Figure 4.
+func BenchmarkFigure4Pairs(b *testing.B) {
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		s := core.States[i%5]
+		sink = s.Intervenient() || s.MayModifySilently() || s.MustAnnounceWrite()
+	}
+	_ = sink
+}
+
+// benchSim runs one simulated system per iteration and reports
+// transactions and bytes per reference.
+func benchSim(b *testing.B, cfg sim.Config, gens func(sys *sim.System) []workload.Generator, refs int) {
+	b.Helper()
+	var lastTrans, lastBytes float64
+	for i := 0; i < b.N; i++ {
+		sys, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := sim.Engine{Sys: sys, Gens: gens(sys)}
+		m, err := eng.Run(refs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastTrans, lastBytes = m.TransPerRef(), m.BytesPerRef()
+	}
+	b.ReportMetric(lastTrans, "trans/ref")
+	b.ReportMetric(lastBytes, "bytes/ref")
+}
+
+func abGens(pShared, pWrite float64) func(sys *sim.System) []workload.Generator {
+	return func(sys *sim.System) []workload.Generator {
+		return sys.Generators(func(proc int) workload.Generator {
+			return workload.MustModel(workload.Model{
+				Proc: proc, SharedLines: 32, PrivateLines: 80,
+				WordsPerLine: sys.WordsPerLine(),
+				PShared:      pShared, PWrite: pWrite, Locality: 0.5,
+			}, 1986)
+		})
+	}
+}
+
+// BenchmarkP1 runs the protocol-comparison configuration for each
+// protocol (experiment P1 / [Arch85]).
+func BenchmarkP1(b *testing.B) {
+	for _, name := range []string{
+		"moesi", "moesi-invalidate", "moesi-update", "berkeley", "dragon",
+		"illinois", "write-once", "firefly", "write-through",
+	} {
+		b.Run(name, func(b *testing.B) {
+			benchSim(b, sim.Homogeneous(name, 4), abGens(0.2, 0.3), 2000)
+		})
+	}
+}
+
+// BenchmarkP2 runs the update-vs-invalidate separator workloads.
+func BenchmarkP2(b *testing.B) {
+	pc := func(sys *sim.System) []workload.Generator {
+		return sys.Generators(func(proc int) workload.Generator {
+			return workload.NewProducerConsumer(proc, 16, sys.WordsPerLine(), 1986)
+		})
+	}
+	b.Run("producer-consumer/moesi", func(b *testing.B) {
+		benchSim(b, sim.Homogeneous("moesi", 4), pc, 2000)
+	})
+	b.Run("producer-consumer/moesi-invalidate", func(b *testing.B) {
+		benchSim(b, sim.Homogeneous("moesi-invalidate", 4), pc, 2000)
+	})
+}
+
+// BenchmarkP3 runs the heterogeneous mixed bus.
+func BenchmarkP3(b *testing.B) {
+	cfg := sim.Config{Boards: []sim.BoardSpec{
+		{Protocol: "moesi"}, {Protocol: "moesi-invalidate"}, {Protocol: "berkeley"},
+		{Protocol: "dragon"}, {Protocol: "write-through"}, {Protocol: "uncached"},
+	}}
+	benchSim(b, cfg, abGens(0.3, 0.3), 2000)
+}
+
+// BenchmarkP4 runs the random-choice boards of §3.4.
+func BenchmarkP4(b *testing.B) {
+	benchSim(b, sim.Homogeneous("random", 4), abGens(0.4, 0.4), 2000)
+}
+
+// BenchmarkP5 contrasts copy-back with write-through traffic.
+func BenchmarkP5(b *testing.B) {
+	b.Run("moesi", func(b *testing.B) {
+		benchSim(b, sim.Homogeneous("moesi", 4), abGens(0.2, 0.5), 2000)
+	})
+	b.Run("write-through", func(b *testing.B) {
+		benchSim(b, sim.Homogeneous("write-through", 4), abGens(0.2, 0.5), 2000)
+	})
+}
+
+// BenchmarkP6 runs the §5.2 recency-adaptive refinement.
+func BenchmarkP6(b *testing.B) {
+	benchSim(b, sim.Homogeneous("moesi-adaptive", 4), abGens(0.3, 0.3), 2000)
+}
+
+// BenchmarkP7 sweeps line size on the spatial-locality workload.
+func BenchmarkP7(b *testing.B) {
+	for _, lineSize := range []int{16, 64} {
+		b.Run(map[int]string{16: "line16", 64: "line64"}[lineSize], func(b *testing.B) {
+			cfg := sim.Homogeneous("moesi", 4)
+			cfg.LineSize = lineSize
+			cfg.CacheSets = 4096 / lineSize / 2
+			gens := func(sys *sim.System) []workload.Generator {
+				return sys.Generators(func(proc int) workload.Generator {
+					return workload.NewSequential(proc, 4096, sys.WordsPerLine(), 0.05, 1986)
+				})
+			}
+			benchSim(b, cfg, gens, 2000)
+		})
+	}
+}
+
+// BenchmarkP8 measures the BS abort/retry cost on migratory sharing.
+func BenchmarkP8(b *testing.B) {
+	mig := func(sys *sim.System) []workload.Generator {
+		return sys.Generators(func(proc int) workload.Generator {
+			return workload.NewMigratory(proc, 4, 16, 24, sys.WordsPerLine(), 1986)
+		})
+	}
+	b.Run("illinois", func(b *testing.B) {
+		benchSim(b, sim.Homogeneous("illinois", 4), mig, 2000)
+	})
+	b.Run("berkeley", func(b *testing.B) {
+		benchSim(b, sim.Homogeneous("berkeley", 4), mig, 2000)
+	})
+}
+
+// BenchmarkP9 runs the two-level hierarchy (§6 extension): one 4×4
+// tree per iteration with cluster-heavy sharing.
+func BenchmarkP9(b *testing.B) {
+	var lastGlobal float64
+	for i := 0; i < b.N; i++ {
+		sys, err := hierarchy.New(hierarchy.Config{
+			Clusters: 4, ProcsPerCluster: 4, CacheSets: 32, CacheWays: 2, Shadow: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gens := make([][]workload.Generator, 4)
+		for ci := 0; ci < 4; ci++ {
+			for pi := 0; pi < 4; pi++ {
+				m := hierarchy.ClusterModel{
+					Cluster: ci, Proc: pi,
+					GlobalSharedLines: 16, ClusterSharedLines: 24, PrivateLines: 48,
+					PGlobal: 0.05, PCluster: 0.25, PWrite: 0.3,
+					WordsPerLine: sys.Global.LineSize() / 4,
+				}
+				gens[ci] = append(gens[ci], m.NewGenerator(1986))
+			}
+		}
+		if err := hierarchy.Run(sys, gens, 500); err != nil {
+			b.Fatal(err)
+		}
+		st := sys.CollectStats()
+		lastGlobal = float64(st.GlobalTransactions) / float64(500*16)
+	}
+	b.ReportMetric(lastGlobal, "globalTrans/ref")
+}
+
+// BenchmarkP10 runs the sector-cache organisation on the reuse
+// workload.
+func BenchmarkP10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mem := memory.New(16)
+		bb := bus.New(mem, bus.Config{LineSize: 16})
+		caches := make([]*cache.SectorCache, 4)
+		for j := range caches {
+			caches[j] = cache.NewSector(j, bb, protocols.MOESI(),
+				cache.SectorConfig{Sets: 32, Ways: 2, SubSectors: 4})
+		}
+		gens := make([]workload.Generator, 4)
+		for j := range gens {
+			gens[j] = workload.NewSequential(j, 640, 4, 0.02, 1986)
+		}
+		for n := 0; n < 2000; n++ {
+			for j, c := range caches {
+				ref := gens[j].Next()
+				var err error
+				if ref.Write {
+					err = c.WriteWord(bus.Addr(ref.Line), ref.Word, ref.Val)
+				} else {
+					_, err = c.ReadWord(bus.Addr(ref.Line), ref.Word)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+// BenchmarkBusLockedRMW measures the atomic FetchAdd round trip.
+func BenchmarkBusLockedRMW(b *testing.B) {
+	mem := memory.New(32)
+	bb := bus.New(mem, bus.Config{LineSize: 32})
+	c := cache.New(0, bb, protocols.MOESI(), cache.Config{Sets: 64, Ways: 2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.FetchAdd(1, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCleanCommand measures the §6 CmdClean cycle against a dirty
+// owner (abort + push + retry).
+func BenchmarkCleanCommand(b *testing.B) {
+	mem := memory.New(32)
+	bb := bus.New(mem, bus.Config{LineSize: 32})
+	c := cache.New(0, bb, protocols.MOESI(), cache.Config{Sets: 64, Ways: 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := c.WriteWord(5, 0, uint32(i)); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := cache.CleanLine(bb, 99, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheReadHit is the pure processor-side fast path.
+func BenchmarkCacheReadHit(b *testing.B) {
+	mem := memory.New(32)
+	bb := bus.New(mem, bus.Config{LineSize: 32})
+	c := cache.New(0, bb, protocols.MOESI(), cache.Config{Sets: 64, Ways: 2})
+	if _, err := c.ReadWord(1, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ReadWord(1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheSilentWrite is the E/M silent write path.
+func BenchmarkCacheSilentWrite(b *testing.B) {
+	mem := memory.New(32)
+	bb := bus.New(mem, bus.Config{LineSize: 32})
+	c := cache.New(0, bb, protocols.MOESI(), cache.Config{Sets: 64, Ways: 2})
+	if err := c.WriteWord(1, 0, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.WriteWord(1, 0, uint32(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBroadcastUpdate is the full update-protocol write: bus
+// broadcast, three SL snoopers merging the word.
+func BenchmarkBroadcastUpdate(b *testing.B) {
+	mem := memory.New(32)
+	bb := bus.New(mem, bus.Config{LineSize: 32})
+	caches := make([]*cache.Cache, 4)
+	for i := range caches {
+		caches[i] = cache.New(i, bb, protocols.MOESIUpdate(), cache.Config{Sets: 64, Ways: 2})
+	}
+	for _, c := range caches {
+		if _, err := c.ReadWord(1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := caches[i%4].WriteWord(1, 0, uint32(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomPolicyChoice measures the §3.4 dynamic chooser.
+func BenchmarkRandomPolicyChoice(b *testing.B) {
+	p := protocols.NewRandom(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.ChooseLocal(core.Shared, core.LocalWrite); !ok {
+			b.Fatal("no choice")
+		}
+	}
+}
+
+// BenchmarkWorkloadModel measures reference generation.
+func BenchmarkWorkloadModel(b *testing.B) {
+	g := workload.MustModel(workload.Model{
+		SharedLines: 32, PrivateLines: 80, WordsPerLine: 8,
+		PShared: 0.3, PWrite: 0.3, Locality: 0.5,
+	}, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}
+
+// BenchmarkClassValidation measures validating a full protocol table
+// against the class.
+func BenchmarkClassValidation(b *testing.B) {
+	p := protocols.MOESI()
+	tbl := p.Table()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rep := core.Validate(tbl, core.CopyBack); rep.Verdict != core.InClass {
+			b.Fatal(rep)
+		}
+	}
+}
+
+// BenchmarkLitmus runs the coherence litmus test (one full multi-
+// schedule pass per iteration).
+func BenchmarkLitmus(b *testing.B) {
+	src := `
+name: bench
+boards: moesi, dragon
+addr X = 0x10
+proc P0:
+  write X[0] 1
+  read  X[0] -> a
+proc P1:
+  write X[0] 2
+  read  X[0] -> c
+schedules: 8
+assert never a == 0
+assert never final mem X[0] == 0
+assert consistent
+`
+	test, err := litmus.ParseString(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := litmus.Run(test)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Ok() {
+			b.Fatalf("%s", res)
+		}
+	}
+}
+
+// BenchmarkModelChecker runs the exhaustive three-board class
+// exploration per iteration.
+func BenchmarkModelChecker(b *testing.B) {
+	boards := []verify.Chooser{
+		verify.ClassChooser{Variant: core.CopyBack},
+		verify.ClassChooser{Variant: core.CopyBack},
+		verify.ClassChooser{Variant: core.CopyBack},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if res := verify.Explore(boards); !res.Ok() {
+			b.Fatalf("%s", res)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command fblitmus runs litmus tests (directed coherence tests) against
+// the simulated Futurebus. Each test runs under many interleavings —
+// the two sequential extremes plus seeded random schedules — with
+// always/sometimes/never assertions over registers and final memory,
+// plus the full consistency-invariant suite per schedule.
+//
+// Usage:
+//
+//	fblitmus litmus/*.litmus
+//	fblitmus -v litmus/coherence.litmus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"futurebus/internal/litmus"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print witnesses for 'sometimes' assertions")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: fblitmus [-v] <file.litmus>...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fblitmus:", err)
+			exit = 1
+			continue
+		}
+		test, err := litmus.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fblitmus: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		res, err := litmus.Run(test)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fblitmus: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		fmt.Println(res)
+		if *verbose {
+			for src, sched := range res.Witness {
+				fmt.Printf("  witness: %s (schedule %d)\n", src, sched)
+			}
+		}
+		if !res.Ok() {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,162 @@
+// Command fbsim runs one Futurebus multiprocessor simulation and prints
+// its metrics: protocol mix, processor count, workload model, engine.
+//
+// Usage:
+//
+//	fbsim -protocols moesi,moesi,dragon,uncached -refs 20000 \
+//	      -pshared 0.2 -pwrite 0.3 -workload ab -engine det
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/sim"
+	"futurebus/internal/workload"
+)
+
+func main() {
+	protos := flag.String("protocols", "moesi,moesi,moesi,moesi",
+		"comma-separated board protocols (registry names, 'uncached', 'uncached-broadcast')")
+	refs := flag.Int("refs", 20000, "references per board")
+	pshared := flag.Float64("pshared", 0.2, "probability a reference touches shared data (ab workload)")
+	pwrite := flag.Float64("pwrite", 0.3, "probability a reference is a write")
+	wl := flag.String("workload", "ab", "workload: ab, migratory, producer-consumer, read-mostly, ping-pong, zipf")
+	engine := flag.String("engine", "det", "engine: det (deterministic) or conc (goroutine per board)")
+	lineSize := flag.Int("line", 32, "system line size in bytes")
+	sets := flag.Int("sets", 64, "cache sets")
+	ways := flag.Int("ways", 2, "cache ways")
+	seed := flag.Uint64("seed", 1986, "workload seed")
+	checkConsistency := flag.Bool("check", true, "run the consistency checker at the end")
+	paranoid := flag.Bool("paranoid", false, "validate every snoop response against the class at runtime")
+	transitions := flag.Bool("transitions", false, "print the aggregated MOESI state-transition table")
+	watch := flag.Uint64("watch", 0, "print a per-board state timeline for this line address (0 = off)")
+	record := flag.String("record", "", "record each board's reference stream to <prefix>.<board>.trace")
+	replay := flag.String("replay", "", "replay reference streams from <prefix>.<board>.trace (overrides -workload)")
+	flag.Parse()
+
+	var boards []sim.BoardSpec
+	for _, name := range strings.Split(*protos, ",") {
+		spec := sim.BoardSpec{Protocol: strings.TrimSpace(name)}
+		// "moesi.s4" = a sector cache with 4 sub-sectors per tag.
+		if base, subs, ok := strings.Cut(spec.Protocol, ".s"); ok {
+			n, err := strconv.Atoi(subs)
+			fail(err)
+			spec.Protocol, spec.SectorSubs = base, n
+		}
+		boards = append(boards, spec)
+	}
+	cfg := sim.Config{
+		LineSize:  *lineSize,
+		CacheSets: *sets,
+		CacheWays: *ways,
+		Boards:    boards,
+		Shadow:    *checkConsistency,
+		Paranoid:  *paranoid,
+	}
+	sys, err := sim.New(cfg)
+	fail(err)
+
+	if *watch != 0 {
+		watchAddr := bus.Addr(*watch)
+		fmt.Printf("watching line %#x: txn# master col | per-board state\n", *watch)
+		count := 0
+		sys.Bus.SetTrace(func(tx *bus.Transaction, r *bus.Result) {
+			if tx.Addr != watchAddr {
+				return
+			}
+			count++
+			states := make([]string, len(sys.Caches))
+			for i, c := range sys.Caches {
+				states[i] = c.State(watchAddr).Letter()
+			}
+			fmt.Printf("  %4d: m%-3d col%-2d | %s  CH=%-5t DI=%-5t cost=%dns\n",
+				count, tx.MasterID, tx.Event().Column(), strings.Join(states, " "), r.CH, r.DI, r.Cost)
+		})
+	}
+
+	gens := sys.Generators(func(proc int) workload.Generator {
+		if *replay != "" {
+			f, err := os.Open(fmt.Sprintf("%s.%d.trace", *replay, proc))
+			fail(err)
+			defer f.Close()
+			trace, err := workload.ReadTrace(f)
+			fail(err)
+			return workload.NewReplay(trace)
+		}
+		switch *wl {
+		case "ab":
+			return workload.MustModel(workload.Model{
+				Proc: proc, SharedLines: 32, PrivateLines: 80,
+				WordsPerLine: sys.WordsPerLine(),
+				PShared:      *pshared, PWrite: *pwrite, Locality: 0.5,
+			}, *seed)
+		case "migratory":
+			return workload.NewMigratory(proc, len(boards), 16, 24, sys.WordsPerLine(), *seed)
+		case "producer-consumer":
+			return workload.NewProducerConsumer(proc, 16, sys.WordsPerLine(), *seed)
+		case "read-mostly":
+			return workload.NewReadMostly(proc, 32, sys.WordsPerLine(), 0.02, *seed)
+		case "ping-pong":
+			return workload.NewPingPong(proc, 8, sys.WordsPerLine(), *seed)
+		case "zipf":
+			return workload.NewZipf(proc, 64, sys.WordsPerLine(), 1.1, *pwrite, *seed)
+		default:
+			fail(fmt.Errorf("unknown workload %q", *wl))
+			return nil
+		}
+	})
+
+	if *record != "" {
+		// Materialise each board's stream, write it out, and replay it
+		// for the actual run so the recorded file is exactly what ran.
+		for i := range gens {
+			trace := workload.Record(gens[i], *refs)
+			f, err := os.Create(fmt.Sprintf("%s.%d.trace", *record, i))
+			fail(err)
+			_, werr := trace.WriteTo(f)
+			fail(werr)
+			fail(f.Close())
+			gens[i] = workload.NewReplay(trace)
+		}
+		fmt.Printf("recorded %d boards × %d refs to %s.*.trace\n", len(gens), *refs, *record)
+	}
+
+	var m sim.Metrics
+	switch *engine {
+	case "det":
+		eng := sim.Engine{Sys: sys, Gens: gens}
+		m, err = eng.Run(*refs)
+	case "conc":
+		m, err = sim.RunConcurrent(sys, gens, *refs)
+	default:
+		err = fmt.Errorf("unknown engine %q", *engine)
+	}
+	fail(err)
+
+	if *checkConsistency {
+		fail(sys.Checker().MustPass())
+		fmt.Println("consistency: all invariants hold")
+	}
+	fmt.Println(m)
+	fmt.Printf("bus: %s\n", m.Bus)
+	fmt.Printf("memory: reads=%d writes=%d\n", m.Memory.Reads, m.Memory.Writes)
+	fmt.Printf("caches: hits=%d misses=%d upgrades=%d flushes=%d snoopHits=%d inv=%d upd=%d captured=%d\n",
+		m.Cache.ReadHits+m.Cache.WriteHits, m.Cache.ReadMisses+m.Cache.WriteMisses,
+		m.Cache.WriteUpgrades, m.Cache.Flushes, m.Cache.SnoopHits,
+		m.Cache.InvalidationsReceived, m.Cache.UpdatesReceived, m.Cache.WritesCaptured)
+	if *transitions {
+		fmt.Printf("state transitions:\n%s", m.TransitionTable())
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+// Command fbsweep runs the performance experiments (P1–P8 plus the
+// handshake-penalty sweep) and prints the paper-style result tables.
+//
+// Usage:
+//
+//	fbsweep [-exp P1] [-refs 20000] [-seed 1986]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"futurebus/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (P1…P10, F1, or 'all')")
+	refs := flag.Int("refs", 20000, "references per processor")
+	seed := flag.Uint64("seed", 1986, "workload seed")
+	format := flag.String("format", "table", "output format: table or csv")
+	outDir := flag.String("out", "", "also write each report as <dir>/<ID>.csv")
+	flag.Parse()
+
+	opts := sim.ExperimentOpts{RefsPerProc: *refs, Seed: *seed}
+
+	runners := map[string]func(sim.ExperimentOpts) (*sim.Report, error){
+		"P2":  sim.UpdateVsInvalidate,
+		"P3":  sim.MixedBus,
+		"P4":  sim.RandomChoice,
+		"P5":  sim.CopyBackVsWriteThrough,
+		"P6":  sim.ReplacementStatusRefinement,
+		"P7":  sim.LineSizeSweep,
+		"P8":  sim.AbortRetryOverhead,
+		"P9":  sim.MultiBusScaling,
+		"P10": sim.SectorVsPlain,
+		"F1":  sim.HandshakePenalty,
+		"F2":  sim.HandshakePenalty,
+		"F2B": sim.SlowBoardTax,
+	}
+
+	var reports []*sim.Report
+	switch key := strings.ToUpper(*exp); key {
+	case "ALL":
+		all, err := sim.AllExperiments(opts)
+		fail(err)
+		reports = all
+	case "P1":
+		rep, err := sim.ProtocolComparison([]string{
+			"moesi", "moesi-invalidate", "moesi-update", "berkeley", "dragon",
+			"illinois", "write-once", "firefly", "synapse", "write-through",
+		}, []int{1, 2, 4, 8, 16}, opts)
+		fail(err)
+		reports = []*sim.Report{rep}
+	default:
+		run, ok := runners[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		rep, err := run(opts)
+		fail(err)
+		reports = []*sim.Report{rep}
+	}
+
+	if *outDir != "" {
+		fail(os.MkdirAll(*outDir, 0o755))
+		for _, rep := range reports {
+			name := strings.ReplaceAll(strings.ToLower(rep.ID), "/", "-")
+			fail(os.WriteFile(filepath.Join(*outDir, name+".csv"), []byte(rep.CSV()), 0o644))
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(reports), *outDir)
+	}
+	for i, rep := range reports {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s — %s\n", rep.ID, rep.Title)
+			fmt.Print(rep.CSV())
+		} else {
+			fmt.Print(rep.Render())
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbsweep:", err)
+		os.Exit(1)
+	}
+}

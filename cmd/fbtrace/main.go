@@ -1,0 +1,68 @@
+// Command fbtrace reproduces Figures 1 and 2 of the paper: it simulates
+// one broadcast address handshake on the open-collector AS*/AK*/AI*
+// lines and prints the event trace, then optionally traces live bus
+// transactions from a small simulation.
+//
+// Usage:
+//
+//	fbtrace [-slaves 3] [-filter 25] [-txns 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/sim"
+	"futurebus/internal/workload"
+)
+
+func main() {
+	slaves := flag.Int("slaves", 3, "number of responding modules")
+	filter := flag.Int64("filter", 25, "wired-OR glitch filter delay (ns)")
+	txns := flag.Int("txns", 12, "live bus transactions to trace (0 to skip)")
+	flag.Parse()
+
+	cfg := bus.DefaultHandshakeConfig()
+	cfg.GlitchFilter = *filter
+	for len(cfg.Slaves) < *slaves {
+		n := int64(len(cfg.Slaves))
+		cfg.Slaves = append(cfg.Slaves, bus.SlaveTiming{AckDelay: 5 + n, ProcessTime: 40 + 17*n})
+	}
+	cfg.Slaves = cfg.Slaves[:*slaves]
+
+	fmt.Print(bus.SimulateBroadcastHandshake(cfg).Render())
+
+	if *txns <= 0 {
+		return
+	}
+	fmt.Printf("\nLive transaction trace (4×moesi + 1 uncached DMA):\n")
+	sysCfg := sim.Homogeneous("moesi", 4)
+	sysCfg.Boards = append(sysCfg.Boards, sim.BoardSpec{Protocol: "uncached"})
+	sys, err := sim.New(sysCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbtrace:", err)
+		os.Exit(1)
+	}
+	count := 0
+	sys.Bus.SetTrace(func(tx *bus.Transaction, r *bus.Result) {
+		if count >= *txns {
+			return
+		}
+		count++
+		fmt.Printf("  %2d. %s -> col %d, CH=%t DI=%t SL=%t retries=%d cost=%dns\n",
+			count, tx, tx.Event().Column(), r.CH, r.DI, r.SL, r.Retries, r.Cost)
+	})
+	gens := sys.Generators(func(proc int) workload.Generator {
+		return workload.MustModel(workload.Model{
+			Proc: proc, SharedLines: 8, PrivateLines: 16,
+			WordsPerLine: sys.WordsPerLine(), PShared: 0.5, PWrite: 0.4,
+		}, 7)
+	})
+	eng := sim.Engine{Sys: sys, Gens: gens}
+	if _, err := eng.Run(*txns); err != nil {
+		fmt.Fprintln(os.Stderr, "fbtrace:", err)
+		os.Exit(1)
+	}
+}

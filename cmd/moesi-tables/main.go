@@ -1,0 +1,87 @@
+// Command moesi-tables regenerates the paper's Tables 1–7 from the
+// implementation, prints them, and diffs each against the embedded
+// paper spec. It also prints the class-membership verdict for every
+// registered protocol (§4's compatibility analysis).
+//
+// Usage:
+//
+//	moesi-tables [-table T3] [-diff] [-validate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"futurebus/internal/core"
+	"futurebus/internal/protocols"
+	"futurebus/internal/tablegen"
+)
+
+func main() {
+	table := flag.String("table", "all", "artifact to print (T1…T7 or 'all')")
+	diff := flag.Bool("diff", true, "diff regenerated tables against the paper")
+	validate := flag.Bool("validate", true, "print class membership for every protocol")
+	dot := flag.String("dot", "", "emit a GraphViz state diagram for the named protocol and exit")
+	markdown := flag.Bool("markdown", false, "emit the full protocol reference as Markdown and exit")
+	flag.Parse()
+
+	if *markdown {
+		fmt.Print(tablegen.Markdown())
+		return
+	}
+
+	if *dot != "" {
+		p, err := protocols.New(*dot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(tablegen.DOT(p.Table()))
+		return
+	}
+
+	exit := 0
+	for _, a := range tablegen.Artifacts() {
+		if *table != "all" && !strings.EqualFold(*table, a.ID) {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", a.ID, a.Title)
+		fmt.Println(a.Render())
+		if *diff {
+			if diffs := a.Diff(); len(diffs) > 0 {
+				exit = 1
+				fmt.Printf("DIVERGES from the paper (%d cells):\n", len(diffs))
+				for _, d := range diffs {
+					fmt.Printf("  %s\n", d)
+				}
+			} else {
+				fmt.Println("matches the paper cell for cell.")
+			}
+		}
+		fmt.Println()
+	}
+
+	if *validate && *table == "all" {
+		fmt.Println("== class membership (§4) ==")
+		for _, name := range protocols.Names() {
+			p, err := protocols.New(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit = 1
+				continue
+			}
+			rep := core.Validate(p.Table(), p.Variant())
+			fmt.Printf("  %-24s %s\n", name, rep.Verdict)
+			for _, adapted := range rep.AdaptedActions {
+				fmt.Printf("    adapted: %s\n", adapted)
+			}
+			for _, v := range rep.Violations {
+				fmt.Printf("    VIOLATION: %s\n", v)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}

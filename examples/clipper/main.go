@@ -1,0 +1,81 @@
+// Clipper: §3.4's selective use of the class — "a given cache can make
+// some pages copy back, some write through, and some uncacheable (as
+// with the Fairchild CLIPPER [Cho86])". One cache, three address
+// regions, three behaviours, all class members, all coherent with a
+// second plain MOESI board on the same bus.
+//
+// Run with: go run ./examples/clipper
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/cache"
+	"futurebus/internal/memory"
+	"futurebus/internal/protocols"
+)
+
+const (
+	heapLine = bus.Addr(0x010) // copy-back (default policy)
+	logLine  = bus.Addr(0x110) // write-through region
+	mmioLine = bus.Addr(0x210) // uncacheable region
+)
+
+func main() {
+	mem := memory.New(32)
+	b := bus.New(mem, bus.Config{LineSize: 32})
+
+	clipper := cache.New(0, b, protocols.MOESI(), cache.Config{
+		Sets: 16, Ways: 2,
+		Regions: []cache.Region{
+			{Start: 0x100, End: 0x200, Policy: protocols.WriteThrough(protocols.WriteThroughConfig{})},
+			{Start: 0x200, End: 0x300, Policy: protocols.NonCaching(false)},
+		},
+	})
+	other := cache.New(1, b, protocols.MOESI(), cache.Config{Sets: 16, Ways: 2})
+
+	memByte := func(addr bus.Addr) byte { return mem.Peek(addr)[0] }
+
+	// Heap page: copy-back. The write stays in the cache as Modified;
+	// memory is stale until eviction or flush.
+	must(clipper.WriteWord(heapLine, 0, 0x11))
+	fmt.Printf("heap  (copy-back):     state=%-8s memory=0x%02x  (dirty in cache)\n",
+		clipper.State(heapLine), memByte(heapLine))
+
+	// Log page: write-through. V≡S, every store reaches memory at once
+	// — the right policy for data another agent tails.
+	if _, err := clipper.ReadWord(logLine, 0); err != nil {
+		log.Fatal(err)
+	}
+	must(clipper.WriteWord(logLine, 0, 0x22))
+	fmt.Printf("log   (write-through): state=%-8s memory=0x%02x  (memory always current)\n",
+		clipper.State(logLine), memByte(logLine))
+
+	// MMIO page: uncacheable. Nothing is ever retained; every access is
+	// a fresh bus transaction — device registers must not be cached.
+	must(clipper.WriteWord(mmioLine, 0, 0x33))
+	v, err := clipper.ReadWord(mmioLine, 0)
+	must(err)
+	fmt.Printf("mmio  (uncacheable):   state=%-8s memory=0x%02x  (read %#x fresh from the bus)\n",
+		clipper.State(mmioLine), memByte(mmioLine), v)
+
+	// All three regions stay coherent with the other board.
+	for _, addr := range []bus.Addr{heapLine, logLine, mmioLine} {
+		got, err := other.ReadWord(addr, 0)
+		must(err)
+		fmt.Printf("board 1 reads %#03x -> %#x\n", uint64(addr), got)
+	}
+	fmt.Println("\none cache, three protocols from the class, one coherent bus.")
+
+	st := clipper.Stats()
+	fmt.Printf("clipper stats: hits=%d misses=%d upgrades=%d\n",
+		st.ReadHits+st.WriteHits, st.ReadMisses+st.WriteMisses, st.WriteUpgrades)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+// Falseshare: why §5.1's standard line size is a performance decision,
+// not just a compatibility one. Two processors each increment their own
+// private counter — but in configuration A the counters live in the
+// SAME line (false sharing: every write fights the other processor for
+// the line), while in configuration B they live in different lines (no
+// coherence traffic at all after warm-up).
+//
+// The effect is protocol-dependent, so both an invalidate-style and an
+// update-style member are measured: invalidation turns false sharing
+// into a miss ping-pong; update turns it into a broadcast per write —
+// cheaper, but still pure overhead.
+//
+// Run with: go run ./examples/falseshare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/cache"
+	"futurebus/internal/memory"
+	"futurebus/internal/protocols"
+)
+
+const iterations = 5000
+
+// run measures bus transactions for two counters at the given (line,
+// word) placements.
+func run(protocol string, a0, a1 bus.Addr, w0, w1 int) (trans int64, bytes int64) {
+	mem := memory.New(32)
+	b := bus.New(mem, bus.Config{LineSize: 32})
+	p0, err := protocols.New(protocol)
+	must(err)
+	p1, err := protocols.New(protocol)
+	must(err)
+	c0 := cache.New(0, b, p0, cache.Config{Sets: 16, Ways: 2})
+	c1 := cache.New(1, b, p1, cache.Config{Sets: 16, Ways: 2})
+
+	for i := 0; i < iterations; i++ {
+		v0, err := c0.ReadWord(a0, w0)
+		must(err)
+		must(c0.WriteWord(a0, w0, v0+1))
+		v1, err := c1.ReadWord(a1, w1)
+		must(err)
+		must(c1.WriteWord(a1, w1, v1+1))
+	}
+	st := b.Stats()
+	return st.Transactions, st.BytesTransferred
+}
+
+func main() {
+	fmt.Printf("%d increments per processor, two private counters:\n\n", iterations)
+	fmt.Printf("%-18s | %-22s | %-22s\n", "protocol", "same line (false shr)", "separate lines")
+	fmt.Printf("%s\n", "-------------------+------------------------+----------------------")
+	for _, protocol := range []string{"moesi-invalidate", "moesi"} {
+		shT, shB := run(protocol, 0x10, 0x10, 0, 1) // same line, words 0 and 1
+		okT, okB := run(protocol, 0x10, 0x11, 0, 0) // adjacent lines
+		fmt.Printf("%-18s | %6d txns %8dB | %6d txns %8dB\n",
+			protocol, shT, shB, okT, okB)
+	}
+	fmt.Println()
+	fmt.Println("separate lines: a handful of cold misses, then silence — each")
+	fmt.Println("processor owns its counter's line in M and increments silently.")
+	fmt.Println("same line: every increment is a coherence event. The invalidate")
+	fmt.Println("protocol re-fetches the whole line per round trip; the update")
+	fmt.Println("protocol broadcasts single words (cheaper, still pure overhead).")
+	fmt.Println("\nthe layout decision is invisible to the programmer but worth")
+	fmt.Println("orders of magnitude — one reason §5.1 treats line size as a")
+	fmt.Println("system-wide design parameter.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: build a two-processor Futurebus system running the
+// paper's preferred MOESI protocol, and walk one line through the
+// states the protocol is named after — I, E, M, O, S — printing the
+// state of both caches after every step.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/cache"
+	"futurebus/internal/memory"
+	"futurebus/internal/protocols"
+)
+
+func main() {
+	const lineSize = 32
+	mem := memory.New(lineSize)
+	b := bus.New(mem, bus.Config{LineSize: lineSize})
+
+	// Each cache gets its own policy instance; here both run the
+	// preferred MOESI protocol.
+	c0 := cache.New(0, b, protocols.MOESI(), cache.Config{Sets: 16, Ways: 2})
+	c1 := cache.New(1, b, protocols.MOESI(), cache.Config{Sets: 16, Ways: 2})
+
+	const line = bus.Addr(0x1000)
+	show := func(step string) {
+		fmt.Printf("%-46s cache0=%-9s cache1=%-9s memory[0]=%#x\n",
+			step, c0.State(line), c1.State(line), mem.Peek(line)[:4])
+	}
+
+	show("power-on (memory is the default owner)")
+
+	// 1. A read miss with no other holder loads Exclusive: the CH line
+	// stayed high, so cache 0 knows it has the only copy.
+	must(rd(c0, line))
+	show("cache0 reads (miss, no CH)")
+
+	// 2. A write to an E line is silent — no bus transaction at all
+	// (the M/E pair of Figure 4) — and dirties it to Modified.
+	must(c0.WriteWord(line, 0, 0xAAAA0001))
+	show("cache0 writes (silent E->M upgrade)")
+
+	// 3. Cache 1 reads: cache 0 intervenes (DI) because memory is
+	// stale, supplies the line, and keeps it as Owned; cache 1 loads
+	// Shared. Memory is NOT updated — ownership tracks that.
+	must(rd(c1, line))
+	show("cache1 reads (cache0 intervenes, M->O)")
+
+	// 4. Cache 1 writes: the preferred protocol broadcasts the word
+	// (CA,IM,BC); cache 0 connects (SL), updates its copy and yields
+	// ownership; cache 1 becomes the Owner.
+	must(c1.WriteWord(line, 1, 0xBBBB0002))
+	show("cache1 writes (broadcast update, takes O)")
+
+	// 5. Cache 1 flushes: the push writes memory, ownership returns to
+	// memory, cache 0's copy (it saw column 7) stays Shared and valid.
+	must(c1.Flush(line))
+	show("cache1 flushes (push; memory owns again)")
+
+	// Both caches and memory agree on the data.
+	v0, err := c0.ReadWord(line, 1)
+	must(err)
+	fmt.Printf("\ncache0 reads word 1 back: %#x (written by cache1, delivered by broadcast)\n", v0)
+}
+
+func rd(c *cache.Cache, line bus.Addr) error {
+	_, err := c.ReadWord(line, 0)
+	return err
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

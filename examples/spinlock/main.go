@@ -1,0 +1,109 @@
+// Spinlock: a working parallel program on the coherent memory image.
+// The paper motivates multiprocessors on a backplane bus (§1); this
+// example shows the machinery actually carrying one: four processors
+// (goroutines with private MOESI caches) increment a shared counter
+// 2,000 times each under a test-and-set spinlock, both built from
+// bus-locked read-modify-write operations on the shared address space.
+//
+// Watch the protocol work in the stats: the lock and counter lines
+// ping-pong between the caches as M/O copies; not a single increment is
+// lost.
+//
+// Run with: go run ./examples/spinlock
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/cache"
+	"futurebus/internal/core"
+	"futurebus/internal/memory"
+	"futurebus/internal/protocols"
+)
+
+const (
+	lockLine    = bus.Addr(0x10)
+	counterLine = bus.Addr(0x20)
+	procs       = 4
+	perProc     = 2000
+)
+
+// acquire spins on a test-and-set built from CompareAndSwap.
+func acquire(c *cache.Cache) error {
+	for {
+		ok, err := c.CompareAndSwap(lockLine, 0, 0, 1)
+		if err != nil || ok {
+			return err
+		}
+		// Spin on a local read: while the lock is held, our copy sits
+		// in S and costs no bus traffic until the holder's release
+		// write reaches us — the classic reason snooping caches make
+		// spinlocks viable on a shared bus.
+		if _, err := c.ReadWord(lockLine, 0); err != nil {
+			return err
+		}
+	}
+}
+
+func release(c *cache.Cache) error {
+	return c.WriteWord(lockLine, 0, 0)
+}
+
+func main() {
+	mem := memory.New(32)
+	b := bus.New(mem, bus.Config{LineSize: 32})
+	caches := make([]*cache.Cache, procs)
+	for i := range caches {
+		caches[i] = cache.New(i, b, protocols.MOESI(), cache.Config{Sets: 16, Ways: 2})
+	}
+
+	var wg sync.WaitGroup
+	for _, c := range caches {
+		wg.Add(1)
+		go func(c *cache.Cache) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				if err := acquire(c); err != nil {
+					log.Fatal(err)
+				}
+				// Critical section: a plain (non-atomic!) read-modify-
+				// write. The lock makes it safe; the protocol makes the
+				// lock safe.
+				v, err := c.ReadWord(counterLine, 0)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := c.WriteWord(counterLine, 0, v+1); err != nil {
+					log.Fatal(err)
+				}
+				if err := release(c); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	final, err := caches[0].ReadWord(counterLine, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("counter = %d (want %d)\n", final, procs*perProc)
+	if final != procs*perProc {
+		log.Fatal("LOST UPDATES — the protocol failed")
+	}
+
+	st := b.Stats()
+	fmt.Printf("bus: %d transactions, %d interventions, %d updates\n",
+		st.Transactions, st.Interventions, st.Updates)
+	for i, c := range caches {
+		cs := c.Stats()
+		fmt.Printf("cache %d: invalidations=%d updates=%d interventions=%d M→O handoffs=%d\n",
+			i, cs.InvalidationsReceived, cs.UpdatesReceived, cs.InterventionsSupplied,
+			cs.Transitions[core.Modified][core.Owned])
+	}
+	fmt.Println("\nevery increment survived: mutual exclusion built on MOESI alone.")
+}

@@ -1,0 +1,3 @@
+module futurebus
+
+go 1.22

@@ -1,0 +1,51 @@
+package bus
+
+import "sync"
+
+// Arbiter grants bus mastership in FIFO order. A single Arbiter may be
+// shared by several buses (Config.Arbiter): in a multi-bus hierarchy
+// (the §6 extension, internal/hierarchy), sharing one arbiter makes a
+// cluster bridge's nested transactions — a local miss fanning out to
+// the global bus, a global invalidation fanning into a cluster —
+// trivially deadlock-free, while each bus still accounts its own
+// occupancy for the timing model.
+type Arbiter struct {
+	mu fifoMutex
+}
+
+// NewArbiter creates a shareable arbiter.
+func NewArbiter() *Arbiter { return &Arbiter{} }
+
+// fifoMutex is a ticket lock: waiters acquire in strict FIFO order.
+// The Futurebus arbitrates with a priority scheme; for the simulator a
+// fair queue is the behaviour the experiments assume (no board is
+// starved), and it makes the concurrent engine's interleavings
+// reproducible enough to reason about.
+type fifoMutex struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	next    uint64
+	serving uint64
+}
+
+func (f *fifoMutex) Lock() {
+	f.mu.Lock()
+	if f.cond == nil {
+		f.cond = sync.NewCond(&f.mu)
+	}
+	ticket := f.next
+	f.next++
+	for ticket != f.serving {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+func (f *fifoMutex) Unlock() {
+	f.mu.Lock()
+	f.serving++
+	if f.cond != nil {
+		f.cond.Broadcast()
+	}
+	f.mu.Unlock()
+}

@@ -1,0 +1,426 @@
+// Package bus simulates the IEEE Futurebus (P896) facilities the MOESI
+// class of consistency protocols relies on (§2 of the paper):
+//
+//   - broadcast address cycles: every attached unit observes every
+//     address and must acknowledge it before the cycle completes, which
+//     gives any snooping cache time to signal an exception;
+//   - open-collector wired-OR response lines (CH, DI, SL, BS), resolved
+//     per transaction, including the per-snooper "other units' CH" view
+//     a listening owner needs to resolve CH-conditional transitions;
+//   - multi-party data transfers: an intervening owner (DI) preempts
+//     memory, broadcast writes update memory and every connecting (SL)
+//     slave;
+//   - the BS (busy) abort: a transaction is aborted, the asserting owner
+//     pushes its line to memory, and the original master retries —
+//     the paper's adaptation for Write-Once, Illinois and Firefly;
+//   - a timing model charging each transaction the address handshake
+//     (including the 25 ns wired-OR glitch-filter penalty of §2.2),
+//     first-word latency and per-word transfer cycles.
+//
+// The Bus is the serialisation point of the system: transactions execute
+// one at a time under a FIFO arbiter, which is what makes the
+// goroutine-per-processor engine race-free.
+package bus
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"futurebus/internal/core"
+)
+
+// Addr identifies a line of the shared address space. The bus moves
+// whole lines; a standard system-wide line size is assumed throughout,
+// as required by §5.1 of the paper.
+type Addr uint64
+
+// SnoopResponse is what a snooping unit proposes during the address
+// cycle of a transaction it did not issue.
+type SnoopResponse struct {
+	// Action is the protocol action chosen for this (state, bus event)
+	// cell; its signal assertions drive the wired-OR lines.
+	Action core.SnoopAction
+	// Line, when the action asserts DI on a read, carries the owner's
+	// copy of the line so the bus can source data from it.
+	Line []byte
+	// State is the directory state the action was chosen from; the
+	// paranoid bus mode (Config.Paranoid) validates Action against the
+	// class for this state.
+	State core.State
+	// Hit records whether the snooper held the line at all (for stats).
+	Hit bool
+}
+
+// Snooper is a unit that monitors broadcast address cycles (a cache).
+//
+// The address cycle of a real Futurebus transaction holds every unit's
+// directory until the cycle completes (AI* stays low, §2.1); the
+// interface mirrors that: Query must leave the snooper's internal lock
+// held, and exactly one of Commit (apply the action and unlock) or
+// Cancel (the transaction was aborted by BS; unlock without applying)
+// follows. This pins each snooper's state between decision and effect,
+// so a processor-side silent transition (such as E→M on a local write)
+// cannot slip between the two.
+//
+// In Commit, otherCH is the wired-OR of CH over all *other* units,
+// which resolves CH-conditional result states; write payloads (full
+// line or partial word) are read from the transaction itself.
+type Snooper interface {
+	SnooperID() int
+	Query(tx *Transaction) SnoopResponse
+	Commit(tx *Transaction, resp SnoopResponse, otherCH bool)
+	Cancel(tx *Transaction, resp SnoopResponse)
+}
+
+// Aborter is implemented by snoopers whose protocol asserts BS. Recover
+// performs the recovery push (write the line back, enter the recovery
+// state) using nested transactions on b before the aborted master
+// retries.
+type Aborter interface {
+	Snooper
+	Recover(b *Bus, aborted *Transaction, resp SnoopResponse) error
+}
+
+// MemoryPort is the main-memory module attached to the bus. Memory is
+// the default owner of all data (§3.1.3) but keeps no consistency
+// state: caches track the validity of memory's copy for it.
+type MemoryPort interface {
+	// ReadLine returns memory's copy of the line.
+	ReadLine(addr Addr) []byte
+	// WriteLine updates memory's copy.
+	WriteLine(addr Addr, data []byte)
+}
+
+// Result is what the master observes at the end of a transaction.
+type Result struct {
+	// CH is the wired-OR of the cache-hit line over all snoopers: some
+	// other cache holds (and will retain) the line. Resolves the
+	// master's CH-conditional result states (CH:S/E, CH:O/M).
+	CH bool
+	// DI reports that an owning cache intervened.
+	DI bool
+	// SL reports that at least one slave (cache or memory) connected.
+	SL bool
+	// Data is the line read (for BusRead) — from the intervening owner
+	// if DI, else from memory.
+	Data []byte
+	// Retries counts BS abort/retry rounds the transaction suffered.
+	Retries int
+	// Cost is the bus time consumed, in nanoseconds, including aborted
+	// attempts and recovery pushes.
+	Cost int64
+}
+
+// ErrTooManyRetries is returned when BS aborts do not quiesce; a correct
+// protocol mix needs at most a few retries, so this indicates a broken
+// protocol implementation.
+var ErrTooManyRetries = errors.New("bus: transaction aborted too many times")
+
+// maxRetries bounds BS abort/retry rounds per transaction.
+const maxRetries = 8
+
+// Config parameterises a Bus.
+type Config struct {
+	// LineSize is the system-wide line size in bytes (§5.1). Every
+	// attached cache must use it; Attach rejects mismatches.
+	LineSize int
+	// Timing is the transaction cost model; zero value = DefaultTiming.
+	Timing Timing
+	// Arbiter, when non-nil, is shared with other buses: all of them
+	// serialise together (see Arbiter). Nil gives the bus its own.
+	Arbiter *Arbiter
+	// Paranoid validates every snoop response against the class at the
+	// moment it is asserted (core.CheckSnoopAction): an out-of-class
+	// action fails the transaction immediately instead of corrupting
+	// state to be found later by a checker. Costs one class lookup per
+	// snoop response.
+	Paranoid bool
+	// Handshake, when non-nil, derives the address-cycle cost from an
+	// electrical-level simulation of the Figure 1/2 broadcast
+	// handshake over the configured board timings, instead of the flat
+	// Timing.AddressCycle: the cycle completes when the SLOWEST board
+	// releases AI* plus the wired-OR glitch filter (§2.2). Slower
+	// boards on the bus make every address cycle slower for everyone —
+	// the price of "broadcast operations are guaranteed to work".
+	Handshake *HandshakeConfig
+}
+
+// DefaultLineSize is the line size used when Config.LineSize is zero.
+const DefaultLineSize = 32
+
+// Bus is a simulated Futurebus segment.
+type Bus struct {
+	cfg      Config
+	memory   MemoryPort
+	snoopers []Snooper
+	arb      *Arbiter
+	stats    Stats
+	// trace, when non-nil, receives every executed transaction.
+	trace func(tx *Transaction, r *Result)
+	depth int // nested-transaction depth (recovery pushes)
+}
+
+// New creates a bus with the given memory module.
+func New(memory MemoryPort, cfg Config) *Bus {
+	if cfg.LineSize == 0 {
+		cfg.LineSize = DefaultLineSize
+	}
+	if cfg.Timing == (Timing{}) {
+		cfg.Timing = DefaultTiming()
+	}
+	if cfg.Handshake != nil {
+		// The simulated handshake's completion time already includes
+		// the glitch filter; AddressCycleCost adds WiredORPenalty, so
+		// subtract it here to charge exactly the simulated figure.
+		tr := SimulateBroadcastHandshake(*cfg.Handshake)
+		cfg.Timing.AddressCycle = tr.Complete - cfg.Timing.WiredORPenalty
+	}
+	arb := cfg.Arbiter
+	if arb == nil {
+		arb = NewArbiter()
+	}
+	return &Bus{cfg: cfg, memory: memory, arb: arb}
+}
+
+// LineSize returns the system-wide line size in bytes.
+func (b *Bus) LineSize() int { return b.cfg.LineSize }
+
+// Timing returns the cost model in use.
+func (b *Bus) Timing() Timing { return b.cfg.Timing }
+
+// Attach registers a snooping unit. Units attach at configuration time,
+// before traffic starts; Attach is not safe concurrently with Execute.
+func (b *Bus) Attach(s Snooper) {
+	for _, old := range b.snoopers {
+		if old.SnooperID() == s.SnooperID() {
+			panic(fmt.Sprintf("bus: duplicate snooper id %d", s.SnooperID()))
+		}
+	}
+	b.snoopers = append(b.snoopers, s)
+}
+
+// SetTrace installs a transaction observer (used by cmd/fbtrace and
+// tests). Must be set before traffic starts.
+func (b *Bus) SetTrace(fn func(tx *Transaction, r *Result)) { b.trace = fn }
+
+// Stats returns a snapshot of the accumulated counters.
+func (b *Bus) Stats() Stats {
+	b.arb.mu.Lock()
+	defer b.arb.mu.Unlock()
+	return b.stats
+}
+
+// Execute runs one transaction to completion: broadcast address cycle,
+// snoop responses, BS abort/recovery/retry, data routing, and commit.
+// It blocks until the FIFO arbiter grants the bus. Masters must not
+// call Execute while holding any lock a snooper's Query/Commit needs.
+func (b *Bus) Execute(tx *Transaction) (Result, error) {
+	b.arb.mu.Lock()
+	defer b.arb.mu.Unlock()
+	return b.executeLocked(tx)
+}
+
+// Acquire requests bus mastership from the FIFO arbiter and blocks
+// until granted. A cache client acquires the bus, re-examines its own
+// directory (the state may have changed while it waited), and only
+// then issues transactions with ExecuteHeld — the same
+// look-up-again-after-arbitration a hardware cache controller performs.
+func (b *Bus) Acquire() { b.arb.mu.Lock() }
+
+// Release returns bus mastership.
+func (b *Bus) Release() { b.arb.mu.Unlock() }
+
+// ExecuteHeld runs a transaction on an already-Acquired bus. It is also
+// how a BS recovery push runs nested inside an aborted transaction.
+func (b *Bus) ExecuteHeld(tx *Transaction) (Result, error) {
+	return b.executeLocked(tx)
+}
+
+func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
+	if err := tx.check(b.cfg.LineSize); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for attempt := 0; ; attempt++ {
+		if attempt > maxRetries {
+			return res, fmt.Errorf("%w: %s", ErrTooManyRetries, tx)
+		}
+		// Broadcast address cycle: every unit sees the address and
+		// proposes a response (§2.1). Query must be side-effect free.
+		responses := make([]SnoopResponse, len(b.snoopers))
+		busy := false
+		paranoidErr := ""
+		for i, s := range b.snoopers {
+			if s.SnooperID() == tx.MasterID {
+				continue
+			}
+			responses[i] = s.Query(tx)
+			if responses[i].Action.Abort != nil {
+				busy = true
+			}
+			if b.cfg.Paranoid && responses[i].Hit && tx.Cmd == CmdNone && paranoidErr == "" {
+				verdict, reason := core.CheckSnoopAction(responses[i].State, tx.Event(), responses[i].Action)
+				if verdict == core.NotInClass {
+					paranoidErr = fmt.Sprintf("bus: snooper %d asserted out-of-class action %s from state %s on col %d (%s) for %s",
+						s.SnooperID(), responses[i].Action, responses[i].State.Letter(), tx.Event().Column(), reason, tx)
+				}
+			}
+		}
+		if paranoidErr != "" {
+			// Release every directory before failing.
+			for i, s := range b.snoopers {
+				if s.SnooperID() == tx.MasterID {
+					continue
+				}
+				s.Cancel(tx, responses[i])
+			}
+			return res, errors.New(paranoidErr)
+		}
+		// Every address cycle pays the full broadcast handshake.
+		res.Cost += b.cfg.Timing.AddressCycleCost()
+
+		if busy {
+			// BS: abort this attempt. Release every unit's directory
+			// first (Cancel), then each asserter pushes its line to
+			// memory as a nested transaction, and the master retries
+			// (§3.2.2, §4.3–4.5).
+			res.Retries++
+			b.stats.Aborts++
+			for i, s := range b.snoopers {
+				if s.SnooperID() == tx.MasterID {
+					continue
+				}
+				s.Cancel(tx, responses[i])
+			}
+			for i, s := range b.snoopers {
+				if responses[i].Action.Abort == nil {
+					continue
+				}
+				a, ok := s.(Aborter)
+				if !ok {
+					return res, fmt.Errorf("bus: snooper %d asserted BS without implementing Aborter", s.SnooperID())
+				}
+				b.depth++
+				err := a.Recover(b, tx, responses[i])
+				b.depth--
+				if err != nil {
+					return res, fmt.Errorf("bus: BS recovery by snooper %d: %w", s.SnooperID(), err)
+				}
+			}
+			continue
+		}
+
+		r, err := b.completeAttempt(tx, responses)
+		if err != nil {
+			return res, err
+		}
+		r.Retries = res.Retries
+		r.Cost += res.Cost
+		b.stats.record(tx, &r, b.cfg.LineSize)
+		if b.trace != nil {
+			b.trace(tx, &r)
+		}
+		return r, nil
+	}
+}
+
+// completeAttempt finishes a non-aborted transaction: resolves the
+// wired-OR response lines, routes data, and commits every snooper.
+func (b *Bus) completeAttempt(tx *Transaction, responses []SnoopResponse) (Result, error) {
+	var res Result
+	diCount := 0
+	var diLine []byte
+	for i, s := range b.snoopers {
+		if s.SnooperID() == tx.MasterID {
+			continue
+		}
+		a := responses[i].Action
+		if a.AssertCH {
+			res.CH = true
+		}
+		if a.AssertSL {
+			res.SL = true
+		}
+		if a.AssertDI {
+			res.DI = true
+			diCount++
+			diLine = responses[i].Line
+		}
+	}
+	// Ownership is unique (§3.1.3): two simultaneous DI assertions mean
+	// two owners, a broken system.
+	if diCount > 1 {
+		return res, fmt.Errorf("bus: %d units asserted DI for %s — duplicate owners", diCount, tx)
+	}
+
+	// Commit phase BEFORE the data phase: commits never need routed
+	// data (an intervening owner's line was captured at Query, write
+	// payloads ride the transaction), and releasing every directory
+	// first lets the memory port itself issue nested transactions — a
+	// multi-bus bridge serving this address from another bus
+	// (internal/hierarchy) must be able to snoop the caches this
+	// transaction just queried.
+	//
+	// Each snooper resolves CH-conditional states against the CH of
+	// the *other* units (§3.2.2 — the listener does not assert, so the
+	// wired-OR it observes is exactly the others').
+	for i, s := range b.snoopers {
+		if s.SnooperID() == tx.MasterID {
+			continue
+		}
+		otherCH := false
+		for j, s2 := range b.snoopers {
+			if j == i || s2.SnooperID() == tx.MasterID {
+				continue
+			}
+			if responses[j].Action.AssertCH {
+				otherCH = true
+				break
+			}
+		}
+		s.Commit(tx, responses[i], otherCH)
+		if responses[i].Action.AssertSL && tx.Op == core.BusWrite {
+			b.stats.Updates++
+		}
+	}
+
+	// Data routing.
+	switch tx.Op {
+	case core.BusRead:
+		if res.DI {
+			if diLine == nil {
+				return res, fmt.Errorf("bus: DI asserted on read without supplying data: %s", tx)
+			}
+			res.Data = append([]byte(nil), diLine...)
+			b.stats.Interventions++
+		} else {
+			res.Data = append([]byte(nil), b.memory.ReadLine(tx.Addr)...)
+			res.SL = true // memory connects as the responding slave
+		}
+	case core.BusWrite:
+		// A broadcast write reaches memory and every SL slave. A
+		// non-broadcast write is captured by the owner (DI preempts
+		// memory); only if no owner exists does memory take it.
+		if tx.Signals.Has(core.SigBC) || !res.DI {
+			if tx.Partial != nil {
+				line := b.memory.ReadLine(tx.Addr)
+				binary.LittleEndian.PutUint32(line[tx.Partial.Word*4:], tx.Partial.Val)
+				b.memory.WriteLine(tx.Addr, line)
+			} else {
+				b.memory.WriteLine(tx.Addr, tx.Data)
+			}
+			res.SL = true
+		}
+		if res.DI {
+			b.stats.Interventions++
+		}
+	case core.BusAddrOnly:
+		// No data phase.
+	default:
+		return res, fmt.Errorf("bus: unsupported op %v in %s", tx.Op, tx)
+	}
+
+	res.Cost += b.cfg.Timing.DataPhaseCost(tx, &res, b.cfg.LineSize)
+	return res, nil
+}

@@ -1,0 +1,58 @@
+package bus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WiredORLine models one open-collector, passively terminated backplane
+// signal (§2.2): any driver can pull the line low ("a child's foot on
+// the garden hose stops the flow"), and the line floats high only when
+// every driver has released it. Asserted == electrically low.
+type WiredORLine struct {
+	name    string
+	drivers map[int]bool
+}
+
+// NewWiredORLine creates a released (high) line.
+func NewWiredORLine(name string) *WiredORLine {
+	return &WiredORLine{name: name, drivers: make(map[int]bool)}
+}
+
+// Name returns the signal name (by Futurebus convention, asserted-low
+// signals carry a trailing "*", e.g. "AS*").
+func (l *WiredORLine) Name() string { return l.name }
+
+// Assert turns on the open-collector driver of the given unit.
+func (l *WiredORLine) Assert(unit int) { l.drivers[unit] = true }
+
+// Release turns the unit's driver off. Releasing a line still held by
+// another driver produces the wired-OR glitch of §2.2; the glitch is
+// filtered (see Handshake), so the logical level here is clean.
+func (l *WiredORLine) Release(unit int) { delete(l.drivers, unit) }
+
+// Asserted reports whether any driver holds the line low.
+func (l *WiredORLine) Asserted() bool { return len(l.drivers) > 0 }
+
+// Drivers returns the units currently driving the line, sorted.
+func (l *WiredORLine) Drivers() []int {
+	out := make([]int, 0, len(l.drivers))
+	for u := range l.drivers {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (l *WiredORLine) String() string {
+	level := "high"
+	if l.Asserted() {
+		level = "low"
+	}
+	var ds []string
+	for _, d := range l.Drivers() {
+		ds = append(ds, fmt.Sprintf("%d", d))
+	}
+	return fmt.Sprintf("%s=%s[%s]", l.name, level, strings.Join(ds, ","))
+}

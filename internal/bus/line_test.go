@@ -1,0 +1,93 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestWiredORSemantics: "drive low, float high" — the line is low while
+// any driver holds it and rises only when all have released (§2.2).
+func TestWiredORSemantics(t *testing.T) {
+	l := NewWiredORLine("AI*")
+	if l.Asserted() {
+		t.Fatal("fresh line is asserted")
+	}
+	l.Assert(1)
+	l.Assert(2)
+	l.Assert(3)
+	if !l.Asserted() {
+		t.Fatal("driven line not asserted")
+	}
+	l.Release(2)
+	if !l.Asserted() {
+		t.Fatal("line rose with drivers still on (the garden hose leaks)")
+	}
+	l.Release(1)
+	l.Release(3)
+	if l.Asserted() {
+		t.Fatal("line still low after all releases")
+	}
+}
+
+// TestWiredORIdempotence: double assert/release behave like sets.
+func TestWiredORIdempotence(t *testing.T) {
+	l := NewWiredORLine("X*")
+	l.Assert(7)
+	l.Assert(7)
+	l.Release(7)
+	if l.Asserted() {
+		t.Error("double assert needs double release")
+	}
+	l.Release(7) // releasing a released driver is harmless
+	if l.Asserted() {
+		t.Error("spurious assertion")
+	}
+}
+
+// TestWiredORDrivers: Drivers reports sorted holders and the String is
+// stable.
+func TestWiredORDrivers(t *testing.T) {
+	l := NewWiredORLine("AK*")
+	l.Assert(5)
+	l.Assert(1)
+	l.Assert(3)
+	d := l.Drivers()
+	if len(d) != 3 || d[0] != 1 || d[1] != 3 || d[2] != 5 {
+		t.Errorf("drivers = %v", d)
+	}
+	if got := l.String(); got != "AK*=low[1,3,5]" {
+		t.Errorf("String = %q", got)
+	}
+	l.Release(1)
+	l.Release(3)
+	l.Release(5)
+	if got := l.String(); got != "AK*=high[]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestWiredORProperty: after any sequence of asserts and releases, the
+// line is asserted iff the driver set is non-empty.
+func TestWiredORProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		l := NewWiredORLine("P*")
+		want := map[int]bool{}
+		for _, op := range ops {
+			unit := int(op) % 8
+			if unit < 0 {
+				unit = -unit
+			}
+			if op >= 0 {
+				l.Assert(unit)
+				want[unit] = true
+			} else {
+				l.Release(unit)
+				delete(want, unit)
+			}
+		}
+		return l.Asserted() == (len(want) > 0) && len(l.Drivers()) == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

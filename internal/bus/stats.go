@@ -1,0 +1,77 @@
+package bus
+
+import (
+	"fmt"
+	"strings"
+
+	"futurebus/internal/core"
+)
+
+// Stats accumulates per-bus counters. All fields are totals since the
+// bus was created; they are updated under the bus arbiter, so a
+// snapshot taken via Bus.Stats is consistent.
+type Stats struct {
+	// Transactions counts completed (non-aborted) transactions.
+	Transactions int64
+	// ByEvent counts completed transactions per Table 2 column.
+	ByEvent [6]int64
+	// Reads, Writes, AddrOnly split completed transactions by data
+	// phase.
+	Reads, Writes, AddrOnly int64
+	// Interventions counts transactions where an owner preempted
+	// memory (DI).
+	Interventions int64
+	// Updates counts snooper copies refreshed by connecting (SL) on a
+	// write.
+	Updates int64
+	// Aborts counts BS aborts (each forces a recovery push + retry).
+	Aborts int64
+	// BytesTransferred counts data-phase bytes.
+	BytesTransferred int64
+	// BusyNanos is total bus-occupied time under the Timing model.
+	BusyNanos int64
+}
+
+func (s *Stats) record(tx *Transaction, r *Result, lineSize int) {
+	s.Transactions++
+	s.ByEvent[tx.Event()]++
+	switch tx.Op {
+	case core.BusRead:
+		s.Reads++
+		s.BytesTransferred += int64(lineSize)
+	case core.BusWrite:
+		s.Writes++
+		if tx.Partial != nil {
+			s.BytesTransferred += 4
+		} else {
+			s.BytesTransferred += int64(lineSize)
+		}
+	case core.BusAddrOnly:
+		s.AddrOnly++
+	}
+	s.BusyNanos += r.Cost
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Transactions += other.Transactions
+	for i := range s.ByEvent {
+		s.ByEvent[i] += other.ByEvent[i]
+	}
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.AddrOnly += other.AddrOnly
+	s.Interventions += other.Interventions
+	s.Updates += other.Updates
+	s.Aborts += other.Aborts
+	s.BytesTransferred += other.BytesTransferred
+	s.BusyNanos += other.BusyNanos
+}
+
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transactions=%d (R=%d W=%d addr=%d)", s.Transactions, s.Reads, s.Writes, s.AddrOnly)
+	fmt.Fprintf(&b, " interventions=%d updates=%d aborts=%d", s.Interventions, s.Updates, s.Aborts)
+	fmt.Fprintf(&b, " bytes=%d busy=%dns", s.BytesTransferred, s.BusyNanos)
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"fmt"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/core"
+)
+
+// Atomic read-modify-write operations. The Futurebus arbiter is the
+// serialisation point of the whole machine, so an RMW is implemented by
+// holding bus mastership across the read and the write: no other master
+// can slip a transaction (and thus a conflicting write) in between.
+// This is the classic bus-locked RMW of the era's multiprocessors and
+// is what makes spinlocks and shared counters implementable on the
+// coherent memory image (see examples/spinlock).
+
+// Update atomically applies f to one word: it reads the current value,
+// computes f(old), writes it, and returns (old, new). The whole
+// operation is one critical section on the bus. In the cache's
+// statistics it counts as one read and one write.
+func (c *Cache) Update(addr bus.Addr, wordIdx int, f func(uint32) uint32) (old, updated uint32, err error) {
+	if err := c.checkWord(wordIdx); err != nil {
+		return 0, 0, err
+	}
+	c.bus.Acquire()
+	defer c.bus.Release()
+
+	// Read phase: local copy if present, otherwise a normal read-miss
+	// fill (still under the held bus).
+	c.mu.Lock()
+	c.stats.Reads++
+	if l := c.lookup(addr); l != nil {
+		old = word(l.data, wordIdx)
+		c.touch(l)
+		c.stats.ReadHits++
+		c.mu.Unlock()
+	} else {
+		c.stats.ReadMisses++
+		c.mu.Unlock()
+		data, _, ferr := c.fillLine(addr, core.LocalRead)
+		if ferr != nil {
+			return 0, 0, ferr
+		}
+		old = word(data, wordIdx)
+	}
+
+	updated = f(old)
+	c.mu.Lock()
+	c.stats.Writes++
+	c.mu.Unlock()
+	if err := c.writeHeld(addr, wordIdx, updated); err != nil {
+		return 0, 0, err
+	}
+	return old, updated, nil
+}
+
+// CompareAndSwap atomically replaces the word with new if it equals
+// old, reporting whether the swap happened.
+func (c *Cache) CompareAndSwap(addr bus.Addr, wordIdx int, old, new uint32) (bool, error) {
+	swapped := false
+	_, _, err := c.Update(addr, wordIdx, func(cur uint32) uint32 {
+		if cur == old {
+			swapped = true
+			return new
+		}
+		return cur
+	})
+	return swapped, err
+}
+
+// FetchAdd atomically adds delta to the word and returns the previous
+// value.
+func (c *Cache) FetchAdd(addr bus.Addr, wordIdx int, delta uint32) (uint32, error) {
+	old, _, err := c.Update(addr, wordIdx, func(cur uint32) uint32 { return cur + delta })
+	return old, err
+}
+
+// FetchAdd is the uncached master's atomic add (see Update).
+func (u *Uncached) FetchAdd(addr bus.Addr, wordIdx int, delta uint32) (uint32, error) {
+	old, _, err := u.Update(addr, wordIdx, func(cur uint32) uint32 { return cur + delta })
+	return old, err
+}
+
+// CompareAndSwap is the uncached master's atomic swap (see Update).
+func (u *Uncached) CompareAndSwap(addr bus.Addr, wordIdx int, old, new uint32) (bool, error) {
+	swapped := false
+	_, _, err := u.Update(addr, wordIdx, func(cur uint32) uint32 {
+		if cur == old {
+			swapped = true
+			return new
+		}
+		return cur
+	})
+	return swapped, err
+}
+
+// Update is the uncached master's bus-locked RMW: read (column 7) and
+// write (column 9/10) under one bus tenure. An owning cache supplies
+// the read and captures the write, so the operation is atomic and
+// coherent even against dirty cached copies.
+func (u *Uncached) Update(addr bus.Addr, wordIdx int, f func(uint32) uint32) (old, updated uint32, err error) {
+	if wordIdx < 0 || (wordIdx+1)*4 > u.bus.LineSize() {
+		return 0, 0, fmt.Errorf("uncached %d: word %d outside line", u.id, wordIdx)
+	}
+	u.bus.Acquire()
+	defer u.bus.Release()
+
+	read := &bus.Transaction{MasterID: u.id, Op: core.BusRead, Addr: addr}
+	res, err := u.bus.ExecuteHeld(read)
+	if err != nil {
+		return 0, 0, err
+	}
+	old = word(res.Data, wordIdx)
+	updated = f(old)
+
+	sig := core.SigIM
+	if u.broadcast {
+		sig |= core.SigBC
+	}
+	write := &bus.Transaction{
+		MasterID: u.id, Signals: sig, Op: core.BusWrite, Addr: addr,
+		Partial: &bus.PartialWrite{Word: wordIdx, Val: updated},
+	}
+	wres, err := u.bus.ExecuteHeld(write)
+	if err != nil {
+		return 0, 0, err
+	}
+	if u.onWrite != nil {
+		u.onWrite(addr, wordIdx, updated)
+	}
+	u.mu.Lock()
+	u.stats.Reads++
+	u.stats.Writes++
+	u.stats.StallNanos += res.Cost + wres.Cost
+	u.mu.Unlock()
+	return old, updated, nil
+}

@@ -1,0 +1,300 @@
+// Package cache implements a set-associative snooping cache for the
+// simulated Futurebus. The cache is policy-driven: every local event
+// (processor read/write, replacement pass/flush) and every snooped bus
+// event is resolved by a core.Policy choosing an action from its
+// protocol table, so the same engine runs MOESI, Berkeley, Dragon,
+// Write-Once, Illinois, Firefly and write-through protocols.
+//
+// Concurrency contract: each cache serves exactly one processor. The
+// processor side locks the cache's mutex for local work and never holds
+// it while waiting for the bus; the bus side (Query/Commit/Cancel)
+// holds the mutex for the duration of the address cycle, mirroring how
+// a Futurebus address handshake pins every unit's directory (§2.1).
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/core"
+)
+
+// Config parameterises a cache.
+type Config struct {
+	// Sets and Ways give the organisation; capacity is
+	// Sets × Ways × line size.
+	Sets, Ways int
+	// OnWrite, when non-nil, observes every processor write the cache
+	// applies, in the global per-line modification order (it is called
+	// at the point the write becomes visible). The consistency checker
+	// uses it to maintain the golden image.
+	OnWrite func(addr bus.Addr, wordIdx int, val uint32)
+	// OnSnoopChange, when non-nil, observes every state or data change
+	// a snooped bus event caused (called with the bus held and the
+	// directory locked). A multi-bus cluster bridge uses it to
+	// propagate foreign invalidations and updates into its cluster
+	// (internal/hierarchy).
+	OnSnoopChange func(addr bus.Addr, from, to core.State, dataChanged bool)
+	// OnEvict, when non-nil, runs before a valid line is evicted for
+	// capacity, with the bus held and the directory unlocked. A bridge
+	// uses it to maintain inclusion: no cluster cache may keep a line
+	// its bridge no longer tracks.
+	OnEvict func(addr bus.Addr) error
+	// Regions optionally selects a different policy per address range —
+	// §3.4's selective use of the class: "a given cache can make some
+	// pages copy back, some write through, and some uncacheable (as
+	// with the Fairchild CLIPPER)". Addresses outside every region use
+	// the cache's main policy. Regions must not overlap.
+	Regions []Region
+}
+
+// Region binds one line-address range [Start, End) to a policy.
+type Region struct {
+	Start, End bus.Addr
+	// Policy governs accesses in the range. A NonCaching-variant
+	// policy makes the range uncacheable: reads fetch without
+	// retaining, writes go past the cache.
+	Policy core.Policy
+}
+
+// policyFor returns the policy governing an address (§3.4 selective
+// use). Safe without c.mu: regions are fixed at construction.
+func (c *Cache) policyFor(addr bus.Addr) core.Policy {
+	for i := range c.cfg.Regions {
+		r := &c.cfg.Regions[i]
+		if addr >= r.Start && addr < r.End {
+			return r.Policy
+		}
+	}
+	return c.policy
+}
+
+// DefaultConfig is a small cache that misses often enough to exercise
+// the protocols.
+func DefaultConfig() Config { return Config{Sets: 64, Ways: 2} }
+
+type line struct {
+	addr    bus.Addr
+	state   core.State
+	data    []byte
+	lastUse uint64
+}
+
+// Cache is one snooping cache attached to a bus.
+type Cache struct {
+	id     int
+	bus    *bus.Bus
+	policy core.Policy
+	cfg    Config
+
+	mu    sync.Mutex
+	sets  [][]line
+	clock uint64
+	stats Stats
+}
+
+// Stats counts cache-side activity.
+type Stats struct {
+	// Processor-side.
+	Reads, Writes           int64
+	ReadHits, WriteHits     int64
+	ReadMisses, WriteMisses int64
+	WriteUpgrades           int64 // write hits that needed the bus (S/O)
+	Passes, Flushes         int64
+	Replacements            int64
+	DirtyEvictions          int64
+	// Bus-side (snooped).
+	SnoopHits             int64
+	InvalidationsReceived int64
+	UpdatesReceived       int64
+	InterventionsSupplied int64
+	WritesCaptured        int64
+	AbortsIssued          int64
+	// StallNanos is simulated time this cache's processor spent on bus
+	// transactions it issued.
+	StallNanos int64
+	// Transitions counts line state changes, indexed [from][to] in
+	// core.State order. Identity transitions (a Table 1/2 action that
+	// re-enters the current state) are not recorded; installs appear
+	// as Invalid→X and invalidations as X→Invalid.
+	Transitions [5][5]int64
+}
+
+// setState records a state change on a line. Callers hold c.mu.
+func (c *Cache) setState(l *line, next core.State) {
+	if l.state == next {
+		return
+	}
+	c.stats.Transitions[l.state][next]++
+	l.state = next
+}
+
+// StateCensus returns the number of valid lines per state — the
+// occupancy distribution the Archibald–Baer style reports use.
+func (c *Cache) StateCensus() map[core.State]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	census := make(map[core.State]int)
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].state.Valid() {
+				census[set[i].state]++
+			}
+		}
+	}
+	return census
+}
+
+// New creates a cache and attaches it to the bus as a snooper. The id
+// must be unique among all bus masters.
+func New(id int, b *bus.Bus, policy core.Policy, cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache: invalid geometry %d sets × %d ways", cfg.Sets, cfg.Ways))
+	}
+	c := &Cache{id: id, bus: b, policy: policy, cfg: cfg}
+	c.sets = make([][]line, cfg.Sets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	b.Attach(c)
+	return c
+}
+
+// ID returns the cache's bus master id.
+func (c *Cache) ID() int { return c.id }
+
+// LineSize returns the system line size the cache operates on.
+func (c *Cache) LineSize() int { return c.bus.LineSize() }
+
+// Policy returns the protocol the cache runs.
+func (c *Cache) Policy() core.Policy { return c.policy }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// setFor maps a line address to its set index.
+func (c *Cache) setFor(addr bus.Addr) int {
+	return int(uint64(addr) % uint64(c.cfg.Sets))
+}
+
+// lookup returns the way holding addr, or nil. Callers hold c.mu.
+func (c *Cache) lookup(addr bus.Addr) *line {
+	set := c.sets[c.setFor(addr)]
+	for i := range set {
+		if set[i].state.Valid() && set[i].addr == addr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// touch updates the LRU clock for a line. Callers hold c.mu.
+func (c *Cache) touch(l *line) {
+	c.clock++
+	l.lastUse = c.clock
+}
+
+// victim returns the way to fill for addr: an invalid way if one
+// exists, else the least recently used. Callers hold c.mu.
+func (c *Cache) victim(addr bus.Addr) *line {
+	set := c.sets[c.setFor(addr)]
+	var lru *line
+	for i := range set {
+		if !set[i].state.Valid() {
+			return &set[i]
+		}
+		if lru == nil || set[i].lastUse < lru.lastUse {
+			lru = &set[i]
+		}
+	}
+	return lru
+}
+
+// State returns the cache's state for a line (Invalid if absent).
+func (c *Cache) State(addr bus.Addr) core.State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l := c.lookup(addr); l != nil {
+		return l.state
+	}
+	return core.Invalid
+}
+
+// Contains reports whether the cache holds the line in any valid state.
+func (c *Cache) Contains(addr bus.Addr) bool { return c.State(addr).Valid() }
+
+// ForEachLine visits every valid line with a copy of its data (used by
+// the consistency checker). The cache is locked for the duration.
+func (c *Cache) ForEachLine(fn func(addr bus.Addr, s core.State, data []byte)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].state.Valid() {
+				fn(set[i].addr, set[i].state, append([]byte(nil), set[i].data...))
+			}
+		}
+	}
+}
+
+// recentlyUsed reports whether l is not the least recently used valid
+// line of its set (the §5.2 notion of "quite recently used": the MRU
+// element of a two-element set is recent, the LRU element is nearing
+// replacement). Callers hold c.mu.
+func (c *Cache) recentlyUsed(l *line) bool {
+	set := c.sets[c.setFor(l.addr)]
+	for i := range set {
+		if set[i].state.Valid() && set[i].lastUse < l.lastUse {
+			return true
+		}
+	}
+	return false
+}
+
+// WouldUseBus predicts whether an access would issue a bus transaction
+// (a miss, or a write hit that must announce itself). The deterministic
+// simulation engine uses it to order processors in time before
+// executing their references; for dynamically-choosing policies the
+// prediction is a heuristic (the policy may pick differently when the
+// access runs).
+func (c *Cache) WouldUseBus(addr bus.Addr, write bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	event := core.LocalRead
+	if write {
+		event = core.LocalWrite
+	}
+	state := core.Invalid
+	if l := c.lookup(addr); l != nil {
+		state = l.state
+	} else if !write {
+		// A miss also needs the bus to evict a dirty victim; either
+		// way it is a bus access.
+		return true
+	}
+	action, ok := c.policyFor(addr).ChooseLocal(state, event)
+	return !ok || action.NeedsBus()
+}
+
+// word reads a 32-bit little-endian word from a line buffer.
+func word(data []byte, idx int) uint32 {
+	return binary.LittleEndian.Uint32(data[idx*4:])
+}
+
+// putWord writes a 32-bit little-endian word into a line buffer.
+func putWord(data []byte, idx int, v uint32) {
+	binary.LittleEndian.PutUint32(data[idx*4:], v)
+}
+
+func (c *Cache) checkWord(wordIdx int) error {
+	if wordIdx < 0 || (wordIdx+1)*4 > c.bus.LineSize() {
+		return fmt.Errorf("cache %d: word %d outside %d-byte line", c.id, wordIdx, c.bus.LineSize())
+	}
+	return nil
+}

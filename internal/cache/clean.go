@@ -1,0 +1,31 @@
+package cache
+
+import (
+	"futurebus/internal/bus"
+	"futurebus/internal/core"
+)
+
+// CleanLine issues the CmdClean command cycle (the §6 "commands across
+// the bus" extension): after it completes, no cache owns the line and
+// main memory holds the current data. Holders keep unowned copies, so
+// the command is purely a write-back, not an invalidation — the
+// mechanism a system controller uses before handing a buffer to a
+// device that does not snoop the Futurebus.
+//
+// masterID must not collide with any attached snooper's id (a snooper
+// never observes its own transactions); use a dedicated controller id.
+func CleanLine(b *bus.Bus, masterID int, addr bus.Addr) error {
+	_, err := b.Execute(&bus.Transaction{
+		MasterID: masterID,
+		Cmd:      bus.CmdClean,
+		Op:       core.BusAddrOnly,
+		Addr:     addr,
+	})
+	return err
+}
+
+// Clean issues CmdClean from this uncached master: any dirty cached
+// copy of the line is pushed to memory before Clean returns.
+func (u *Uncached) Clean(addr bus.Addr) error {
+	return CleanLine(u.bus, u.id, addr)
+}

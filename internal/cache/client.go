@@ -1,0 +1,479 @@
+package cache
+
+import (
+	"fmt"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/core"
+)
+
+// This file is the processor side of the cache. The locking discipline
+// (see the package comment) is:
+//
+//   - c.mu is never held while waiting for the bus arbiter;
+//   - c.mu is never held across ExecuteHeld either, because a BS abort
+//     can trigger a nested recovery push that snoops *this* cache (we
+//     master the aborted transaction, not the push). While we hold the
+//     bus, only our own transactions and their nested recoveries run,
+//     so the directory state we computed under c.mu cannot be changed
+//     by any other master in the window where c.mu is released.
+
+// ReadWord performs a processor read of one 32-bit word.
+func (c *Cache) ReadWord(addr bus.Addr, wordIdx int) (uint32, error) {
+	if err := c.checkWord(wordIdx); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.stats.Reads++
+	if l := c.lookup(addr); l != nil {
+		// Read hit: every protocol in the class keeps the state (the
+		// Read column of Table 1 is the identity on valid states).
+		action, ok := c.policyFor(addr).ChooseLocal(l.state, core.LocalRead)
+		if !ok || action.NeedsBus() {
+			c.mu.Unlock()
+			return 0, fmt.Errorf("cache %d (%s): no local read action for state %s", c.id, c.policyFor(addr).Name(), l.state)
+		}
+		c.setState(l, action.Next.Resolve(false))
+		c.touch(l)
+		v := word(l.data, wordIdx)
+		c.stats.ReadHits++
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.stats.ReadMisses++
+	c.mu.Unlock()
+
+	c.bus.Acquire()
+	defer c.bus.Release()
+	data, _, err := c.fillLine(addr, core.LocalRead)
+	if err != nil {
+		return 0, err
+	}
+	return word(data, wordIdx), nil
+}
+
+// WriteWord performs a processor write of one 32-bit word.
+func (c *Cache) WriteWord(addr bus.Addr, wordIdx int, val uint32) error {
+	if err := c.checkWord(wordIdx); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.Writes++
+	l := c.lookup(addr)
+	if l != nil {
+		action, ok := c.policyFor(addr).ChooseLocal(l.state, core.LocalWrite)
+		if !ok {
+			st := l.state
+			c.mu.Unlock()
+			return fmt.Errorf("cache %d (%s): no local write action for state %s", c.id, c.policyFor(addr).Name(), st)
+		}
+		if !action.NeedsBus() {
+			// Silent write: M stays M, E goes to M (the M/E pair of
+			// Figure 4 — no other copy can exist).
+			c.setState(l, action.Next.Resolve(false))
+			putWord(l.data, wordIdx, val)
+			c.touch(l)
+			c.stats.WriteHits++
+			c.noteWrite(addr, wordIdx, val)
+			c.mu.Unlock()
+			return nil
+		}
+	}
+	c.mu.Unlock()
+
+	c.bus.Acquire()
+	defer c.bus.Release()
+	return c.writeHeld(addr, wordIdx, val)
+}
+
+// writeHeld performs a write while the caller holds the bus,
+// re-examining the directory first: while the caller waited for the
+// arbiter, another master may have invalidated or downgraded the copy.
+func (c *Cache) writeHeld(addr bus.Addr, wordIdx int, val uint32) error {
+	c.mu.Lock()
+	if c.lookup(addr) == nil {
+		c.mu.Unlock()
+		return c.writeMiss(addr, wordIdx, val)
+	}
+	c.stats.WriteHits++
+	return c.writeHitBus(addr, wordIdx, val) // unlocks c.mu
+}
+
+// writeHitBus handles a write hit that needs the bus (states S and O:
+// the S/O pair of Figure 4 — other copies may exist, so the change must
+// be broadcast or the other copies invalidated). Called with the bus
+// held and c.mu locked; it unlocks c.mu.
+func (c *Cache) writeHitBus(addr bus.Addr, wordIdx int, val uint32) error {
+	l := c.lookup(addr)
+	action, ok := c.policyFor(addr).ChooseLocal(l.state, core.LocalWrite)
+	if !ok {
+		st := l.state
+		c.mu.Unlock()
+		return fmt.Errorf("cache %d (%s): no local write action for state %s", c.id, c.policyFor(addr).Name(), st)
+	}
+	if !action.NeedsBus() {
+		// The state improved (e.g. everyone else was invalidated)
+		// while we waited for the bus.
+		c.setState(l, action.Next.Resolve(false))
+		putWord(l.data, wordIdx, val)
+		c.touch(l)
+		c.noteWrite(addr, wordIdx, val)
+		c.mu.Unlock()
+		return nil
+	}
+	c.stats.WriteUpgrades++
+	c.mu.Unlock()
+
+	tx := &bus.Transaction{
+		MasterID: c.id,
+		Signals:  action.Assert &^ core.SigBC,
+		Addr:     addr,
+		Op:       action.Op,
+	}
+	if action.Assert.Has(core.SigBC) {
+		tx.Signals |= core.SigBC
+	}
+	if action.Op == core.BusWrite {
+		// Update protocols broadcast the written word; holders connect
+		// (SL) and merge it, memory is updated as a Futurebus side
+		// effect (§4.2).
+		tx.Partial = &bus.PartialWrite{Word: wordIdx, Val: val}
+	}
+	res, err := c.bus.ExecuteHeld(tx)
+	if err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	l = c.lookup(addr)
+	if l == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("cache %d: line %#x vanished during its own upgrade", c.id, uint64(addr))
+	}
+	c.setState(l, action.Next.Resolve(res.CH))
+	putWord(l.data, wordIdx, val)
+	c.touch(l)
+	c.stats.StallNanos += res.Cost
+	c.noteWrite(addr, wordIdx, val)
+	c.mu.Unlock()
+	return nil
+}
+
+// writeMiss handles a write to a line the cache does not hold. Called
+// with the bus held and c.mu unlocked.
+func (c *Cache) writeMiss(addr bus.Addr, wordIdx int, val uint32) error {
+	c.mu.Lock()
+	c.stats.WriteMisses++
+	c.mu.Unlock()
+	action, ok := c.policyFor(addr).ChooseLocal(core.Invalid, core.LocalWrite)
+	if !ok {
+		return fmt.Errorf("cache %d (%s): no write-miss action", c.id, c.policyFor(addr).Name())
+	}
+	switch action.Op {
+	case core.BusRead:
+		// Read-for-modify: fetch the line and invalidate every other
+		// copy in one transaction (CA, IM, R — column 6).
+		if _, _, err := c.fillLineWith(addr, action); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		l := c.lookup(addr)
+		if l == nil {
+			c.mu.Unlock()
+			return fmt.Errorf("cache %d: RFO fill of %#x vanished", c.id, uint64(addr))
+		}
+		putWord(l.data, wordIdx, val)
+		c.touch(l)
+		c.noteWrite(addr, wordIdx, val)
+		c.mu.Unlock()
+		return nil
+	case core.BusReadThenWrite:
+		// Two transactions (Table 1 "Read>Write"): a normal read miss,
+		// then the write-hit path on the resulting state.
+		if _, _, err := c.fillLine(addr, core.LocalRead); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		if l := c.lookup(addr); l == nil {
+			c.mu.Unlock()
+			return fmt.Errorf("cache %d: Read>Write fill of %#x vanished", c.id, uint64(addr))
+		}
+		action2, ok := c.policyFor(addr).ChooseLocal(c.mustState(addr), core.LocalWrite)
+		if !ok {
+			c.mu.Unlock()
+			return fmt.Errorf("cache %d (%s): no write action after Read>Write", c.id, c.policyFor(addr).Name())
+		}
+		if !action2.NeedsBus() {
+			l := c.lookup(addr)
+			c.setState(l, action2.Next.Resolve(false))
+			putWord(l.data, wordIdx, val)
+			c.touch(l)
+			c.noteWrite(addr, wordIdx, val)
+			c.mu.Unlock()
+			return nil
+		}
+		return c.writeHitBus(addr, wordIdx, val) // unlocks c.mu
+	case core.BusWrite:
+		// Write past the cache (a write-through or non-allocating
+		// write): a partial word write, no local copy afterwards.
+		tx := &bus.Transaction{
+			MasterID: c.id,
+			Signals:  action.Assert,
+			Addr:     addr,
+			Op:       core.BusWrite,
+			Partial:  &bus.PartialWrite{Word: wordIdx, Val: val},
+		}
+		res, err := c.bus.ExecuteHeld(tx)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.stats.StallNanos += res.Cost
+		c.noteWrite(addr, wordIdx, val)
+		c.mu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("cache %d (%s): unsupported write-miss op %v", c.id, c.policyFor(addr).Name(), action.Op)
+	}
+}
+
+// mustState returns the state of addr; callers hold c.mu.
+func (c *Cache) mustState(addr bus.Addr) core.State {
+	if l := c.lookup(addr); l != nil {
+		return l.state
+	}
+	return core.Invalid
+}
+
+// fillLine performs a read-miss fill using the policy's read-miss
+// action. Called with the bus held and c.mu unlocked. Returns a copy of
+// the line data.
+func (c *Cache) fillLine(addr bus.Addr, event core.LocalEvent) ([]byte, int64, error) {
+	action, ok := c.policyFor(addr).ChooseLocal(core.Invalid, event)
+	if !ok {
+		return nil, 0, fmt.Errorf("cache %d (%s): no miss action for %s", c.id, c.policyFor(addr).Name(), event)
+	}
+	return c.fillLineWith(addr, action)
+}
+
+// fillLineWith fetches addr with the given miss action and installs the
+// line. Called with the bus held and c.mu unlocked.
+func (c *Cache) fillLineWith(addr bus.Addr, action core.LocalAction) ([]byte, int64, error) {
+	if action.Op != core.BusRead {
+		return nil, 0, fmt.Errorf("cache %d (%s): miss action %s is not a read", c.id, c.policyFor(addr).Name(), action)
+	}
+	retains := action.Next.OnCH.Valid() || action.Next.NoCH.Valid()
+	if retains {
+		// Only reads that install a line need a victim; an uncacheable
+		// read ("I,R") must not disturb the resident set.
+		if err := c.makeRoom(addr); err != nil {
+			return nil, 0, err
+		}
+	}
+	tx := &bus.Transaction{
+		MasterID: c.id,
+		Signals:  action.Assert,
+		Addr:     addr,
+		Op:       core.BusRead,
+	}
+	res, err := c.bus.ExecuteHeld(tx)
+	if err != nil {
+		return nil, 0, err
+	}
+	next := action.Next.Resolve(res.CH)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.StallNanos += res.Cost
+	if !next.Valid() {
+		// A non-caching read: nothing retained.
+		return res.Data, res.Cost, nil
+	}
+	v := c.victim(addr)
+	if v.state.Valid() {
+		// makeRoom freed a way; a valid victim here means the set
+		// filled up again, which is impossible while we hold the bus.
+		return nil, 0, fmt.Errorf("cache %d: no free way for %#x after eviction", c.id, uint64(addr))
+	}
+	v.addr = addr
+	c.setState(v, next)
+	v.data = append(v.data[:0], res.Data...)
+	c.touch(v)
+	return append([]byte(nil), res.Data...), res.Cost, nil
+}
+
+// makeRoom evicts a victim from addr's set if no way is free, pushing
+// dirty (owned) victims to memory with the policy's Flush action.
+// Called with the bus held and c.mu unlocked.
+func (c *Cache) makeRoom(addr bus.Addr) error {
+	c.mu.Lock()
+	v := c.victim(addr)
+	if !v.state.Valid() {
+		c.mu.Unlock()
+		return nil
+	}
+	c.stats.Replacements++
+	victimAddr := v.addr
+	victimState := v.state
+	if c.cfg.OnEvict != nil {
+		// Inclusion hook: let a bridge clear its cluster's copies
+		// before the line leaves this directory (bus held).
+		c.mu.Unlock()
+		if err := c.cfg.OnEvict(victimAddr); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		v = c.victim(addr)
+		if !v.state.Valid() {
+			c.mu.Unlock()
+			return nil
+		}
+		victimAddr = v.addr
+		victimState = v.state
+	}
+	action, ok := c.policyFor(victimAddr).ChooseLocal(victimState, core.Flush)
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cache %d (%s): no flush action for state %s", c.id, c.policyFor(victimAddr).Name(), victimState)
+	}
+	if !action.NeedsBus() {
+		// Clean victims (E, S) are dropped silently.
+		c.setState(v, core.Invalid)
+		c.mu.Unlock()
+		return nil
+	}
+	data := append([]byte(nil), v.data...)
+	c.mu.Unlock()
+
+	// Push the dirty line. The flusher retains nothing, so CA is not
+	// asserted; sharers of an O line observe column 7 and keep their
+	// copies while memory resumes ownership (Table 1, note 4).
+	tx := &bus.Transaction{
+		MasterID: c.id,
+		Signals:  action.Assert,
+		Addr:     victimAddr,
+		Op:       core.BusWrite,
+		Data:     data,
+	}
+	res, err := c.bus.ExecuteHeld(tx)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.DirtyEvictions++
+	c.stats.Flushes++
+	c.stats.StallNanos += res.Cost
+	if l := c.lookup(victimAddr); l != nil {
+		c.setState(l, action.Next.Resolve(res.CH))
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Flush pushes a line out of the cache (Table 1 note 4): dirty lines
+// are written back, clean lines dropped. It is a no-op if the cache
+// does not hold the line.
+func (c *Cache) Flush(addr bus.Addr) error {
+	return c.pushLine(addr, core.Flush)
+}
+
+// Pass pushes a dirty line back to memory but keeps a copy (Table 1
+// note 3): ownership returns to memory, the cache retains the line in
+// an unowned state. It is a no-op on unowned or absent lines.
+func (c *Cache) Pass(addr bus.Addr) error {
+	c.mu.Lock()
+	l := c.lookup(addr)
+	if l == nil || !l.state.OwnedCopy() {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	return c.pushLine(addr, core.Pass)
+}
+
+func (c *Cache) pushLine(addr bus.Addr, event core.LocalEvent) error {
+	c.bus.Acquire()
+	defer c.bus.Release()
+	c.mu.Lock()
+	l := c.lookup(addr)
+	if l == nil {
+		c.mu.Unlock()
+		return nil
+	}
+	action, ok := c.policyFor(addr).ChooseLocal(l.state, event)
+	if !ok {
+		if event == core.Pass {
+			c.mu.Unlock()
+			return nil
+		}
+		st := l.state
+		c.mu.Unlock()
+		return fmt.Errorf("cache %d (%s): no %s action for state %s", c.id, c.policyFor(addr).Name(), event, st)
+	}
+	if !action.NeedsBus() {
+		c.setState(l, action.Next.Resolve(false))
+		if event == core.Flush {
+			c.stats.Flushes++
+		}
+		c.mu.Unlock()
+		return nil
+	}
+	data := append([]byte(nil), l.data...)
+	c.mu.Unlock()
+
+	tx := &bus.Transaction{
+		MasterID: c.id,
+		Signals:  action.Assert,
+		Addr:     addr,
+		Op:       core.BusWrite,
+		Data:     data,
+	}
+	res, err := c.bus.ExecuteHeld(tx)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if l := c.lookup(addr); l != nil {
+		c.setState(l, action.Next.Resolve(res.CH))
+	}
+	switch event {
+	case core.Pass:
+		c.stats.Passes++
+	case core.Flush:
+		c.stats.Flushes++
+	}
+	c.stats.StallNanos += res.Cost
+	c.mu.Unlock()
+	return nil
+}
+
+// FlushAll pushes every dirty line and drops every clean one — a
+// context switch or checkpoint handing the cache's contents back to
+// memory. Afterwards the cache is empty and memory holds the image of
+// everything it owned.
+func (c *Cache) FlushAll() error {
+	c.mu.Lock()
+	var addrs []bus.Addr
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].state.Valid() {
+				addrs = append(addrs, set[i].addr)
+			}
+		}
+	}
+	c.mu.Unlock()
+	for _, addr := range addrs {
+		if err := c.Flush(addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// noteWrite reports an applied write to the golden-image observer.
+// Callers hold c.mu or the bus (the point of visibility).
+func (c *Cache) noteWrite(addr bus.Addr, wordIdx int, val uint32) {
+	if c.cfg.OnWrite != nil {
+		c.cfg.OnWrite(addr, wordIdx, val)
+	}
+}

@@ -1,0 +1,405 @@
+package cache
+
+import (
+	"testing"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/core"
+	"futurebus/internal/memory"
+	"futurebus/internal/protocols"
+)
+
+// TestMOESIWalk drives one line through all five states exactly as §3.3
+// describes, checking state and data at every step (the programmatic
+// version of examples/quickstart).
+func TestMOESIWalk(t *testing.T) {
+	_, mem, cs := rig(t, 2, protocols.MOESI, smallCfg())
+	c0, c1 := cs[0], cs[1]
+	const line = bus.Addr(0x100)
+
+	// 1. Read miss, nobody else holds it: CH stays low → E.
+	mustRead(t, c0, line, 0)
+	if c0.State(line) != core.Exclusive {
+		t.Fatalf("after lone read: %s", c0.State(line))
+	}
+
+	// 2. Silent E→M write; memory untouched.
+	mustWrite(t, c0, line, 0, 0xA1)
+	if c0.State(line) != core.Modified {
+		t.Fatalf("after silent write: %s", c0.State(line))
+	}
+	if mem.Peek(line)[0] == 0xA1 {
+		t.Fatal("silent write reached memory")
+	}
+
+	// 3. Second cache reads: owner intervenes, M→O, reader gets S and
+	// the dirty data.
+	if v := mustRead(t, c1, line, 0); v != 0xA1 {
+		t.Fatalf("intervened read got %#x", v)
+	}
+	if c0.State(line) != core.Owned || c1.State(line) != core.Shared {
+		t.Fatalf("after intervened read: %s / %s", c0.State(line), c1.State(line))
+	}
+
+	// 4. Sharer writes with broadcast: old owner updates and yields,
+	// writer takes ownership (CH:O/M with CH asserted → O).
+	mustWrite(t, c1, line, 1, 0xB2)
+	if c1.State(line) != core.Owned {
+		t.Fatalf("writer state: %s", c1.State(line))
+	}
+	if c0.State(line) != core.Shared {
+		t.Fatalf("old owner state: %s", c0.State(line))
+	}
+	if v := mustRead(t, c0, line, 1); v != 0xB2 {
+		t.Fatalf("update lost: %#x", v)
+	}
+
+	// 5. Owner flushes: memory gets both words, sharer survives in S.
+	if err := c1.Flush(line); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Contains(line) {
+		t.Fatal("flush kept the line")
+	}
+	if c0.State(line) != core.Shared {
+		t.Fatalf("bystander state after flush: %s", c0.State(line))
+	}
+	m := mem.Peek(line)
+	if m[0] != 0xA1 || m[4] != 0xB2 {
+		t.Fatalf("memory after flush: %x", m[:8])
+	}
+}
+
+// TestReadMissGetsSharedWhenHeld: CH resolves the S/E pair.
+func TestReadMissGetsSharedWhenHeld(t *testing.T) {
+	_, _, cs := rig(t, 2, protocols.MOESI, smallCfg())
+	mustRead(t, cs[0], 5, 0)
+	mustRead(t, cs[1], 5, 0)
+	if cs[1].State(5) != core.Shared {
+		t.Errorf("second reader got %s", cs[1].State(5))
+	}
+	if cs[0].State(5) != core.Shared {
+		t.Errorf("first reader now %s", cs[0].State(5))
+	}
+}
+
+// TestInvalidateUpgrade: the invalidate variant's shared write is an
+// address-only transaction that kills the other copies (column 6).
+func TestInvalidateUpgrade(t *testing.T) {
+	b, _, cs := rig(t, 2, protocols.MOESIInvalidate, smallCfg())
+	c0, c1 := cs[0], cs[1]
+	mustRead(t, c0, 3, 0)
+	mustRead(t, c1, 3, 0)
+	before := b.Stats()
+	mustWrite(t, c0, 3, 0, 7)
+	after := b.Stats()
+	if after.AddrOnly != before.AddrOnly+1 {
+		t.Errorf("upgrade used %d addr-only transactions", after.AddrOnly-before.AddrOnly)
+	}
+	if c0.State(3) != core.Modified {
+		t.Errorf("writer state %s", c0.State(3))
+	}
+	if c1.Contains(3) {
+		t.Error("other copy survived an invalidate")
+	}
+	if st := c1.Stats(); st.InvalidationsReceived != 1 {
+		t.Errorf("invalidations = %d", st.InvalidationsReceived)
+	}
+}
+
+// TestRFOWriteMiss: a write miss with CA,IM,R fetches and invalidates in
+// one transaction, entering M; an M owner elsewhere supplies the data
+// and dies (column 6: I,DI).
+func TestRFOWriteMiss(t *testing.T) {
+	b, _, cs := rig(t, 2, protocols.MOESI, smallCfg())
+	c0, c1 := cs[0], cs[1]
+	mustWrite(t, c0, 9, 0, 0x11) // c0: E→M via miss+silent
+	before := b.Stats()
+	mustWrite(t, c1, 9, 1, 0x22) // RFO: c0 supplies + invalidates
+	after := b.Stats()
+	if after.Transactions != before.Transactions+1 {
+		t.Errorf("write miss used %d transactions, want 1", after.Transactions-before.Transactions)
+	}
+	if c1.State(9) != core.Modified {
+		t.Errorf("writer state %s", c1.State(9))
+	}
+	if c0.Contains(9) {
+		t.Error("old owner survived RFO")
+	}
+	// Both words live in the new owner.
+	if v := mustRead(t, c1, 9, 0); v != 0x11 {
+		t.Errorf("RFO lost old data: %#x", v)
+	}
+	if st := c0.Stats(); st.InterventionsSupplied != 1 {
+		t.Errorf("old owner interventions = %d", st.InterventionsSupplied)
+	}
+}
+
+// TestReadThenWrite: Dragon's write miss is two transactions — a read
+// (entering S/E) followed by the write-hit action.
+func TestReadThenWrite(t *testing.T) {
+	b, _, cs := rig(t, 2, protocols.Dragon, smallCfg())
+	c0, c1 := cs[0], cs[1]
+	mustRead(t, c0, 4, 0)
+	before := b.Stats()
+	mustWrite(t, c1, 4, 0, 0x77) // miss: Read>Write
+	after := b.Stats()
+	if got := after.Transactions - before.Transactions; got != 2 {
+		t.Errorf("Read>Write used %d transactions", got)
+	}
+	// Dragon keeps the sharer alive via broadcast; both copies match.
+	if v := mustRead(t, c0, 4, 0); v != 0x77 {
+		t.Errorf("sharer has %#x", v)
+	}
+	if c1.State(4) != core.Owned {
+		t.Errorf("writer state %s", c1.State(4))
+	}
+}
+
+// TestReadThenWriteAloneGoesModified: with no sharers, the read loads E
+// and the write is silent — still two… actually one transaction total.
+func TestReadThenWriteAloneGoesModified(t *testing.T) {
+	b, _, cs := rig(t, 1, protocols.Dragon, smallCfg())
+	before := b.Stats()
+	mustWrite(t, cs[0], 6, 0, 1)
+	after := b.Stats()
+	if got := after.Transactions - before.Transactions; got != 1 {
+		t.Errorf("lone Read>Write used %d transactions, want 1 (E write is silent)", got)
+	}
+	if cs[0].State(6) != core.Modified {
+		t.Errorf("state %s", cs[0].State(6))
+	}
+}
+
+// TestPassKeepsCopy: Pass pushes ownership back to memory but retains
+// the line (M → E, Table 1 note 3).
+func TestPassKeepsCopy(t *testing.T) {
+	_, mem, cs := rig(t, 1, protocols.MOESI, smallCfg())
+	c := cs[0]
+	mustWrite(t, c, 2, 0, 0x5A)
+	if err := c.Pass(2); err != nil {
+		t.Fatal(err)
+	}
+	if c.State(2) != core.Exclusive {
+		t.Errorf("after pass: %s", c.State(2))
+	}
+	if mem.Peek(2)[0] != 0x5A {
+		t.Error("pass did not update memory")
+	}
+	// Pass of an unowned line is a no-op.
+	if err := c.Pass(2); err != nil {
+		t.Fatal(err)
+	}
+	if c.State(2) != core.Exclusive {
+		t.Errorf("no-op pass changed state to %s", c.State(2))
+	}
+}
+
+// TestPassFromOwnedKeepsSharers: an O pass resolves CH:S/E — with a
+// sharer asserting CH the pusher stays S.
+func TestPassFromOwnedKeepsSharers(t *testing.T) {
+	_, _, cs := rig(t, 2, protocols.MOESI, smallCfg())
+	c0, c1 := cs[0], cs[1]
+	mustWrite(t, c0, 2, 0, 1)
+	mustRead(t, c1, 2, 0) // c0: M→O
+	if c0.State(2) != core.Owned {
+		t.Fatalf("setup state %s", c0.State(2))
+	}
+	if err := c0.Pass(2); err != nil {
+		t.Fatal(err)
+	}
+	if c0.State(2) != core.Shared {
+		t.Errorf("pusher state %s, want S (CH asserted by sharer)", c0.State(2))
+	}
+	if c1.State(2) != core.Shared {
+		t.Errorf("sharer state %s", c1.State(2))
+	}
+}
+
+// TestFlushCleanLineSilent: flushing an S line drops it without a bus
+// transaction.
+func TestFlushCleanLineSilent(t *testing.T) {
+	b, _, cs := rig(t, 2, protocols.MOESI, smallCfg())
+	mustRead(t, cs[0], 1, 0)
+	mustRead(t, cs[1], 1, 0)
+	before := b.Stats()
+	if err := cs[1].Flush(1); err != nil {
+		t.Fatal(err)
+	}
+	if cs[1].Contains(1) {
+		t.Error("flush kept clean line")
+	}
+	if after := b.Stats(); after.Transactions != before.Transactions {
+		t.Error("clean flush used the bus")
+	}
+	// Flushing an absent line is a no-op.
+	if err := cs[1].Flush(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteThroughBehaviour: V≡S; every write goes to the bus; no
+// ownership ever.
+func TestWriteThroughBehaviour(t *testing.T) {
+	wt := func() core.Policy { return protocols.WriteThrough(protocols.WriteThroughConfig{}) }
+	b, mem, cs := rig(t, 1, wt, smallCfg())
+	c := cs[0]
+	mustRead(t, c, 5, 0)
+	if c.State(5) != core.Shared {
+		t.Errorf("WT read miss state %s, want S (V)", c.State(5))
+	}
+	before := b.Stats()
+	mustWrite(t, c, 5, 0, 0xAA) // write hit: still writes through
+	mustWrite(t, c, 5, 0, 0xBB)
+	after := b.Stats()
+	if got := after.Writes - before.Writes; got != 2 {
+		t.Errorf("WT write hits produced %d bus writes, want 2", got)
+	}
+	if c.State(5) != core.Shared {
+		t.Errorf("WT state after writes %s", c.State(5))
+	}
+	if mem.Peek(5)[0] != 0xBB {
+		t.Error("write-through did not reach memory")
+	}
+	// Write miss: no allocation.
+	mustWrite(t, c, 6, 0, 0xCC)
+	if c.Contains(6) {
+		t.Error("non-allocating WT cache allocated on a write miss")
+	}
+	if mem.Peek(6)[0] != 0xCC {
+		t.Error("WT write miss lost")
+	}
+}
+
+// TestWriteThroughAllocate: the starred Read>Write alternative loads
+// the line on a write miss.
+func TestWriteThroughAllocate(t *testing.T) {
+	wt := func() core.Policy {
+		return protocols.WriteThrough(protocols.WriteThroughConfig{Allocate: true})
+	}
+	_, _, cs := rig(t, 1, wt, smallCfg())
+	mustWrite(t, cs[0], 6, 0, 0xCC)
+	if cs[0].State(6) != core.Shared {
+		t.Errorf("allocating WT write miss: %s", cs[0].State(6))
+	}
+	if v := mustRead(t, cs[0], 6, 0); v != 0xCC {
+		t.Errorf("allocated line has %#x", v)
+	}
+}
+
+// TestWriteThroughInvalidatesCopyBack: a WT write past the cache is
+// column 9 — a copy-back sharer must invalidate, an owner captures.
+func TestWriteThroughVsOwner(t *testing.T) {
+	mem := rigMixed(t)
+	moesi := mem.caches[0]
+	wt := mem.caches[1]
+	// MOESI cache owns the line dirty.
+	mustWrite(t, moesi, 7, 0, 0x11)
+	// WT cache writes the same line (miss, write past): the owner
+	// captures (column 9, M,CH?,DI) and memory is preempted.
+	mustWrite(t, wt, 7, 1, 0x22)
+	if moesi.State(7) != core.Modified {
+		t.Errorf("owner state %s", moesi.State(7))
+	}
+	if v := mustRead(t, moesi, 7, 1); v != 0x22 {
+		t.Errorf("owner missed the captured write: %#x", v)
+	}
+	if mem.mem.Peek(7)[4] == 0x22 {
+		t.Error("memory took a write the owner captured")
+	}
+	if st := moesi.Stats(); st.WritesCaptured != 1 {
+		t.Errorf("captures = %d", st.WritesCaptured)
+	}
+}
+
+type mixedRig struct {
+	bus    *bus.Bus
+	mem    *memory.Memory
+	caches []*Cache
+}
+
+func rigMixed(t *testing.T) *mixedRig {
+	t.Helper()
+	mem := memory.New(testLineSize)
+	b := bus.New(mem, bus.Config{LineSize: testLineSize})
+	c0 := New(0, b, protocols.MOESI(), smallCfg())
+	c1 := New(1, b, protocols.WriteThrough(protocols.WriteThroughConfig{}), smallCfg())
+	return &mixedRig{bus: b, mem: mem, caches: []*Cache{c0, c1}}
+}
+
+// TestOnWriteHook: the golden-image hook observes every applied write
+// with its word and value.
+func TestOnWriteHook(t *testing.T) {
+	type rec struct {
+		addr bus.Addr
+		word int
+		val  uint32
+	}
+	var got []rec
+	cfg := smallCfg()
+	cfg.OnWrite = func(a bus.Addr, w int, v uint32) { got = append(got, rec{a, w, v}) }
+	mem := memory.New(testLineSize)
+	b := bus.New(mem, bus.Config{LineSize: testLineSize})
+	c := New(0, b, protocols.MOESI(), cfg)
+	mustWrite(t, c, 1, 0, 10) // miss → RFO → M
+	mustWrite(t, c, 1, 1, 11) // silent
+	want := []rec{{1, 0, 10}, {1, 1, 11}}
+	if len(got) != len(want) {
+		t.Fatalf("hook saw %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("hook[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStatsAccounting: the processor-side counters add up.
+func TestStatsAccounting(t *testing.T) {
+	_, _, cs := rig(t, 2, protocols.MOESI, smallCfg())
+	c0, c1 := cs[0], cs[1]
+	mustRead(t, c0, 1, 0)     // read miss
+	mustRead(t, c0, 1, 1)     // read hit
+	mustWrite(t, c0, 1, 0, 5) // silent write hit (E→M)
+	mustRead(t, c1, 1, 0)     // c0: M→O
+	mustWrite(t, c0, 1, 0, 6) // write hit needing bus (O)
+	st := c0.Stats()
+	if st.Reads != 2 || st.ReadHits != 1 || st.ReadMisses != 1 {
+		t.Errorf("read stats: %+v", st)
+	}
+	if st.Writes != 2 || st.WriteHits != 2 || st.WriteUpgrades != 1 {
+		t.Errorf("write stats: %+v", st)
+	}
+	if st.StallNanos == 0 {
+		t.Error("no stall time recorded")
+	}
+}
+
+// TestFlushAll empties the cache and lands every dirty line in memory.
+func TestFlushAll(t *testing.T) {
+	_, mem, cs := rig(t, 2, protocols.MOESI, smallCfg())
+	c := cs[0]
+	for i := 0; i < 6; i++ {
+		mustWrite(t, c, bus.Addr(i), 0, uint32(0x30+i))
+	}
+	mustRead(t, cs[1], 2, 0) // one line shared: c holds O
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if c.Contains(bus.Addr(i)) {
+			t.Fatalf("line %d survived FlushAll", i)
+		}
+		if mem.Peek(bus.Addr(i))[0] != byte(0x30+i) {
+			t.Fatalf("line %d not written back", i)
+		}
+	}
+	// The sharer's copy survives (flush is column 7 to it).
+	if !cs[1].Contains(2) {
+		t.Error("sharer lost its copy on a foreign flush")
+	}
+	census := c.StateCensus()
+	if len(census) != 0 {
+		t.Errorf("census after FlushAll: %v", census)
+	}
+}

@@ -1,0 +1,243 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/core"
+	"futurebus/internal/memory"
+	"futurebus/internal/protocols"
+)
+
+// Conformance harness: for EVERY registered protocol, EVERY table cell
+// is exercised against the concrete cache engine — the cache is forced
+// into the cell's state, the cell's event is fired, and the resulting
+// state must equal the table's preferred action resolved with the
+// actual CH environment. This pins the engine to the tables: a
+// transition bug anywhere in the client or snoop paths fails the exact
+// cell it breaks.
+
+// chFromMOESISharer says whether a MOESI cache holding S asserts CH on
+// each bus column (it is the "environment" cache B below).
+func chFromMOESISharer(col core.BusEvent) bool {
+	switch col {
+	case core.BusCacheRead, core.BusPlainRead,
+		core.BusCacheBroadcastWrite, core.BusPlainBroadcastWrite:
+		return true
+	default: // columns 6 and 9 invalidate B silently
+		return false
+	}
+}
+
+// expectedAfterSnoop computes the table-predicted state after snooping
+// one transaction of the given column (following one BS abort/retry
+// round if the preferred action aborts).
+func expectedAfterSnoop(tbl *core.Table, s core.State, col core.BusEvent, otherCH bool) (core.State, bool) {
+	a, ok := tbl.PreferredSnoop(s, col)
+	if !ok {
+		return 0, false
+	}
+	if a.Abort != nil {
+		mid := a.Abort.Next
+		if !mid.Valid() {
+			return core.Invalid, true
+		}
+		a2, ok := tbl.PreferredSnoop(mid, col)
+		if !ok || a2.Abort != nil {
+			return 0, false
+		}
+		return a2.Next.Resolve(otherCH), true
+	}
+	return a.Next.Resolve(otherCH), true
+}
+
+// expectedAfterLocal computes the table-predicted state after a local
+// event, resolving CH against whether a MOESI sharer (B) is present.
+func expectedAfterLocal(tbl *core.Table, s core.State, e core.LocalEvent, haveB bool) (core.State, bool) {
+	a, ok := tbl.PreferredLocal(s, e)
+	if !ok {
+		return 0, false
+	}
+	resolveWith := func(act core.LocalAction) core.State {
+		if !act.NeedsBus() {
+			return act.Next.Resolve(false)
+		}
+		ch := haveB && chFromMOESISharer(core.ClassifyBusEvent(act.Assert))
+		return act.Next.Resolve(ch)
+	}
+	if a.Op != core.BusReadThenWrite {
+		return resolveWith(a), true
+	}
+	// Read>Write: the read-miss action, then the write action on the
+	// resulting state.
+	rm, ok := tbl.PreferredLocal(core.Invalid, core.LocalRead)
+	if !ok {
+		return 0, false
+	}
+	mid := resolveWith(rm)
+	wa, ok := tbl.PreferredLocal(mid, core.LocalWrite)
+	if !ok || wa.Op == core.BusReadThenWrite {
+		return 0, false
+	}
+	return resolveWith(wa), true
+}
+
+// conformanceRig builds a fresh bus with the protocol under test (A), a
+// MOESI environment cache (B, optional), and a raw master id.
+func conformanceRig(t *testing.T, name string, withB bool) (*bus.Bus, *memory.Memory, *Cache, *Cache) {
+	t.Helper()
+	mem := memory.New(testLineSize)
+	b := bus.New(mem, bus.Config{LineSize: testLineSize})
+	p, err := protocols.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(0, b, p, Config{Sets: 8, Ways: 2})
+	var envB *Cache
+	if withB {
+		envB = New(1, b, protocols.MOESI(), Config{Sets: 8, Ways: 2})
+	}
+	return b, mem, a, envB
+}
+
+// conformanceProtocols are the deterministic cached protocols (the
+// dynamic choosers pick a different legal action per draw, so they have
+// no single predicted result).
+var conformanceProtocols = []string{
+	"moesi", "moesi-invalidate", "moesi-update", "berkeley", "dragon",
+	"illinois", "write-once", "firefly", "synapse",
+	"write-through", "write-through-broadcast",
+}
+
+// TestSnoopConformance: every (state × bus column × CH environment)
+// cell of every protocol, against the live engine.
+func TestSnoopConformance(t *testing.T) {
+	const addr = bus.Addr(0x30)
+	lineData := bytes.Repeat([]byte{0x5A}, testLineSize)
+
+	checked := 0
+	for _, name := range conformanceProtocols {
+		p, err := protocols.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := p.Table()
+		for _, s := range tbl.States {
+			if !s.Valid() {
+				continue
+			}
+			for _, col := range tbl.BusEvents {
+				for _, withB := range []bool{false, true} {
+					otherCH := withB && chFromMOESISharer(col)
+					want, ok := expectedAfterSnoop(tbl, s, col, otherCH)
+					if !ok {
+						continue
+					}
+					// An exclusive A alongside a sharing B is not a
+					// reachable configuration; skip the contradictory
+					// setup (the CH value would be meaningless).
+					if withB && s.ExclusiveCopy() {
+						continue
+					}
+					_, mem, a, envB := conformanceRig(t, name, withB)
+					if !s.OwnedCopy() {
+						// Unowned states must match the owner; with no
+						// owner the image is memory.
+						mem.WriteLine(addr, lineData)
+					}
+					a.forceLine(addr, s, lineData)
+					if envB != nil {
+						envB.forceLine(addr, core.Shared, lineData)
+					}
+
+					tx := &bus.Transaction{MasterID: 9, Signals: col.Signals(), Addr: addr}
+					switch col {
+					case core.BusCacheRead, core.BusPlainRead:
+						tx.Op = core.BusRead
+					case core.BusCacheRFO:
+						tx.Op = core.BusAddrOnly
+					default:
+						tx.Op = core.BusWrite
+						tx.Partial = &bus.PartialWrite{Word: 0, Val: 0x77}
+					}
+					if _, err := a.bus.Execute(tx); err != nil {
+						t.Fatalf("%s state %s col %d (B=%t): %v", name, s.Letter(), col.Column(), withB, err)
+					}
+					if got := a.State(addr); got != want {
+						t.Errorf("%s: state %s, col %d, B=%t: engine went to %s, table says %s",
+							name, s.Letter(), col.Column(), withB, got.Letter(), want.Letter())
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked < 200 {
+		t.Fatalf("only %d snoop cells checked — the harness is skipping too much", checked)
+	}
+	t.Logf("%d snoop cells verified against the engine", checked)
+}
+
+// TestLocalConformance: every (state × local event × CH environment)
+// cell of every protocol.
+func TestLocalConformance(t *testing.T) {
+	const addr = bus.Addr(0x31)
+	lineData := bytes.Repeat([]byte{0x6B}, testLineSize)
+
+	checked := 0
+	for _, name := range conformanceProtocols {
+		p, err := protocols.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := p.Table()
+		states := append([]core.State{}, tbl.States...)
+		for _, s := range states {
+			for _, e := range tbl.LocalEvents {
+				for _, withB := range []bool{false, true} {
+					want, ok := expectedAfterLocal(tbl, s, e, withB)
+					if !ok {
+						continue
+					}
+					if withB && s.ExclusiveCopy() {
+						continue
+					}
+					_, mem, a, envB := conformanceRig(t, name, withB)
+					if !s.OwnedCopy() {
+						mem.WriteLine(addr, lineData)
+					}
+					if s.Valid() {
+						a.forceLine(addr, s, lineData)
+					}
+					if envB != nil {
+						envB.forceLine(addr, core.Shared, lineData)
+					}
+
+					switch e {
+					case core.LocalRead:
+						_, err = a.ReadWord(addr, 0)
+					case core.LocalWrite:
+						err = a.WriteWord(addr, 0, 0x99)
+					case core.Pass:
+						err = a.Pass(addr)
+					case core.Flush:
+						err = a.Flush(addr)
+					}
+					if err != nil {
+						t.Fatalf("%s state %s %s (B=%t): %v", name, s.Letter(), e, withB, err)
+					}
+					if got := a.State(addr); got != want {
+						t.Errorf("%s: state %s, %s, B=%t: engine went to %s, table says %s",
+							name, s.Letter(), e, withB, got.Letter(), want.Letter())
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d local cells checked — the harness is skipping too much", checked)
+	}
+	t.Logf("%d local cells verified against the engine", checked)
+}

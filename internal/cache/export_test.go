@@ -1,0 +1,25 @@
+package cache
+
+import (
+	"futurebus/internal/bus"
+	"futurebus/internal/core"
+)
+
+// forceLine installs a line directly in the directory (tests only): the
+// conformance harness uses it to place a cache in an exact MOESI state
+// before firing one event at it.
+func (c *Cache) forceLine(addr bus.Addr, s core.State, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !s.Valid() {
+		if l := c.lookup(addr); l != nil {
+			l.state = core.Invalid
+		}
+		return
+	}
+	v := c.victim(addr)
+	v.addr = addr
+	v.state = s
+	v.data = append(v.data[:0], data...)
+	c.touch(v)
+}

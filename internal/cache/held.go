@@ -1,0 +1,101 @@
+package cache
+
+import (
+	"fmt"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/core"
+)
+
+// Bus-held line operations for multi-bus bridges (internal/hierarchy).
+// All of these require the caller to hold the bus (a shared Arbiter in
+// a hierarchy), because they are invoked from inside other
+// transactions — a cluster miss being served by the bridge's memory
+// port, or a write-back being absorbed mid-transaction.
+
+// FetchLineHeld ensures the line is present (performing a normal
+// read-miss fill if not) and returns a copy of its data. The bus must
+// be held by the caller.
+func (c *Cache) FetchLineHeld(addr bus.Addr) ([]byte, error) {
+	c.mu.Lock()
+	if l := c.lookup(addr); l != nil {
+		data := append([]byte(nil), l.data...)
+		c.touch(l)
+		c.mu.Unlock()
+		return data, nil
+	}
+	c.mu.Unlock()
+	data, _, err := c.fillLine(addr, core.LocalRead)
+	return data, err
+}
+
+// AbsorbLineHeld makes this cache the Modified owner of the line with
+// the given contents: the Table 1 invalidate-style write sequence
+// ("M,CA,IM" upgrade on a shared hit, "M,CA,IM,R" read-for-modify on a
+// miss, silent on M/E), followed by a full-line overwrite. A bridge
+// uses it to take ownership of a write-back arriving from its cluster.
+// The bus must be held by the caller. The OnWrite hook is NOT invoked:
+// absorption relays data already recorded by the original writer.
+func (c *Cache) AbsorbLineHeld(addr bus.Addr, data []byte) error {
+	if len(data) != c.bus.LineSize() {
+		return fmt.Errorf("cache %d: absorb of %d bytes, line size %d", c.id, len(data), c.bus.LineSize())
+	}
+	c.mu.Lock()
+	l := c.lookup(addr)
+	if l != nil && l.state.MayModifySilently() {
+		copy(l.data, data)
+		c.setState(l, core.Modified)
+		c.touch(l)
+		c.mu.Unlock()
+		return nil
+	}
+	var upgrade *bus.Transaction
+	if l != nil {
+		// Shared hit: address-only invalidate (column 6), then own it.
+		upgrade = &bus.Transaction{
+			MasterID: c.id,
+			Signals:  core.SigCA | core.SigIM,
+			Op:       core.BusAddrOnly,
+			Addr:     addr,
+		}
+	}
+	c.mu.Unlock()
+
+	if upgrade != nil {
+		if _, err := c.bus.ExecuteHeld(upgrade); err != nil {
+			return err
+		}
+	} else {
+		// Miss: read-for-modify fill.
+		rfo, err := core.ParseLocalAction("M,CA,IM,R")
+		if err != nil {
+			return err
+		}
+		if _, _, err := c.fillLineWith(addr, rfo); err != nil {
+			return err
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l = c.lookup(addr)
+	if l == nil {
+		return fmt.Errorf("cache %d: absorbed line %#x vanished", c.id, uint64(addr))
+	}
+	copy(l.data, data)
+	c.setState(l, core.Modified)
+	c.touch(l)
+	return nil
+}
+
+// InvalidateHeld drops the line without any bus traffic (note 11: any
+// bus-event transition may be weakened to I). A bridge uses it when a
+// foreign transaction has already superseded the line globally. The
+// caller must hold the bus.
+func (c *Cache) InvalidateHeld(addr bus.Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l := c.lookup(addr); l != nil {
+		c.setState(l, core.Invalid)
+	}
+}

@@ -1,0 +1,154 @@
+package cache
+
+import (
+	"testing"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/core"
+	"futurebus/internal/memory"
+	"futurebus/internal/protocols"
+)
+
+// clipperRig builds the §3.4 CLIPPER configuration: one cache whose
+// address space is split into copy-back (default), write-through
+// [0x100, 0x200) and uncacheable [0x200, 0x300) regions.
+func clipperRig(t *testing.T) (*bus.Bus, *memory.Memory, *Cache) {
+	t.Helper()
+	mem := memory.New(testLineSize)
+	b := bus.New(mem, bus.Config{LineSize: testLineSize})
+	cfg := smallCfg()
+	cfg.Regions = []Region{
+		{Start: 0x100, End: 0x200, Policy: protocols.WriteThrough(protocols.WriteThroughConfig{})},
+		{Start: 0x200, End: 0x300, Policy: protocols.NonCaching(false)},
+	}
+	c := New(0, b, protocols.MOESI(), cfg)
+	return b, mem, c
+}
+
+// TestRegionCopyBackDefault: addresses outside every region behave
+// copy-back — silent dirty writes, memory stale until eviction.
+func TestRegionCopyBackDefault(t *testing.T) {
+	_, mem, c := clipperRig(t)
+	mustWrite(t, c, 0x10, 0, 0xAA)
+	if c.State(0x10) != core.Modified {
+		t.Errorf("copy-back region state %s", c.State(0x10))
+	}
+	if mem.Peek(0x10)[0] == 0xAA {
+		t.Error("copy-back write reached memory immediately")
+	}
+}
+
+// TestRegionWriteThrough: the WT page never owns; every write reaches
+// memory at once.
+func TestRegionWriteThrough(t *testing.T) {
+	_, mem, c := clipperRig(t)
+	// Write miss: non-allocating, straight past the cache.
+	mustWrite(t, c, 0x110, 0, 0xBB)
+	if c.Contains(0x110) {
+		t.Error("non-allocating WT write miss allocated a line")
+	}
+	if mem.Peek(0x110)[0] != 0xBB {
+		t.Error("write-through region write did not reach memory")
+	}
+	// Read allocates V (≡S); the write hit then writes through and
+	// keeps the line valid.
+	if v := mustRead(t, c, 0x110, 0); v != 0xBB {
+		t.Fatalf("read back %#x", v)
+	}
+	if st := c.State(0x110); st != core.Shared {
+		t.Errorf("WT region state %s, want S (V)", st)
+	}
+	mustWrite(t, c, 0x110, 1, 0xBC)
+	if st := c.State(0x110); st != core.Shared {
+		t.Errorf("WT state after hit write %s", st)
+	}
+	if mem.Peek(0x110)[4] != 0xBC {
+		t.Error("WT hit write did not reach memory")
+	}
+}
+
+// TestRegionUncacheable: the uncacheable page is never allocated and
+// does not disturb resident lines.
+func TestRegionUncacheable(t *testing.T) {
+	b, mem, c := clipperRig(t)
+	// Prime the cache with lines mapping to the same sets as 0x200.
+	mustRead(t, c, 0x0, 0)
+	mustRead(t, c, 0x4, 0)
+
+	mustWrite(t, c, 0x200, 0, 0xCC)
+	if c.Contains(0x200) {
+		t.Error("uncacheable write allocated a line")
+	}
+	if mem.Peek(0x200)[0] != 0xCC {
+		t.Error("uncacheable write lost")
+	}
+	before := b.Stats().Reads
+	if v := mustRead(t, c, 0x200, 0); v != 0xCC {
+		t.Errorf("uncacheable read %#x", v)
+	}
+	if c.Contains(0x200) {
+		t.Error("uncacheable read allocated a line")
+	}
+	if b.Stats().Reads != before+1 {
+		t.Error("uncacheable read did not use the bus")
+	}
+	// The resident copy-back lines survived (no victim was taken).
+	if !c.Contains(0x0) || !c.Contains(0x4) {
+		t.Error("uncacheable access evicted resident lines")
+	}
+	// Every uncacheable read goes to the bus again.
+	if _, err := c.ReadWord(0x200, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats().Reads != before+2 {
+		t.Error("second uncacheable read was served locally")
+	}
+}
+
+// TestRegionsCoherentAcrossBoards: a CLIPPER-style cache and a plain
+// MOESI cache share all three regions consistently.
+func TestRegionsCoherentAcrossBoards(t *testing.T) {
+	b, mem, c := clipperRig(t)
+	plain := New(1, b, protocols.MOESI(), smallCfg())
+
+	// Copy-back region: normal MOESI interplay.
+	mustWrite(t, c, 0x20, 0, 1)
+	if v := mustRead(t, plain, 0x20, 0); v != 1 {
+		t.Errorf("copy-back interplay: %d", v)
+	}
+	// WT region: the plain cache's copy is captured/invalidated per
+	// column 9 when the CLIPPER writes through.
+	mustRead(t, plain, 0x120, 0)
+	mustWrite(t, c, 0x120, 0, 2)
+	if plain.Contains(0x120) {
+		t.Error("plain S copy survived a column 9 write-through")
+	}
+	if v := mustRead(t, plain, 0x120, 0); v != 2 {
+		t.Errorf("WT interplay: %d", v)
+	}
+	// Uncacheable region: the plain cache may own the line; the
+	// CLIPPER's uncached read is served by intervention.
+	mustWrite(t, plain, 0x210, 0, 3)
+	if v := mustRead(t, c, 0x210, 0); v != 3 {
+		t.Errorf("uncacheable read through owner: %d", v)
+	}
+	if plain.State(0x210) != core.Modified {
+		t.Errorf("owner state after col 7: %s", plain.State(0x210))
+	}
+	_ = mem
+}
+
+// TestRegionWouldUseBus: the predictor follows the per-region policy.
+func TestRegionWouldUseBus(t *testing.T) {
+	_, _, c := clipperRig(t)
+	mustRead(t, c, 0x110, 0) // WT region, now V
+	if !c.WouldUseBus(0x110, true) {
+		t.Error("WT write predicted silent")
+	}
+	if c.WouldUseBus(0x110, false) {
+		t.Error("WT read hit predicted as bus access")
+	}
+	if !c.WouldUseBus(0x200, false) {
+		t.Error("uncacheable read predicted as hit")
+	}
+}

@@ -1,0 +1,455 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/core"
+)
+
+// SectorCache is the §5.1 sector organisation ([Hill84]): one address
+// tag covers a SECTOR of several transfer sub-sectors, and — exactly as
+// the paper concludes — "consistency status … [is] necessarily
+// associated with the transfer subsector, rather than the address
+// sector". Each sub-sector is one system line: it is fetched,
+// broadcast, invalidated and owned independently, so the snooping side
+// is indistinguishable from a plain cache; what changes is allocation
+// (tags are per sector, so a sector miss evicts a whole resident
+// sector) and tag economy (a quarter of the tags for 4 sub-sectors).
+type SectorCache struct {
+	id     int
+	bus    *bus.Bus
+	policy core.Policy
+	cfg    SectorConfig
+
+	mu    sync.Mutex
+	sets  [][]sectorEntry
+	clock uint64
+	stats SectorStats
+}
+
+// SectorConfig parameterises a sector cache.
+type SectorConfig struct {
+	// Sets and Ways organise the SECTOR directory; capacity is
+	// Sets × Ways × SubSectors × line size.
+	Sets, Ways int
+	// SubSectors is the number of transfer sub-sectors (system lines)
+	// per address sector.
+	SubSectors int
+	// OnWrite is the golden-image hook (see Config.OnWrite).
+	OnWrite func(addr bus.Addr, wordIdx int, val uint32)
+}
+
+// SectorStats counts sector-cache activity.
+type SectorStats struct {
+	Reads, Writes         int64
+	ReadHits, WriteHits   int64
+	SubMisses             int64 // sector present, sub-sector absent
+	SectorMisses          int64 // no tag match: allocate a sector
+	SectorEvictions       int64
+	DirtySubEvictions     int64
+	SnoopHits             int64
+	InvalidationsReceived int64
+	UpdatesReceived       int64
+	InterventionsSupplied int64
+	StallNanos            int64
+}
+
+type sub struct {
+	state core.State
+	data  []byte
+}
+
+type sectorEntry struct {
+	valid   bool
+	tag     uint64 // sector number (line address / SubSectors)
+	subs    []sub
+	lastUse uint64
+}
+
+// NewSector creates a sector cache and attaches it as a snooper.
+func NewSector(id int, b *bus.Bus, policy core.Policy, cfg SectorConfig) *SectorCache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.SubSectors <= 0 {
+		panic(fmt.Sprintf("cache: invalid sector geometry %d×%d×%d", cfg.Sets, cfg.Ways, cfg.SubSectors))
+	}
+	c := &SectorCache{id: id, bus: b, policy: policy, cfg: cfg}
+	c.sets = make([][]sectorEntry, cfg.Sets)
+	for i := range c.sets {
+		ways := make([]sectorEntry, cfg.Ways)
+		for w := range ways {
+			ways[w].subs = make([]sub, cfg.SubSectors)
+		}
+		c.sets[i] = ways
+	}
+	b.Attach(c)
+	return c
+}
+
+// ID returns the bus master id.
+func (c *SectorCache) ID() int { return c.id }
+
+// Stats returns a snapshot of the counters.
+func (c *SectorCache) Stats() SectorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// sectorOf splits a line address into sector number and sub index.
+func (c *SectorCache) sectorOf(addr bus.Addr) (uint64, int) {
+	n := uint64(c.cfg.SubSectors)
+	return uint64(addr) / n, int(uint64(addr) % n)
+}
+
+// lookup finds the resident sector entry for a line address (nil if the
+// sector is absent). Callers hold c.mu.
+func (c *SectorCache) lookup(addr bus.Addr) (*sectorEntry, int) {
+	tag, subIdx := c.sectorOf(addr)
+	set := c.sets[tag%uint64(c.cfg.Sets)]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i], subIdx
+		}
+	}
+	return nil, subIdx
+}
+
+// subState returns the consistency state of a line (Invalid when the
+// sector or sub-sector is absent).
+func (c *SectorCache) subState(addr bus.Addr) core.State {
+	if e, si := c.lookup(addr); e != nil {
+		return e.subs[si].state
+	}
+	return core.Invalid
+}
+
+// State reports the line's state (exported for tests and checkers).
+func (c *SectorCache) State(addr bus.Addr) core.State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.subState(addr)
+}
+
+// ForEachLine visits every valid sub-sector as a line (so the standard
+// consistency checker invariants apply unchanged).
+func (c *SectorCache) ForEachLine(fn func(addr bus.Addr, s core.State, data []byte)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, set := range c.sets {
+		for i := range set {
+			if !set[i].valid {
+				continue
+			}
+			for si := range set[i].subs {
+				s := &set[i].subs[si]
+				if s.state.Valid() {
+					addr := bus.Addr(set[i].tag*uint64(c.cfg.SubSectors) + uint64(si))
+					fn(addr, s.state, append([]byte(nil), s.data...))
+				}
+			}
+		}
+	}
+}
+
+// touch refreshes the sector's LRU position. Callers hold c.mu.
+func (c *SectorCache) touch(e *sectorEntry) {
+	c.clock++
+	e.lastUse = c.clock
+}
+
+// WouldUseBus predicts whether an access would issue a bus transaction
+// (see Cache.WouldUseBus).
+func (c *SectorCache) WouldUseBus(addr bus.Addr, write bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, si := c.lookup(addr)
+	if e == nil || !e.subs[si].state.Valid() {
+		return true
+	}
+	event := core.LocalRead
+	if write {
+		event = core.LocalWrite
+	}
+	action, ok := c.policy.ChooseLocal(e.subs[si].state, event)
+	return !ok || action.NeedsBus()
+}
+
+// ReadWord performs a processor read of one word.
+func (c *SectorCache) ReadWord(addr bus.Addr, wordIdx int) (uint32, error) {
+	if err := c.checkWord(wordIdx); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.stats.Reads++
+	if e, si := c.lookup(addr); e != nil && e.subs[si].state.Valid() {
+		c.stats.ReadHits++
+		c.touch(e)
+		v := word(e.subs[si].data, wordIdx)
+		c.mu.Unlock()
+		return v, nil
+	}
+	c.mu.Unlock()
+
+	c.bus.Acquire()
+	defer c.bus.Release()
+	data, err := c.fillSub(addr, core.LocalRead)
+	if err != nil {
+		return 0, err
+	}
+	return word(data, wordIdx), nil
+}
+
+// WriteWord performs a processor write of one word.
+func (c *SectorCache) WriteWord(addr bus.Addr, wordIdx int, val uint32) error {
+	if err := c.checkWord(wordIdx); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.Writes++
+	if e, si := c.lookup(addr); e != nil && e.subs[si].state.Valid() {
+		action, ok := c.policy.ChooseLocal(e.subs[si].state, core.LocalWrite)
+		if !ok {
+			st := e.subs[si].state
+			c.mu.Unlock()
+			return fmt.Errorf("sector cache %d: no write action for state %s", c.id, st)
+		}
+		if !action.NeedsBus() {
+			e.subs[si].state = action.Next.Resolve(false)
+			putWord(e.subs[si].data, wordIdx, val)
+			c.touch(e)
+			c.stats.WriteHits++
+			c.note(addr, wordIdx, val)
+			c.mu.Unlock()
+			return nil
+		}
+	}
+	c.mu.Unlock()
+
+	c.bus.Acquire()
+	defer c.bus.Release()
+	return c.writeHeld(addr, wordIdx, val)
+}
+
+// writeHeld re-examines and writes with the bus held.
+func (c *SectorCache) writeHeld(addr bus.Addr, wordIdx int, val uint32) error {
+	c.mu.Lock()
+	e, si := c.lookup(addr)
+	if e == nil || !e.subs[si].state.Valid() {
+		c.mu.Unlock()
+		return c.writeMissHeld(addr, wordIdx, val)
+	}
+	state := e.subs[si].state
+	action, ok := c.policy.ChooseLocal(state, core.LocalWrite)
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("sector cache %d: no write action for state %s", c.id, state)
+	}
+	c.stats.WriteHits++
+	if !action.NeedsBus() {
+		e.subs[si].state = action.Next.Resolve(false)
+		putWord(e.subs[si].data, wordIdx, val)
+		c.touch(e)
+		c.note(addr, wordIdx, val)
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+
+	tx := &bus.Transaction{MasterID: c.id, Signals: action.Assert, Addr: addr, Op: action.Op}
+	if action.Op == core.BusWrite {
+		tx.Partial = &bus.PartialWrite{Word: wordIdx, Val: val}
+	}
+	res, err := c.bus.ExecuteHeld(tx)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, si = c.lookup(addr)
+	if e == nil {
+		return fmt.Errorf("sector cache %d: sector of %#x vanished during upgrade", c.id, uint64(addr))
+	}
+	e.subs[si].state = action.Next.Resolve(res.CH)
+	putWord(e.subs[si].data, wordIdx, val)
+	c.touch(e)
+	c.stats.StallNanos += res.Cost
+	c.note(addr, wordIdx, val)
+	return nil
+}
+
+// writeMissHeld handles a write to an absent sub-sector.
+func (c *SectorCache) writeMissHeld(addr bus.Addr, wordIdx int, val uint32) error {
+	action, ok := c.policy.ChooseLocal(core.Invalid, core.LocalWrite)
+	if !ok {
+		return fmt.Errorf("sector cache %d: no write-miss action", c.id)
+	}
+	switch action.Op {
+	case core.BusRead: // read-for-modify
+		if _, err := c.fillSubWith(addr, action); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		e, si := c.lookup(addr)
+		if e == nil {
+			return fmt.Errorf("sector cache %d: RFO fill of %#x vanished", c.id, uint64(addr))
+		}
+		putWord(e.subs[si].data, wordIdx, val)
+		c.touch(e)
+		c.note(addr, wordIdx, val)
+		return nil
+	case core.BusReadThenWrite:
+		if _, err := c.fillSub(addr, core.LocalRead); err != nil {
+			return err
+		}
+		return c.writeHeld(addr, wordIdx, val)
+	case core.BusWrite:
+		// Write past the cache (write-through / non-allocating): a
+		// partial word write, nothing retained.
+		res, err := c.bus.ExecuteHeld(&bus.Transaction{
+			MasterID: c.id,
+			Signals:  action.Assert,
+			Addr:     addr,
+			Op:       core.BusWrite,
+			Partial:  &bus.PartialWrite{Word: wordIdx, Val: val},
+		})
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.stats.StallNanos += res.Cost
+		c.mu.Unlock()
+		c.note(addr, wordIdx, val)
+		return nil
+	default:
+		return fmt.Errorf("sector cache %d: unsupported write-miss op %v", c.id, action.Op)
+	}
+}
+
+// fillSub fetches one sub-sector using the policy's read-miss action.
+func (c *SectorCache) fillSub(addr bus.Addr, event core.LocalEvent) ([]byte, error) {
+	action, ok := c.policy.ChooseLocal(core.Invalid, event)
+	if !ok {
+		return nil, fmt.Errorf("sector cache %d: no miss action", c.id)
+	}
+	return c.fillSubWith(addr, action)
+}
+
+// fillSubWith fetches addr's sub-sector with the bus held: ensure the
+// sector is resident (evicting a victim sector wholesale if needed),
+// then transfer just the one sub-sector.
+func (c *SectorCache) fillSubWith(addr bus.Addr, action core.LocalAction) ([]byte, error) {
+	if action.Op != core.BusRead {
+		return nil, fmt.Errorf("sector cache %d: miss action %s is not a read", c.id, action)
+	}
+	c.mu.Lock()
+	e, _ := c.lookup(addr)
+	if e == nil {
+		c.stats.SectorMisses++
+		c.mu.Unlock()
+		if err := c.allocateSector(addr); err != nil {
+			return nil, err
+		}
+	} else {
+		c.stats.SubMisses++
+		c.mu.Unlock()
+	}
+
+	tx := &bus.Transaction{MasterID: c.id, Signals: action.Assert, Addr: addr, Op: core.BusRead}
+	res, err := c.bus.ExecuteHeld(tx)
+	if err != nil {
+		return nil, err
+	}
+	next := action.Next.Resolve(res.CH)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.StallNanos += res.Cost
+	e, si := c.lookup(addr)
+	if e == nil {
+		return nil, fmt.Errorf("sector cache %d: allocated sector of %#x vanished", c.id, uint64(addr))
+	}
+	e.subs[si].state = next
+	e.subs[si].data = append(e.subs[si].data[:0], res.Data...)
+	c.touch(e)
+	return append([]byte(nil), res.Data...), nil
+}
+
+// allocateSector makes a sector entry resident for addr, evicting the
+// LRU sector of the set if necessary — pushing every owned sub-sector
+// back to memory first (this is the sector organisation's cost: one
+// conflict can write back several lines). Called with the bus held and
+// c.mu unlocked.
+func (c *SectorCache) allocateSector(addr bus.Addr) error {
+	tag, _ := c.sectorOf(addr)
+	c.mu.Lock()
+	set := c.sets[tag%uint64(c.cfg.Sets)]
+	var victim *sectorEntry
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if victim == nil || set[i].lastUse < victim.lastUse {
+			victim = &set[i]
+		}
+	}
+	var pushes []bus.Transaction
+	if victim.valid {
+		c.stats.SectorEvictions++
+		for si := range victim.subs {
+			s := &victim.subs[si]
+			if s.state.OwnedCopy() {
+				flush, ok := c.policy.ChooseLocal(s.state, core.Flush)
+				if !ok {
+					c.mu.Unlock()
+					return fmt.Errorf("sector cache %d: no flush action for state %s", c.id, s.state)
+				}
+				c.stats.DirtySubEvictions++
+				pushes = append(pushes, bus.Transaction{
+					MasterID: c.id,
+					Signals:  flush.Assert,
+					Addr:     bus.Addr(victim.tag*uint64(c.cfg.SubSectors) + uint64(si)),
+					Op:       core.BusWrite,
+					Data:     append([]byte(nil), s.data...),
+				})
+			}
+			s.state = core.Invalid
+		}
+	}
+	victim.valid = true
+	victim.tag = tag
+	for si := range victim.subs {
+		victim.subs[si].state = core.Invalid
+		if victim.subs[si].data == nil {
+			victim.subs[si].data = make([]byte, c.bus.LineSize())
+		}
+	}
+	c.touch(victim)
+	c.mu.Unlock()
+
+	for i := range pushes {
+		res, err := c.bus.ExecuteHeld(&pushes[i])
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.stats.StallNanos += res.Cost
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+func (c *SectorCache) checkWord(wordIdx int) error {
+	if wordIdx < 0 || (wordIdx+1)*4 > c.bus.LineSize() {
+		return fmt.Errorf("sector cache %d: word %d outside %d-byte line", c.id, wordIdx, c.bus.LineSize())
+	}
+	return nil
+}
+
+func (c *SectorCache) note(addr bus.Addr, wordIdx int, val uint32) {
+	if c.cfg.OnWrite != nil {
+		c.cfg.OnWrite(addr, wordIdx, val)
+	}
+}

@@ -1,0 +1,63 @@
+package cache
+
+import (
+	"futurebus/internal/bus"
+	"futurebus/internal/core"
+)
+
+// Update is the sector cache's bus-locked read-modify-write (see
+// Cache.Update): the whole operation is one critical section on the
+// bus arbiter.
+func (c *SectorCache) Update(addr bus.Addr, wordIdx int, f func(uint32) uint32) (old, updated uint32, err error) {
+	if err := c.checkWord(wordIdx); err != nil {
+		return 0, 0, err
+	}
+	c.bus.Acquire()
+	defer c.bus.Release()
+
+	c.mu.Lock()
+	c.stats.Reads++
+	if e, si := c.lookup(addr); e != nil && e.subs[si].state.Valid() {
+		old = word(e.subs[si].data, wordIdx)
+		c.stats.ReadHits++
+		c.touch(e)
+		c.mu.Unlock()
+	} else {
+		c.mu.Unlock()
+		data, ferr := c.fillSub(addr, core.LocalRead)
+		if ferr != nil {
+			return 0, 0, ferr
+		}
+		old = word(data, wordIdx)
+	}
+
+	updated = f(old)
+	c.mu.Lock()
+	c.stats.Writes++
+	c.mu.Unlock()
+	if err := c.writeHeld(addr, wordIdx, updated); err != nil {
+		return 0, 0, err
+	}
+	return old, updated, nil
+}
+
+// FetchAdd atomically adds delta to the word and returns the previous
+// value.
+func (c *SectorCache) FetchAdd(addr bus.Addr, wordIdx int, delta uint32) (uint32, error) {
+	old, _, err := c.Update(addr, wordIdx, func(cur uint32) uint32 { return cur + delta })
+	return old, err
+}
+
+// CompareAndSwap atomically replaces the word with new if it equals
+// old.
+func (c *SectorCache) CompareAndSwap(addr bus.Addr, wordIdx int, old, new uint32) (bool, error) {
+	swapped := false
+	_, _, err := c.Update(addr, wordIdx, func(cur uint32) uint32 {
+		if cur == old {
+			swapped = true
+			return new
+		}
+		return cur
+	})
+	return swapped, err
+}

@@ -1,0 +1,122 @@
+package cache
+
+import (
+	"fmt"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/core"
+)
+
+// The bus side of the sector cache. Consistency state lives on the
+// transfer sub-sector (§5.1), so snooping is line-granular and the
+// policy tables apply unchanged; only the directory lookup differs.
+
+var _ bus.Aborter = (*SectorCache)(nil)
+
+// SnooperID implements bus.Snooper.
+func (c *SectorCache) SnooperID() int { return c.id }
+
+// Query implements bus.Snooper (leaves c.mu held; see bus.Snooper).
+func (c *SectorCache) Query(tx *bus.Transaction) bus.SnoopResponse {
+	c.mu.Lock() // released by Commit or Cancel
+	e, si := c.lookup(tx.Addr)
+	if e == nil || !e.subs[si].state.Valid() {
+		return bus.SnoopResponse{}
+	}
+	if tx.Cmd == bus.CmdClean {
+		if e.subs[si].state.OwnedCopy() {
+			return bus.SnoopResponse{
+				Action: core.SnoopAction{Abort: &core.Recovery{Next: core.Shared, Assert: core.SigCA}},
+				State:  e.subs[si].state,
+				Hit:    true,
+			}
+		}
+		return bus.SnoopResponse{
+			Action: core.SnoopAction{Next: core.Uncond(e.subs[si].state), AssertCH: true},
+			State:  e.subs[si].state,
+			Hit:    true,
+		}
+	}
+	action, ok := c.policy.ChooseSnoop(e.subs[si].state, tx.Event())
+	if !ok {
+		panic(fmt.Sprintf("sector cache %d (%s): illegal bus event col %d in state %s for %s",
+			c.id, c.policy.Name(), tx.Event().Column(), e.subs[si].state, tx))
+	}
+	resp := bus.SnoopResponse{Action: action, State: e.subs[si].state, Hit: true}
+	if action.AssertDI {
+		resp.Line = append([]byte(nil), e.subs[si].data...)
+	}
+	return resp
+}
+
+// Commit implements bus.Snooper.
+func (c *SectorCache) Commit(tx *bus.Transaction, resp bus.SnoopResponse, otherCH bool) {
+	defer c.mu.Unlock()
+	if !resp.Hit {
+		return
+	}
+	e, si := c.lookup(tx.Addr)
+	if e == nil {
+		panic(fmt.Sprintf("sector cache %d: sector of %#x vanished during snoop", c.id, uint64(tx.Addr)))
+	}
+	s := &e.subs[si]
+	action := resp.Action
+	c.stats.SnoopHits++
+
+	if tx.Op == core.BusWrite && (action.AssertDI || action.AssertSL) {
+		if tx.Partial != nil {
+			putWord(s.data, tx.Partial.Word, tx.Partial.Val)
+		} else {
+			copy(s.data, tx.Data)
+		}
+		if !action.AssertDI {
+			c.stats.UpdatesReceived++
+		}
+	}
+	if tx.Op == core.BusRead && action.AssertDI {
+		c.stats.InterventionsSupplied++
+	}
+
+	next := action.Next.Resolve(otherCH)
+	if !next.Valid() {
+		s.state = core.Invalid
+		c.stats.InvalidationsReceived++
+		return
+	}
+	s.state = next
+}
+
+// Cancel implements bus.Snooper.
+func (c *SectorCache) Cancel(tx *bus.Transaction, resp bus.SnoopResponse) {
+	c.mu.Unlock()
+}
+
+// Recover implements bus.Aborter (BS push of one sub-sector).
+func (c *SectorCache) Recover(b *bus.Bus, aborted *bus.Transaction, resp bus.SnoopResponse) error {
+	rec := resp.Action.Abort
+	if rec == nil {
+		return fmt.Errorf("sector cache %d: Recover without an abort action", c.id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, si := c.lookup(aborted.Addr)
+	if e == nil || !e.subs[si].state.OwnedCopy() {
+		return fmt.Errorf("sector cache %d: BS recovery for %#x but sub-sector is not owned", c.id, uint64(aborted.Addr))
+	}
+	res, err := b.ExecuteHeld(&bus.Transaction{
+		MasterID: c.id,
+		Signals:  rec.Assert,
+		Addr:     aborted.Addr,
+		Op:       core.BusWrite,
+		Data:     append([]byte(nil), e.subs[si].data...),
+	})
+	if err != nil {
+		return err
+	}
+	c.stats.StallNanos += res.Cost
+	e.subs[si].state = rec.Next
+	if !e.subs[si].state.Valid() {
+		e.subs[si].state = core.Invalid
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package cache
+
+import (
+	"testing"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/core"
+	"futurebus/internal/memory"
+	"futurebus/internal/protocols"
+)
+
+func sectorRig(t *testing.T) (*bus.Bus, *memory.Memory, *SectorCache, *Cache) {
+	t.Helper()
+	mem := memory.New(testLineSize)
+	b := bus.New(mem, bus.Config{LineSize: testLineSize})
+	sc := NewSector(0, b, protocols.MOESI(), SectorConfig{Sets: 2, Ways: 2, SubSectors: 4})
+	pc := New(1, b, protocols.MOESI(), smallCfg())
+	return b, mem, sc, pc
+}
+
+// TestSectorBasicRW: read/write hits and sub-sector fills.
+func TestSectorBasicRW(t *testing.T) {
+	_, _, sc, _ := sectorRig(t)
+	if err := sc.WriteWord(0, 0, 0x11); err != nil {
+		t.Fatal(err)
+	}
+	v, err := sc.ReadWord(0, 0)
+	if err != nil || v != 0x11 {
+		t.Fatalf("read %#x, %v", v, err)
+	}
+	st := sc.Stats()
+	if st.SectorMisses != 1 || st.ReadHits != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestSectorSubFill: lines of one sector fill independently — the
+// second sub-sector is a SubMiss, not a SectorMiss.
+func TestSectorSubFill(t *testing.T) {
+	b, _, sc, _ := sectorRig(t)
+	if _, err := sc.ReadWord(0, 0); err != nil { // sector miss, fetch sub 0
+		t.Fatal(err)
+	}
+	before := b.Stats().Transactions
+	if _, err := sc.ReadWord(1, 0); err != nil { // same sector, sub 1
+		t.Fatal(err)
+	}
+	if got := b.Stats().Transactions - before; got != 1 {
+		t.Errorf("sub fill used %d transactions", got)
+	}
+	st := sc.Stats()
+	if st.SectorMisses != 1 || st.SubMisses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	// States are per sub-sector: subs 0,1 valid, 2,3 invalid.
+	if sc.State(0) == core.Invalid || sc.State(1) == core.Invalid {
+		t.Error("filled subs invalid")
+	}
+	if sc.State(2) != core.Invalid || sc.State(3) != core.Invalid {
+		t.Error("unfetched subs valid")
+	}
+}
+
+// TestSectorEvictionFlushesDirtySubs: a sector conflict pushes every
+// owned sub-sector.
+func TestSectorEvictionFlushesDirtySubs(t *testing.T) {
+	_, mem, sc, _ := sectorRig(t)
+	// Sector 0 (lines 0-3): dirty two subs.
+	if err := sc.WriteWord(0, 0, 0xA0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.WriteWord(2, 0, 0xA2); err != nil {
+		t.Fatal(err)
+	}
+	// Sectors 2 and 4 map to the same set (Sets=2, sector index = tag%2):
+	// sector tags 0,2,4 are all even → set 0. Two more allocations evict
+	// sector 0.
+	if _, err := sc.ReadWord(8, 0); err != nil { // sector 2
+		t.Fatal(err)
+	}
+	if _, err := sc.ReadWord(16, 0); err != nil { // sector 4
+		t.Fatal(err)
+	}
+	if sc.State(0) != core.Invalid || sc.State(2) != core.Invalid {
+		t.Fatal("sector 0 still resident")
+	}
+	st := sc.Stats()
+	if st.SectorEvictions != 1 || st.DirtySubEvictions != 2 {
+		t.Errorf("stats %+v", st)
+	}
+	if mem.Peek(0)[0] != 0xA0 || mem.Peek(2)[0] != 0xA2 {
+		t.Error("dirty subs not written back")
+	}
+	// Data survives the round trip.
+	if v, err := sc.ReadWord(0, 0); err != nil || v != 0xA0 {
+		t.Fatalf("read back %#x, %v", v, err)
+	}
+}
+
+// TestSectorCoherentWithPlainCache: sub-sector states obey the same
+// protocol as line states — intervention, updates, invalidations all
+// work between a sector cache and a plain cache.
+func TestSectorCoherentWithPlainCache(t *testing.T) {
+	_, _, sc, pc := sectorRig(t)
+
+	// Sector cache dirties a line; plain cache reads it (intervention).
+	if err := sc.WriteWord(1, 0, 0x77); err != nil {
+		t.Fatal(err)
+	}
+	if v := mustRead(t, pc, 1, 0); v != 0x77 {
+		t.Fatalf("plain cache read %#x", v)
+	}
+	if sc.State(1) != core.Owned {
+		t.Errorf("sector sub state %s after supplying", sc.State(1))
+	}
+	if st := sc.Stats(); st.InterventionsSupplied != 1 {
+		t.Errorf("interventions %d", st.InterventionsSupplied)
+	}
+
+	// Plain cache broadcasts a write (MOESI preferred): the sector sub
+	// updates in place.
+	mustWrite(t, pc, 1, 1, 0x88)
+	if v, err := sc.ReadWord(1, 1); err != nil || v != 0x88 {
+		t.Fatalf("sector update lost: %#x, %v", v, err)
+	}
+	if st := sc.Stats(); st.UpdatesReceived != 1 {
+		t.Errorf("updates %d", st.UpdatesReceived)
+	}
+
+	// An RFO from the plain cache invalidates just that sub-sector.
+	if err := sc.WriteWord(2, 0, 1); err != nil { // neighbours stay valid
+		t.Fatal(err)
+	}
+	pcInv := New(2, sc.bus, protocols.MOESIInvalidate(), smallCfg())
+	mustWrite(t, pcInv, 1, 0, 0x99)
+	if sc.State(1) != core.Invalid {
+		t.Errorf("sub 1 state %s after foreign RFO", sc.State(1))
+	}
+	if sc.State(2) == core.Invalid {
+		t.Error("neighbour sub invalidated too — consistency state must be per sub-sector")
+	}
+}
+
+// TestSectorWithConsistencyChecker: the checker invariants hold over a
+// mixed sector/plain system via ForEachLine.
+func TestSectorWithConsistencyChecker(t *testing.T) {
+	_, mem, sc, pc := sectorRig(t)
+	for i := 0; i < 200; i++ {
+		addr := bus.Addr(i % 12)
+		if i%3 == 0 {
+			if err := sc.WriteWord(addr, i%8, uint32(i+1)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := pc.ReadWord(addr, i%8); err != nil {
+				t.Fatal(err)
+			}
+			if i%5 == 0 {
+				mustWrite(t, pc, addr, (i+1)%8, uint32(i+7))
+			}
+		}
+	}
+	// Manual invariant pass: per line, unique ownership and identical
+	// copies between the two organisations.
+	type cp struct {
+		state core.State
+		data  []byte
+	}
+	lines := map[bus.Addr][]cp{}
+	sc.ForEachLine(func(a bus.Addr, s core.State, d []byte) { lines[a] = append(lines[a], cp{s, d}) })
+	pc.ForEachLine(func(a bus.Addr, s core.State, d []byte) { lines[a] = append(lines[a], cp{s, d}) })
+	for addr, copies := range lines {
+		owners := 0
+		for _, c := range copies {
+			if c.state.OwnedCopy() {
+				owners++
+			}
+		}
+		if owners > 1 {
+			t.Errorf("line %#x: %d owners", uint64(addr), owners)
+		}
+		for _, c := range copies[1:] {
+			for i := range c.data {
+				if c.data[i] != copies[0].data[i] {
+					t.Errorf("line %#x: divergent copies", uint64(addr))
+					break
+				}
+			}
+		}
+		if owners == 0 {
+			m := mem.Peek(addr)
+			for i := range m {
+				if copies[0].data[i] != m[i] {
+					t.Errorf("line %#x: unowned copy differs from memory", uint64(addr))
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestSectorCleanCommand: CmdClean pushes an owned sub-sector.
+func TestSectorCleanCommand(t *testing.T) {
+	b, mem, sc, _ := sectorRig(t)
+	if err := sc.WriteWord(3, 0, 0xEE); err != nil {
+		t.Fatal(err)
+	}
+	if err := CleanLine(b, 99, 3); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Peek(3)[0] != 0xEE {
+		t.Error("clean did not flush the sub-sector")
+	}
+	if sc.State(3).OwnedCopy() {
+		t.Errorf("still owned after clean: %s", sc.State(3))
+	}
+}
+
+// TestSectorGeometryPanics: invalid geometry is rejected.
+func TestSectorGeometryPanics(t *testing.T) {
+	mem := memory.New(testLineSize)
+	b := bus.New(mem, bus.Config{LineSize: testLineSize})
+	defer func() {
+		if recover() == nil {
+			t.Error("bad geometry accepted")
+		}
+	}()
+	NewSector(0, b, protocols.MOESI(), SectorConfig{Sets: 1, Ways: 1, SubSectors: 0})
+}

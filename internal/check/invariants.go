@@ -1,0 +1,196 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/core"
+	"futurebus/internal/memory"
+)
+
+// LineSource is any directory the checker can inspect: a plain cache, a
+// sector cache, or a hierarchy bridge store.
+type LineSource interface {
+	ID() int
+	ForEachLine(fn func(addr bus.Addr, s core.State, data []byte))
+}
+
+// Violation is one detected breach of the consistency criterion.
+type Violation struct {
+	Addr   bus.Addr
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("line %#x: %s", uint64(v.Addr), v.Reason)
+}
+
+// copyInfo is one cache's view of a line.
+type copyInfo struct {
+	cacheID int
+	state   core.State
+	data    []byte
+}
+
+// Checker verifies the MOESI invariants over a quiesced system — no
+// transactions may be in flight while Check runs (run it at barriers or
+// after all processors stop).
+type Checker struct {
+	Caches []LineSource
+	Memory *memory.Memory
+	// Shadow, when non-nil, additionally checks the image against the
+	// golden record of every store performed.
+	Shadow *Shadow
+}
+
+// Check runs all invariants and returns every violation found.
+//
+// The invariants, straight from §3.1:
+//
+//  1. Ownership is unique: at most one cache holds a line in M or O
+//     ("all data is said to be owned uniquely either by one and only
+//     one cache or by main memory").
+//  2. Exclusivity is real: if a cache holds a line in M or E, no other
+//     cache holds it at all ("exclusive data is cached data that is
+//     contained in one and only one cache").
+//  3. The image is single-valued: every valid cached copy of a line is
+//     identical (a write either updates or invalidates all other
+//     copies, so divergent copies mean a lost update).
+//  4. Unowned implies memory-valid: if no cache owns the line, memory
+//     holds the image, so every valid copy must match memory. (On the
+//     Futurebus broadcast writes update memory, which is what makes
+//     this stronger-than-Dragon property hold; see §4.2.)
+//  5. E matches memory: "exclusive data must match the copy in main
+//     memory" (§3.1.2).
+//  6. Golden: the image (owner's copy, or memory) equals the value the
+//     program last wrote (Shadow).
+func (c *Checker) Check() []Violation {
+	var out []Violation
+	byLine := make(map[bus.Addr][]copyInfo)
+	for _, ca := range c.Caches {
+		id := ca.ID()
+		ca.ForEachLine(func(addr bus.Addr, s core.State, data []byte) {
+			byLine[addr] = append(byLine[addr], copyInfo{cacheID: id, state: s, data: data})
+		})
+	}
+
+	addrs := make([]bus.Addr, 0, len(byLine))
+	for addr := range byLine {
+		addrs = append(addrs, addr)
+	}
+	if c.Shadow != nil {
+		for _, addr := range c.Shadow.Lines() {
+			if _, ok := byLine[addr]; !ok {
+				addrs = append(addrs, addr)
+			}
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	for _, addr := range addrs {
+		copies := byLine[addr]
+		out = append(out, c.checkLine(addr, copies)...)
+	}
+	return out
+}
+
+func (c *Checker) checkLine(addr bus.Addr, copies []copyInfo) []Violation {
+	var out []Violation
+	bad := func(format string, args ...any) {
+		out = append(out, Violation{Addr: addr, Reason: fmt.Sprintf(format, args...)})
+	}
+
+	var owners, exclusives []copyInfo
+	for _, cp := range copies {
+		if cp.state.OwnedCopy() {
+			owners = append(owners, cp)
+		}
+		if cp.state.ExclusiveCopy() {
+			exclusives = append(exclusives, cp)
+		}
+	}
+
+	// 1. Unique ownership.
+	if len(owners) > 1 {
+		bad("owned by %d caches (%s)", len(owners), describe(owners))
+	}
+	// 2. Real exclusivity.
+	if len(exclusives) > 0 && len(copies) > 1 {
+		bad("cache %d claims exclusivity (%s) but %d caches hold copies",
+			exclusives[0].cacheID, exclusives[0].state.Letter(), len(copies))
+	}
+	// 3. Single-valued image across caches.
+	for _, cp := range copies[min(1, len(copies)):] {
+		if !bytes.Equal(cp.data, copies[0].data) {
+			bad("caches %d and %d hold divergent copies", copies[0].cacheID, cp.cacheID)
+			break
+		}
+	}
+
+	memLine := c.Memory.Peek(addr)
+	// 4. Unowned implies memory-valid.
+	if len(owners) == 0 {
+		for _, cp := range copies {
+			if !bytes.Equal(cp.data, memLine) {
+				bad("no owner, but cache %d (%s) differs from memory", cp.cacheID, cp.state.Letter())
+				break
+			}
+		}
+	}
+	// 5. E matches memory.
+	for _, cp := range copies {
+		if cp.state == core.Exclusive && !bytes.Equal(cp.data, memLine) {
+			bad("cache %d holds E but differs from memory", cp.cacheID)
+		}
+	}
+	// 6. Golden image.
+	if c.Shadow != nil {
+		want := c.Shadow.Line(addr)
+		image := memLine
+		if len(owners) > 0 {
+			image = owners[0].data
+		}
+		if !bytes.Equal(image, want) {
+			bad("image (%s) differs from golden record of writes", imageSource(owners))
+		}
+	}
+	return out
+}
+
+func describe(copies []copyInfo) string {
+	var b bytes.Buffer
+	for i, cp := range copies {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "cache %d=%s", cp.cacheID, cp.state.Letter())
+	}
+	return b.String()
+}
+
+func imageSource(owners []copyInfo) string {
+	if len(owners) == 0 {
+		return "memory"
+	}
+	return fmt.Sprintf("owner cache %d", owners[0].cacheID)
+}
+
+// MustPass runs Check and returns an error summarising any violations.
+func (c *Checker) MustPass() error {
+	vs := c.Check()
+	if len(vs) == 0 {
+		return nil
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "consistency check failed with %d violations:", len(vs))
+	for i, v := range vs {
+		if i == 20 {
+			fmt.Fprintf(&b, "\n  … and %d more", len(vs)-i)
+			break
+		}
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return fmt.Errorf("%s", b.String())
+}

@@ -1,0 +1,76 @@
+// Package check verifies the consistency criterion of the paper at
+// runtime: the shared memory image — "the union of all valid data
+// corresponding to every location of the system address space", equally
+// "the set of all owned data; main memory is the default owner"
+// (§3.1.1, §3.1.3) — must be single-valued and must equal what the
+// program actually wrote.
+package check
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"futurebus/internal/bus"
+)
+
+// Shadow maintains the golden image: the value every line should have
+// according to the writes the processors performed, applied in their
+// global visibility order. Caches and uncached masters report each
+// write through their OnWrite hooks at the moment it becomes visible
+// (under the writer's directory lock or the bus), which is exactly the
+// order the protocols serialise writes in.
+type Shadow struct {
+	lineSize int
+
+	mu     sync.Mutex
+	lines  map[bus.Addr][]byte
+	writes int64
+}
+
+// NewShadow creates a golden image for the given line size. Lines start
+// zeroed, matching main memory at power-on.
+func NewShadow(lineSize int) *Shadow {
+	return &Shadow{lineSize: lineSize, lines: make(map[bus.Addr][]byte)}
+}
+
+// OnWrite records one word store; it has the signature cache.Config's
+// OnWrite hook expects.
+func (s *Shadow) OnWrite(addr bus.Addr, wordIdx int, val uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	line, ok := s.lines[addr]
+	if !ok {
+		line = make([]byte, s.lineSize)
+		s.lines[addr] = line
+	}
+	binary.LittleEndian.PutUint32(line[wordIdx*4:], val)
+	s.writes++
+}
+
+// Line returns the golden value of a line (zeroes if never written).
+func (s *Shadow) Line(addr bus.Addr) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if line, ok := s.lines[addr]; ok {
+		return append([]byte(nil), line...)
+	}
+	return make([]byte, s.lineSize)
+}
+
+// Lines returns the set of line addresses ever written.
+func (s *Shadow) Lines() []bus.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]bus.Addr, 0, len(s.lines))
+	for addr := range s.lines {
+		out = append(out, addr)
+	}
+	return out
+}
+
+// Writes returns the total number of stores recorded.
+func (s *Shadow) Writes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes
+}

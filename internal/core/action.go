@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CondState is a result state that may be conditional on the CH (cache
+// hit) response observed on the bus. The paper writes the conditional
+// form as "CH:O/M", meaning "if CH then O else M" (Notes on Tables).
+type CondState struct {
+	OnCH State // result when some *other* unit asserted CH
+	NoCH State // result when no other unit asserted CH
+}
+
+// Uncond returns an unconditional CondState.
+func Uncond(s State) CondState { return CondState{OnCH: s, NoCH: s} }
+
+// CondCH returns the conditional form "CH:onCH/noCH".
+func CondCH(onCH, noCH State) CondState { return CondState{OnCH: onCH, NoCH: noCH} }
+
+// Conditional reports whether the result depends on CH.
+func (c CondState) Conditional() bool { return c.OnCH != c.NoCH }
+
+// Resolve picks the result state given the observed other-CH value.
+func (c CondState) Resolve(otherCH bool) State {
+	if otherCH {
+		return c.OnCH
+	}
+	return c.NoCH
+}
+
+func (c CondState) String() string {
+	if !c.Conditional() {
+		return c.OnCH.Letter()
+	}
+	return fmt.Sprintf("CH:%s/%s", c.OnCH.Letter(), c.NoCH.Letter())
+}
+
+// BusOp is the data-phase operation a local action issues on the bus.
+type BusOp uint8
+
+const (
+	// BusNone — no bus transaction (a pure local hit).
+	BusNone BusOp = iota
+	// BusRead — issue a read on the bus (the tables' "R").
+	BusRead
+	// BusWrite — issue a write on the bus (the tables' "W").
+	BusWrite
+	// BusAddrOnly — issue an address-only transaction (the column 6
+	// "address only invalidate signal"); no data moves.
+	BusAddrOnly
+	// BusReadThenWrite — the tables' "Read>Write": two transactions, a
+	// read (handled by the protocol's read-miss action) followed by a
+	// write (handled by its write-hit action on the resulting state).
+	BusReadThenWrite
+)
+
+func (o BusOp) String() string {
+	switch o {
+	case BusNone:
+		return ""
+	case BusRead:
+		return "R"
+	case BusWrite:
+		return "W"
+	case BusAddrOnly:
+		return "addr"
+	case BusReadThenWrite:
+		return "Read>Write"
+	}
+	return fmt.Sprintf("BusOp(%d)", uint8(o))
+}
+
+// LocalAction is one alternative in a Table 1 cell: the behaviour of a
+// cache (or cacheless unit) for a local event in a given state.
+type LocalAction struct {
+	// Next is the result state. For BusReadThenWrite it is ignored: the
+	// outcome is determined by the read-miss action followed by the
+	// write-hit action.
+	Next CondState
+	// Assert is the set of master signals (CA, IM, BC) asserted on the
+	// transaction, if any.
+	Assert Signal
+	// BCOptional marks the tables' "BC?": the unit may or may not
+	// broadcast the push; consistency is unaffected either way.
+	BCOptional bool
+	// Op is the bus operation issued (BusNone for silent transitions).
+	Op BusOp
+}
+
+// NeedsBus reports whether the action issues at least one transaction.
+func (a LocalAction) NeedsBus() bool { return a.Op != BusNone }
+
+// String renders the action in the canonical cell syntax used throughout
+// this repository, derived from the paper's: result state, master
+// signals in CA,IM,BC order (with "BC?" for an optional broadcast), then
+// R/W/addr. "Read>Write" renders bare, as in the paper.
+func (a LocalAction) String() string {
+	if a.Op == BusReadThenWrite {
+		return "Read>Write"
+	}
+	parts := []string{a.Next.String()}
+	if a.Assert.Has(SigCA) {
+		parts = append(parts, "CA")
+	}
+	if a.Assert.Has(SigIM) {
+		parts = append(parts, "IM")
+	}
+	if a.Assert.Has(SigBC) {
+		parts = append(parts, "BC")
+	} else if a.BCOptional {
+		parts = append(parts, "BC?")
+	}
+	// The paper writes address-only invalidates with no action letter
+	// ("M,CA,IM"); the asserted IM with no R/W implies it.
+	if a.Op != BusAddrOnly {
+		if s := a.Op.String(); s != "" {
+			parts = append(parts, s)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Recovery is the push a BS-asserting snooper performs after aborting a
+// transaction: it writes the line back (updating main memory, which
+// Futurebus cannot do during a cache-to-cache transfer), enters Next,
+// and the aborted master then retries. The paper writes this
+// "BS;S,CA,W" (Tables 5–7).
+type Recovery struct {
+	// Next is the snooper's state after the push completes.
+	Next State
+	// Assert is the master-signal set of the push transaction (CA when
+	// the snooper keeps its copy).
+	Assert Signal
+}
+
+func (r Recovery) String() string {
+	parts := []string{r.Next.Letter()}
+	if r.Assert.Has(SigCA) {
+		parts = append(parts, "CA")
+	}
+	if r.Assert.Has(SigIM) {
+		parts = append(parts, "IM")
+	}
+	if r.Assert.Has(SigBC) {
+		parts = append(parts, "BC")
+	}
+	parts = append(parts, "W")
+	return strings.Join(parts, ",")
+}
+
+// SnoopAction is one alternative in a Table 2 cell: the behaviour of a
+// snooping cache for a bus event in a given state.
+type SnoopAction struct {
+	// Next is the snooper's result state; it may be CH-conditional
+	// (e.g. an Owned snooper on column 7 resolves CH:O/M by listening
+	// for CH from *other* caches — §3.2.2).
+	Next CondState
+	// AssertCH: the snooper asserts CH ("I will retain a copy").
+	AssertCH bool
+	// CHDontCare marks the tables' "CH?": no other unit is listening,
+	// so the value is immaterial. The implementation does not assert.
+	CHDontCare bool
+	// AssertDI: the snooper owns the line and preempts memory —
+	// supplying the data on a read, capturing it on a write.
+	AssertDI bool
+	// AssertSL: the snooper connects on a broadcast transfer and
+	// updates its copy with the written data.
+	AssertSL bool
+	// Abort, when non-nil, asserts BS: the transaction is aborted, the
+	// snooper performs the Recovery push, and the master retries. Only
+	// the adapted Write-Once/Illinois/Firefly protocols use this.
+	Abort *Recovery
+}
+
+// String renders the action in canonical cell syntax: for plain actions,
+// result state then CH/CH?/DI/SL in that fixed order; for aborts,
+// "BS;" followed by the recovery push.
+func (a SnoopAction) String() string {
+	if a.Abort != nil {
+		return "BS;" + a.Abort.String()
+	}
+	parts := []string{a.Next.String()}
+	if a.AssertCH {
+		parts = append(parts, "CH")
+	} else if a.CHDontCare {
+		parts = append(parts, "CH?")
+	}
+	if a.AssertDI {
+		parts = append(parts, "DI")
+	}
+	if a.AssertSL {
+		parts = append(parts, "SL")
+	}
+	return strings.Join(parts, ",")
+}
+
+// equalSnoop compares two snoop actions for semantic equality. CHDontCare
+// matches any CH behaviour on the other side only when strict is false.
+func equalSnoop(a, b SnoopAction, strict bool) bool {
+	if (a.Abort == nil) != (b.Abort == nil) {
+		return false
+	}
+	if a.Abort != nil {
+		return *a.Abort == *b.Abort
+	}
+	if a.Next != b.Next || a.AssertDI != b.AssertDI || a.AssertSL != b.AssertSL {
+		return false
+	}
+	if strict {
+		return a.AssertCH == b.AssertCH && a.CHDontCare == b.CHDontCare
+	}
+	if a.CHDontCare || b.CHDontCare {
+		return true
+	}
+	return a.AssertCH == b.AssertCH
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestCondStateResolve pins the paper's conditional notation:
+// CH:O/M = "if CH then O else M".
+func TestCondStateResolve(t *testing.T) {
+	c := CondCH(Owned, Modified)
+	if c.Resolve(true) != Owned || c.Resolve(false) != Modified {
+		t.Errorf("CH:O/M resolves to %s/%s", c.Resolve(true), c.Resolve(false))
+	}
+	if c.String() != "CH:O/M" {
+		t.Errorf("renders %q", c.String())
+	}
+	u := Uncond(Shared)
+	if u.Conditional() || u.Resolve(true) != Shared || u.String() != "S" {
+		t.Errorf("unconditional S misbehaves: %v", u)
+	}
+}
+
+// TestLocalActionRendering pins the canonical cell syntax against the
+// paper's cells.
+func TestLocalActionRendering(t *testing.T) {
+	cases := map[string]LocalAction{
+		"M":                 {Next: Uncond(Modified)},
+		"CH:O/M,CA,IM,BC,W": {Next: CondCH(Owned, Modified), Assert: SigCA | SigIM | SigBC, Op: BusWrite},
+		"M,CA,IM":           {Next: Uncond(Modified), Assert: SigCA | SigIM, Op: BusAddrOnly},
+		"E,CA,BC?,W":        {Next: Uncond(Exclusive), Assert: SigCA, BCOptional: true, Op: BusWrite},
+		"I,BC?,W":           {Next: Uncond(Invalid), BCOptional: true, Op: BusWrite},
+		"CH:S/E,CA,R":       {Next: CondCH(Shared, Exclusive), Assert: SigCA, Op: BusRead},
+		"I,R":               {Next: Uncond(Invalid), Op: BusRead},
+		"S,IM,BC,W":         {Next: Uncond(Shared), Assert: SigIM | SigBC, Op: BusWrite},
+		"Read>Write":        {Op: BusReadThenWrite},
+	}
+	for want, action := range cases {
+		if got := action.String(); got != want {
+			t.Errorf("action renders %q, want %q", got, want)
+		}
+		parsed, err := ParseLocalAction(want)
+		if err != nil {
+			t.Errorf("ParseLocalAction(%q): %v", want, err)
+			continue
+		}
+		if parsed.String() != want {
+			t.Errorf("parse-render of %q gave %q", want, parsed.String())
+		}
+	}
+}
+
+// TestSnoopActionRendering pins snoop cells including the abort form.
+func TestSnoopActionRendering(t *testing.T) {
+	cases := map[string]SnoopAction{
+		"O,CH,DI":   {Next: Uncond(Owned), AssertCH: true, AssertDI: true},
+		"I,DI":      {Next: Uncond(Invalid), AssertDI: true},
+		"M,CH?,DI":  {Next: Uncond(Modified), CHDontCare: true, AssertDI: true},
+		"CH:O/M,DI": {Next: CondCH(Owned, Modified), AssertDI: true},
+		"S,CH,SL":   {Next: Uncond(Shared), AssertCH: true, AssertSL: true},
+		"I":         {Next: Uncond(Invalid)},
+		"BS;S,CA,W": {Abort: &Recovery{Next: Shared, Assert: SigCA}},
+		"BS;E,CA,W": {Abort: &Recovery{Next: Exclusive, Assert: SigCA}},
+	}
+	for want, action := range cases {
+		if got := action.String(); got != want {
+			t.Errorf("snoop action renders %q, want %q", got, want)
+		}
+		parsed, err := ParseSnoopAction(want)
+		if err != nil {
+			t.Errorf("ParseSnoopAction(%q): %v", want, err)
+			continue
+		}
+		if parsed.String() != want {
+			t.Errorf("parse-render of %q gave %q", want, parsed.String())
+		}
+	}
+}
+
+// TestParseCells covers multi-alternative cells and the dash.
+func TestParseCells(t *testing.T) {
+	alts, err := ParseLocalCell("CH:O/M,CA,IM,BC,W or M,CA,IM")
+	if err != nil || len(alts) != 2 {
+		t.Fatalf("ParseLocalCell: %v, %d alternatives", err, len(alts))
+	}
+	if alts[0].Op != BusWrite || alts[1].Op != BusAddrOnly {
+		t.Errorf("alternatives parsed wrong: %v", alts)
+	}
+	if alts, err := ParseLocalCell("-"); err != nil || alts != nil {
+		t.Errorf("dash cell: %v, %v", alts, err)
+	}
+	if alts, err := ParseSnoopCell("S,CH,SL or I"); err != nil || len(alts) != 2 {
+		t.Errorf("snoop cell: %v, %v", alts, err)
+	}
+	if _, err := ParseLocalCell("Q,CA"); err == nil {
+		t.Error("junk state accepted")
+	}
+	if _, err := ParseSnoopCell("S,XX"); err == nil {
+		t.Error("junk token accepted")
+	}
+}
+
+// genLocalAction builds random-but-well-formed local actions for the
+// round-trip property.
+func genLocalAction(r *rand.Rand) LocalAction {
+	if r.Intn(8) == 0 {
+		return LocalAction{Op: BusReadThenWrite}
+	}
+	states := []State{Modified, Owned, Exclusive, Shared, Invalid}
+	a := LocalAction{
+		Next: CondState{
+			OnCH: states[r.Intn(len(states))],
+			NoCH: states[r.Intn(len(states))],
+		},
+	}
+	if r.Intn(2) == 0 {
+		a.Assert |= SigCA
+	}
+	switch r.Intn(4) {
+	case 0:
+		a.Op = BusNone
+	case 1:
+		a.Op = BusRead
+	case 2:
+		a.Op = BusWrite
+	case 3:
+		a.Assert |= SigIM
+		a.Op = BusAddrOnly
+	}
+	if a.Op == BusWrite && r.Intn(2) == 0 {
+		a.Assert |= SigIM
+	}
+	switch {
+	case a.Op == BusWrite && r.Intn(3) == 0:
+		a.Assert |= SigBC
+	case a.Op == BusWrite && r.Intn(3) == 0:
+		a.BCOptional = true
+	}
+	return a
+}
+
+// TestLocalActionRoundTripProperty: String∘Parse is the identity on
+// well-formed actions.
+func TestLocalActionRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := genLocalAction(r)
+		parsed, err := ParseLocalAction(a.String())
+		if err != nil {
+			t.Fatalf("ParseLocalAction(%q): %v", a.String(), err)
+		}
+		if parsed.String() != a.String() {
+			t.Fatalf("round trip %q -> %q", a.String(), parsed.String())
+		}
+	}
+}
+
+// TestSnoopEqualSemantics: CHDontCare matches any CH behaviour when not
+// strict.
+func TestSnoopEqualSemantics(t *testing.T) {
+	dontCare := SnoopAction{Next: Uncond(Modified), CHDontCare: true, AssertDI: true}
+	asserts := SnoopAction{Next: Uncond(Modified), AssertCH: true, AssertDI: true}
+	silent := SnoopAction{Next: Uncond(Modified), AssertDI: true}
+	if !equalSnoop(dontCare, asserts, false) || !equalSnoop(dontCare, silent, false) {
+		t.Error("CH? should match both CH behaviours loosely")
+	}
+	if equalSnoop(dontCare, asserts, true) {
+		t.Error("strict comparison should distinguish CH? from CH")
+	}
+	other := SnoopAction{Next: Uncond(Owned), AssertDI: true}
+	if equalSnoop(dontCare, other, false) {
+		t.Error("different result states must not match")
+	}
+}
+
+// TestBusOpStrings keeps the data-phase notation stable.
+func TestBusOpStrings(t *testing.T) {
+	want := map[BusOp]string{
+		BusNone: "", BusRead: "R", BusWrite: "W",
+		BusAddrOnly: "addr", BusReadThenWrite: "Read>Write",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d renders %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+// TestRecoveryValue ensures Recovery compares by value (used by the
+// validator's equality checks).
+func TestRecoveryValue(t *testing.T) {
+	a := Recovery{Next: Shared, Assert: SigCA}
+	b := Recovery{Next: Shared, Assert: SigCA}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical recoveries not equal")
+	}
+}
+
+// TestCondStateQuick: Resolve is consistent with the pair.
+func TestCondStateQuick(t *testing.T) {
+	f := func(on, no uint8) bool {
+		c := CondState{OnCH: State(on % 5), NoCH: State(no % 5)}
+		return c.Resolve(true) == c.OnCH && c.Resolve(false) == c.NoCH &&
+			c.Conditional() == (c.OnCH != c.NoCH)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

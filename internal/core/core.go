@@ -1,0 +1,25 @@
+// Package core implements the primary contribution of Sweazey & Smith
+// (ISCA 1986): the MOESI model of cache-line states and the class of
+// compatible cache consistency protocols supported by the IEEE Futurebus.
+//
+// The package defines:
+//
+//   - the five MOESI states and the three attributes that generate them
+//     (validity, exclusiveness, ownership — Figure 3 of the paper);
+//   - the consistency signal lines a bus master and the responding units
+//     assert (CA, IM, BC and CH, DI, SL, BS — §3.2);
+//   - local events (read, write, pass, flush) and the six bus-event
+//     columns of Table 2, classified from the (CA, IM, BC) triple;
+//   - actions: the result state (possibly conditional on the CH response),
+//     the signals asserted, and the bus operation issued;
+//   - the protocol class itself: for every (state, event) pair, the full
+//     set of actions any compatible board may choose (Tables 1 and 2,
+//     including the write-through and non-caching rows and the
+//     relaxations of notes 9–12);
+//   - a validator that decides whether a concrete protocol table is a
+//     member of the class, and whether it needs the BS (busy) extension.
+//
+// Everything else in this repository — the Futurebus substrate, caches,
+// concrete protocols, the simulator — is built on the vocabulary defined
+// here.
+package core

@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"fmt"
+
+	"futurebus/internal/core"
+)
+
+// ExampleStateFromAttributes shows the Figure 3 taxonomy: three
+// attributes generate the five MOESI states.
+func ExampleStateFromAttributes() {
+	fmt.Println(core.StateFromAttributes(true, true, true))   // valid, exclusive, owned
+	fmt.Println(core.StateFromAttributes(true, false, true))  // valid, shared, owned
+	fmt.Println(core.StateFromAttributes(true, true, false))  // valid, exclusive, unowned
+	fmt.Println(core.StateFromAttributes(true, false, false)) // valid, shared, unowned
+	fmt.Println(core.StateFromAttributes(false, true, true))  // invalidity wins
+	// Output:
+	// Modified
+	// Owned
+	// Exclusive
+	// Shared
+	// Invalid
+}
+
+// ExampleValidate reproduces the paper's §4 verdicts for Berkeley and
+// Illinois.
+func ExampleValidate() {
+	fmt.Println(core.Validate(core.PaperTable3(), core.CopyBack).Verdict)
+	fmt.Println(core.Validate(core.PaperTable6(), core.CopyBack).Verdict)
+	// Output:
+	// in class
+	// in class with BS extension
+}
+
+// ExampleParseLocalAction parses a Table 1 cell into its parts.
+func ExampleParseLocalAction() {
+	a, _ := core.ParseLocalAction("CH:O/M,CA,IM,BC,W")
+	fmt.Println(a.Next.Resolve(true), a.Next.Resolve(false), a.Assert, a.Op)
+	// Output:
+	// Owned Modified CA,IM,BC W
+}
+
+// ExampleClassifyBusEvent maps a master's signals to the Table 2 column
+// snoopers consult.
+func ExampleClassifyBusEvent() {
+	fmt.Println(core.ClassifyBusEvent(core.SigCA | core.SigIM).Column())
+	fmt.Println(core.ClassifyBusEvent(0).Column())
+	// Output:
+	// 6
+	// 7
+}
+
+// ExampleLocalChoicesFor lists the class's write-miss options for a
+// copy-back cache — the Table 1 "I, Write" cell.
+func ExampleLocalChoicesFor() {
+	for _, a := range core.LocalChoicesFor(core.Invalid, core.LocalWrite, core.CopyBack) {
+		fmt.Println(a)
+	}
+	// Output:
+	// M,CA,IM,R
+	// Read>Write
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLocalAction: the parser never panics, and whatever it
+// accepts round-trips through String.
+func FuzzParseLocalAction(f *testing.F) {
+	for _, seed := range []string{
+		"M", "CH:O/M,CA,IM,BC,W", "M,CA,IM", "E,CA,BC?,W", "I,BC?,W",
+		"CH:S/E,CA,R", "I,R", "Read>Write", "S,IM,W", "", "-", "CH:/",
+		"M,CA,CA", "CH:X/Y", "M,,W",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, cell string) {
+		a, err := ParseLocalAction(cell)
+		if err != nil {
+			return
+		}
+		rendered := a.String()
+		b, err := ParseLocalAction(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", cell, rendered, err)
+		}
+		if b.String() != rendered {
+			t.Fatalf("rendering not a fixed point: %q -> %q", rendered, b.String())
+		}
+	})
+}
+
+// FuzzParseSnoopAction: same for snoop cells, including the BS form.
+func FuzzParseSnoopAction(f *testing.F) {
+	for _, seed := range []string{
+		"O,CH,DI", "I,DI", "M,CH?,DI", "CH:O/M,DI", "S,CH,SL", "I",
+		"BS;S,CA,W", "BS;E,CA,W", "BS;", "BS;Q", "S,CH,CH?", "",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, cell string) {
+		a, err := ParseSnoopAction(cell)
+		if err != nil {
+			return
+		}
+		rendered := a.String()
+		b, err := ParseSnoopAction(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", cell, rendered, err)
+		}
+		if b.String() != rendered {
+			t.Fatalf("rendering not a fixed point: %q -> %q", rendered, b.String())
+		}
+	})
+}
+
+// FuzzParseCells: multi-alternative cells with "or" separators never
+// panic and keep alternative count consistent with the separators.
+func FuzzParseCells(f *testing.F) {
+	f.Add("CH:O/M,CA,IM,BC,W or M,CA,IM")
+	f.Add("S,CH,SL or I")
+	f.Add("- or -")
+	f.Add("M or")
+	f.Fuzz(func(t *testing.T, cell string) {
+		if alts, err := ParseLocalCell(cell); err == nil && len(alts) > strings.Count(cell, " or ")+1 {
+			t.Fatalf("%q: %d alternatives from %d separators", cell, len(alts), strings.Count(cell, " or "))
+		}
+		if alts, err := ParseSnoopCell(cell); err == nil && len(alts) > strings.Count(cell, " or ")+1 {
+			t.Fatalf("%q: %d snoop alternatives", cell, len(alts))
+		}
+	})
+}

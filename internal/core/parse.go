@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseCondState parses "M", "S", … or the conditional "CH:O/M" form.
+func ParseCondState(s string) (CondState, error) {
+	if rest, ok := strings.CutPrefix(s, "CH:"); ok {
+		on, no, ok := strings.Cut(rest, "/")
+		if !ok {
+			return CondState{}, fmt.Errorf("core: malformed conditional state %q", s)
+		}
+		onState, err := ParseState(on)
+		if err != nil {
+			return CondState{}, err
+		}
+		noState, err := ParseState(no)
+		if err != nil {
+			return CondState{}, err
+		}
+		return CondCH(onState, noState), nil
+	}
+	st, err := ParseState(s)
+	if err != nil {
+		return CondState{}, err
+	}
+	return Uncond(st), nil
+}
+
+// ParseLocalAction parses one alternative of a Table 1 cell in canonical
+// syntax, e.g. "CH:O/M,CA,IM,BC,W", "M,CA,IM", "E,CA,BC?,W",
+// "Read>Write".
+func ParseLocalAction(cell string) (LocalAction, error) {
+	cell = strings.TrimSpace(cell)
+	if cell == "Read>Write" {
+		return LocalAction{Op: BusReadThenWrite}, nil
+	}
+	parts := strings.Split(cell, ",")
+	next, err := ParseCondState(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return LocalAction{}, fmt.Errorf("core: local action %q: %w", cell, err)
+	}
+	a := LocalAction{Next: next}
+	for _, p := range parts[1:] {
+		switch strings.TrimSpace(p) {
+		case "CA":
+			a.Assert |= SigCA
+		case "IM":
+			a.Assert |= SigIM
+		case "BC":
+			a.Assert |= SigBC
+		case "BC?":
+			a.BCOptional = true
+		case "R":
+			a.Op = BusRead
+		case "W":
+			a.Op = BusWrite
+		case "addr":
+			a.Op = BusAddrOnly
+		default:
+			return LocalAction{}, fmt.Errorf("core: local action %q: unknown token %q", cell, p)
+		}
+	}
+	// An asserted IM with no data phase is the paper's address-only
+	// invalidate (a column 6 transaction without R or W).
+	if a.Op == BusNone && a.Assert&SigIM != 0 {
+		a.Op = BusAddrOnly
+	}
+	return a, nil
+}
+
+// ParseSnoopAction parses one alternative of a Table 2 cell in canonical
+// syntax, e.g. "O,CH,DI", "M,CH?,DI", "S,SL,CH" (order of response
+// tokens is accepted loosely), or the abort form "BS;S,CA,W".
+func ParseSnoopAction(cell string) (SnoopAction, error) {
+	cell = strings.TrimSpace(cell)
+	if rest, ok := strings.CutPrefix(cell, "BS;"); ok {
+		parts := strings.Split(rest, ",")
+		next, err := ParseState(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return SnoopAction{}, fmt.Errorf("core: snoop abort %q: %w", cell, err)
+		}
+		rec := Recovery{Next: next}
+		for _, p := range parts[1:] {
+			switch strings.TrimSpace(p) {
+			case "CA":
+				rec.Assert |= SigCA
+			case "IM":
+				rec.Assert |= SigIM
+			case "BC":
+				rec.Assert |= SigBC
+			case "W":
+				// the push is always a write; accepted for symmetry
+			default:
+				return SnoopAction{}, fmt.Errorf("core: snoop abort %q: unknown token %q", cell, p)
+			}
+		}
+		return SnoopAction{Abort: &rec}, nil
+	}
+	parts := strings.Split(cell, ",")
+	next, err := ParseCondState(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return SnoopAction{}, fmt.Errorf("core: snoop action %q: %w", cell, err)
+	}
+	a := SnoopAction{Next: next}
+	for _, p := range parts[1:] {
+		switch strings.TrimSpace(p) {
+		case "CH":
+			a.AssertCH = true
+		case "CH?":
+			a.CHDontCare = true
+		case "DI":
+			a.AssertDI = true
+		case "SL":
+			a.AssertSL = true
+		default:
+			return SnoopAction{}, fmt.Errorf("core: snoop action %q: unknown token %q", cell, p)
+		}
+	}
+	return a, nil
+}
+
+// ParseLocalCell parses a full Table 1 cell: alternatives separated by
+// " or ", or "-" for an illegal/undefined case (returns nil).
+func ParseLocalCell(cell string) ([]LocalAction, error) {
+	cell = strings.TrimSpace(cell)
+	if cell == "-" || cell == "—" || cell == "" {
+		return nil, nil
+	}
+	var out []LocalAction
+	for _, alt := range strings.Split(cell, " or ") {
+		a, err := ParseLocalAction(alt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ParseSnoopCell parses a full Table 2 cell, "-" meaning an illegal or
+// unreachable case.
+func ParseSnoopCell(cell string) ([]SnoopAction, error) {
+	cell = strings.TrimSpace(cell)
+	if cell == "-" || cell == "—" || cell == "" {
+		return nil, nil
+	}
+	var out []SnoopAction
+	for _, alt := range strings.Split(cell, " or ") {
+		a, err := ParseSnoopAction(alt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

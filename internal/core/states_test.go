@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestAttributePartition is experiment F3: the three characteristics of
+// Figure 3 (validity, exclusiveness, ownership) generate exactly the
+// five MOESI states — the three invalid combinations collapse to I.
+func TestAttributePartition(t *testing.T) {
+	type combo struct {
+		valid, exclusive, owned bool
+		want                    State
+	}
+	combos := []combo{
+		{true, true, true, Modified},
+		{true, false, true, Owned},
+		{true, true, false, Exclusive},
+		{true, false, false, Shared},
+		{false, false, false, Invalid},
+		{false, true, false, Invalid},
+		{false, false, true, Invalid},
+		{false, true, true, Invalid},
+	}
+	seen := map[State]int{}
+	for _, c := range combos {
+		got := StateFromAttributes(c.valid, c.exclusive, c.owned)
+		if got != c.want {
+			t.Errorf("StateFromAttributes(%t,%t,%t) = %s, want %s",
+				c.valid, c.exclusive, c.owned, got, c.want)
+		}
+		seen[got]++
+	}
+	if len(seen) != 5 {
+		t.Errorf("attributes generate %d states, want 5", len(seen))
+	}
+}
+
+// TestAttributeRoundTrip: reconstructing a state from its own
+// attributes is the identity (the partition is exact).
+func TestAttributeRoundTrip(t *testing.T) {
+	for _, s := range States {
+		got := StateFromAttributes(s.Valid(), s.ExclusiveCopy(), s.OwnedCopy())
+		if got != s {
+			t.Errorf("round trip of %s gave %s", s, got)
+		}
+	}
+}
+
+// TestStatePairs is experiment F4: the four state-pair properties of
+// Figure 4.
+func TestStatePairs(t *testing.T) {
+	// M and O are the intervenient states: the holder is responsible
+	// for the accuracy of the data for the entire system.
+	for _, s := range States {
+		wantIntervenient := s == Modified || s == Owned
+		if s.Intervenient() != wantIntervenient {
+			t.Errorf("%s.Intervenient() = %t", s, s.Intervenient())
+		}
+		// M and E: the only cached copy — the client may modify
+		// without warning anyone.
+		wantSilent := s == Modified || s == Exclusive
+		if s.MayModifySilently() != wantSilent {
+			t.Errorf("%s.MayModifySilently() = %t", s, s.MayModifySilently())
+		}
+		// S and O: non-exclusive copies — modification requires a
+		// broadcast or invalidation.
+		wantAnnounce := s == Shared || s == Owned
+		if s.MustAnnounceWrite() != wantAnnounce {
+			t.Errorf("%s.MustAnnounceWrite() = %t", s, s.MustAnnounceWrite())
+		}
+	}
+	// S and E are both unowned; every valid state is exactly one of
+	// (announce, silent) — the write dichotomy is a partition of the
+	// valid states.
+	for _, s := range States {
+		if !s.Valid() {
+			continue
+		}
+		if s.MayModifySilently() == s.MustAnnounceWrite() {
+			t.Errorf("%s: write dichotomy violated", s)
+		}
+	}
+}
+
+// TestStateNames pins the paper's three equivalent terminologies.
+func TestStateNames(t *testing.T) {
+	cases := []struct {
+		s      State
+		letter string
+		name   string
+		long   string
+	}{
+		{Modified, "M", "Modified", "exclusive modified"},
+		{Owned, "O", "Owned", "shareable modified"},
+		{Exclusive, "E", "Exclusive", "exclusive unmodified"},
+		{Shared, "S", "Shared", "shareable unmodified"},
+		{Invalid, "I", "Invalid", "invalid"},
+	}
+	for _, c := range cases {
+		if c.s.Letter() != c.letter {
+			t.Errorf("%v.Letter() = %q", c.s, c.s.Letter())
+		}
+		if c.s.String() != c.name {
+			t.Errorf("%v.String() = %q", c.s, c.s.String())
+		}
+		if c.s.LongName() != c.long {
+			t.Errorf("%v.LongName() = %q", c.s, c.s.LongName())
+		}
+	}
+}
+
+// TestParseState covers the letters, the write-through V alias, and
+// rejection of junk.
+func TestParseState(t *testing.T) {
+	for _, s := range States {
+		got, err := ParseState(s.Letter())
+		if err != nil || got != s {
+			t.Errorf("ParseState(%q) = %v, %v", s.Letter(), got, err)
+		}
+	}
+	if got, err := ParseState("V"); err != nil || got != Shared {
+		t.Errorf("ParseState(V) = %v, %v; V must alias S (§3.3)", got, err)
+	}
+	for _, junk := range []string{"", "X", "m", "MO"} {
+		if _, err := ParseState(junk); err == nil {
+			t.Errorf("ParseState(%q) succeeded", junk)
+		}
+	}
+}
+
+// TestExclusiveImpliesAloneProperty: quick-check that the attribute
+// predicates are internally consistent for all byte values of State
+// (out-of-range states behave as non-valid garbage, never owned).
+func TestStatePredicatesTotal(t *testing.T) {
+	f := func(raw uint8) bool {
+		s := State(raw % uint8(numStates))
+		// Owned and exclusive imply valid.
+		if (s.OwnedCopy() || s.ExclusiveCopy()) && !s.Valid() {
+			return false
+		}
+		// The write dichotomy covers every valid state exactly once.
+		if s.Valid() && s.MayModifySilently() == s.MustAnnounceWrite() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableCellsAndPreference exercises Set/Get/Preferred.
+func TestTableCellsAndPreference(t *testing.T) {
+	tbl := FullMOESITable("t")
+	alts, _ := ParseLocalCell("CH:O/M,CA,IM,BC,W or M,CA,IM")
+	tbl.SetLocal(Shared, LocalWrite, alts...)
+	if got := tbl.LocalCell(Shared, LocalWrite); got != "CH:O/M,CA,IM,BC,W or M,CA,IM" {
+		t.Errorf("cell renders %q", got)
+	}
+	pref, ok := tbl.PreferredLocal(Shared, LocalWrite)
+	if !ok || pref.String() != "CH:O/M,CA,IM,BC,W" {
+		t.Errorf("preferred = %v, %t", pref, ok)
+	}
+	if _, ok := tbl.PreferredLocal(Exclusive, Pass); ok {
+		t.Error("empty cell returned a preferred action")
+	}
+	if got := tbl.LocalCell(Exclusive, Pass); got != "-" {
+		t.Errorf("empty cell renders %q", got)
+	}
+}
+
+// TestTableDiff: identical tables diff empty; a changed cell is
+// located.
+func TestTableDiff(t *testing.T) {
+	a := PaperTable3()
+	if diffs := a.Diff(PaperTable3()); len(diffs) != 0 {
+		t.Fatalf("self-diff: %v", diffs)
+	}
+	b := PaperTable3()
+	b.SetSnoop(Modified, BusCacheRead, mustSnoop("I,DI"))
+	diffs := a.Diff(b)
+	if len(diffs) != 1 {
+		t.Fatalf("got %d diffs", len(diffs))
+	}
+	if diffs[0].State != Modified || diffs[0].Bus == nil {
+		t.Errorf("diff location wrong: %+v", diffs[0])
+	}
+	if !strings.Contains(diffs[0].String(), "col 5") {
+		t.Errorf("diff description: %s", diffs[0])
+	}
+}
+
+// TestTableClone: mutating a clone leaves the original alone.
+func TestTableClone(t *testing.T) {
+	a := PaperTable4()
+	b := a.Clone()
+	b.SetLocal(Shared, LocalWrite, mustLocal("M,CA,IM"))
+	if a.LocalCell(Shared, LocalWrite) == b.LocalCell(Shared, LocalWrite) {
+		t.Error("clone shares cell storage with original")
+	}
+}
+
+// TestUsesBS distinguishes the adapted protocols.
+func TestUsesBS(t *testing.T) {
+	for _, c := range []struct {
+		table *Table
+		want  bool
+	}{
+		{PaperTable3(), false},
+		{PaperTable4(), false},
+		{PaperTable5(), true},
+		{PaperTable6(), true},
+		{PaperTable7(), true},
+	} {
+		if got := c.table.UsesBS(); got != c.want {
+			t.Errorf("%s UsesBS = %t", c.table.Name, got)
+		}
+	}
+}
+
+// TestReachableStates: Berkeley never reaches E; Write-Once never
+// reaches O; the MOESI paper tables reach everything.
+func TestReachableStates(t *testing.T) {
+	reach := func(tbl *Table) map[State]bool {
+		m := map[State]bool{}
+		for _, s := range tbl.ReachableStates() {
+			m[s] = true
+		}
+		return m
+	}
+	if r := reach(PaperTable3()); r[Exclusive] {
+		t.Error("Berkeley reaches E")
+	}
+	if r := reach(PaperTable5()); r[Owned] {
+		t.Error("Write-Once reaches O")
+	}
+	if r := reach(PaperTable6()); r[Owned] {
+		t.Error("Illinois reaches O")
+	}
+	for _, tbl := range []*Table{PaperTable3(), PaperTable4(), PaperTable5(), PaperTable6(), PaperTable7()} {
+		allowed := map[State]bool{Invalid: true}
+		for _, s := range tbl.States {
+			allowed[s] = true
+		}
+		for _, s := range tbl.ReachableStates() {
+			if !allowed[s] {
+				t.Errorf("%s reaches %s, outside its own state set", tbl.Name, s)
+			}
+		}
+	}
+}
+
+// TestTableRender: the rendering carries the name, every row letter,
+// and a signature cell.
+func TestTableRender(t *testing.T) {
+	out := PaperTable6().Render()
+	for _, want := range []string{"Illinois", "BS;S,CA,W", "CH:S/E,CA,R"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, header, separator, four state rows.
+	if len(lines) != 7 {
+		t.Errorf("got %d lines, want 7:\n%s", len(lines), out)
+	}
+}
+
+// TestTableFromCellsRejectsJunk: malformed specs panic (they are
+// compile-time constants).
+func TestTableFromCellsRejectsJunk(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("malformed cell did not panic")
+		}
+	}()
+	TableFromCells("bad", []State{Modified}, []LocalEvent{LocalRead}, nil,
+		[][]string{{"M,XYZZY"}}, [][]string{{}})
+}
+
+// TestAllTablesRoundTripThroughCells: every paper table survives
+// render→parse→render on every cell — the canonical syntax is a
+// faithful serialisation of the table structures.
+func TestAllTablesRoundTripThroughCells(t *testing.T) {
+	tables := []*Table{
+		PaperTable2(), PaperTable3(), PaperTable4(),
+		PaperTable5(), PaperTable6(), PaperTable7(),
+	}
+	for _, tbl := range tables {
+		for _, s := range tbl.States {
+			for _, e := range tbl.LocalEvents {
+				cell := tbl.LocalCell(s, e)
+				alts, err := ParseLocalCell(cell)
+				if err != nil {
+					t.Fatalf("%s (%s,%s): %v", tbl.Name, s.Letter(), e, err)
+				}
+				if got := renderLocalCell(alts); got != cell {
+					t.Errorf("%s (%s,%s): %q -> %q", tbl.Name, s.Letter(), e, cell, got)
+				}
+			}
+			for _, e := range tbl.BusEvents {
+				cell := tbl.SnoopCell(s, e)
+				alts, err := ParseSnoopCell(cell)
+				if err != nil {
+					t.Fatalf("%s (%s,col %d): %v", tbl.Name, s.Letter(), e.Column(), err)
+				}
+				if got := renderSnoopCell(alts); got != cell {
+					t.Errorf("%s (%s,col %d): %q -> %q", tbl.Name, s.Letter(), e.Column(), cell, got)
+				}
+			}
+		}
+	}
+}
+
+// TestVariantMarkers pins the Table 1 footnote markers.
+func TestVariantMarkers(t *testing.T) {
+	cases := map[Variant]string{
+		CopyBack:                  "",
+		WriteThrough:              "*",
+		NonCaching:                "**",
+		WriteThrough | NonCaching: "*,**",
+		AnyVariant:                "",
+	}
+	for v, want := range cases {
+		if got := v.Marker(); got != want {
+			t.Errorf("%v.Marker() = %q, want %q", v, got, want)
+		}
+	}
+	if CopyBack.String() != "copy-back" || AnyVariant.String() != "any" {
+		t.Errorf("variant strings: %q %q", CopyBack.String(), AnyVariant.String())
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Membership is the verdict of validating a protocol against the class.
+type Membership uint8
+
+const (
+	// InClass: every action is permitted by Tables 1–2 (with the
+	// relaxations of notes 9–12); the protocol can run unmodified on
+	// the base Futurebus facilities alongside any other member.
+	InClass Membership = iota
+	// RequiresBS: every non-abort action is permitted, but the protocol
+	// asserts BS to abort-and-push, which needs the busy line (§3.2.2);
+	// this is the paper's status for the adapted Illinois protocol.
+	RequiresBS
+	// RequiresAdaptation: the protocol additionally uses one of the §4
+	// adapted local actions (Write-Once's write-through-and-invalidate
+	// "E,CA,IM,W", Firefly's unowned broadcast write
+	// "CH:S/E,CA,IM,BC,W"). Those actions are consistent in a system
+	// where no cache ever holds the O state — true among caches of the
+	// same protocol — but can lose the only up-to-date copy if an
+	// O-state owner from another protocol holds the line, so such
+	// protocols must not share a bus with O-capable boards.
+	RequiresAdaptation
+	// NotInClass: at least one action is outside even the BS-extended,
+	// adaptation-extended class.
+	NotInClass
+)
+
+func (m Membership) String() string {
+	switch m {
+	case InClass:
+		return "in class"
+	case RequiresBS:
+		return "in class with BS extension"
+	case RequiresAdaptation:
+		return "in class with BS extension and §4 adapted actions (protocol-pure systems only)"
+	case NotInClass:
+		return "not in class"
+	}
+	return fmt.Sprintf("Membership(%d)", uint8(m))
+}
+
+// Violation describes one action outside the class.
+type Violation struct {
+	State  State
+	Local  *LocalEvent
+	Bus    *BusEvent
+	Action string
+	Reason string
+}
+
+func (v Violation) String() string {
+	var col string
+	if v.Local != nil {
+		col = v.Local.String()
+	} else {
+		col = fmt.Sprintf("col %d", v.Bus.Column())
+	}
+	return fmt.Sprintf("state %s, %s: action %q: %s", v.State.Letter(), col, v.Action, v.Reason)
+}
+
+// ValidationReport is the full result of validating a protocol table.
+type ValidationReport struct {
+	Protocol string
+	Verdict  Membership
+	UsesBS   bool
+	// AdaptedActions lists §4 adapted actions the protocol uses (empty
+	// for true class members).
+	AdaptedActions []string
+	Violations     []Violation
+}
+
+func (r ValidationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s", r.Protocol, r.Verdict)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return b.String()
+}
+
+// localActionInClass reports whether action is permitted for (s, e) for
+// any client variant in v.
+func localActionInClass(s State, e LocalEvent, a LocalAction, v Variant) bool {
+	for _, ent := range localClass[s][e] {
+		if ent.Variant&v == 0 {
+			continue
+		}
+		if localEqual(ent.Action, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// adaptedLocalActions are the §4 local actions outside Table 1 that the
+// adapted Write-Once and Firefly protocols use. They are consistent
+// only in systems where no cache ever holds the O state (see
+// RequiresAdaptation).
+var adaptedLocalActions = []struct {
+	state  State
+	event  LocalEvent
+	action LocalAction
+	origin string
+}{
+	// Write-Once's first write: write through and invalidate, keeping
+	// the line exclusive and memory valid (§4.3).
+	{Shared, LocalWrite, mustLocal("E,CA,IM,W"), "§4.3 (Write-Once)"},
+	// Firefly's shared write: broadcast without taking ownership — the
+	// Futurebus broadcast updates memory, so the writer stays unowned,
+	// S if anyone kept a copy, E otherwise (§4.5).
+	{Shared, LocalWrite, mustLocal("CH:S/E,CA,IM,BC,W"), "§4.5 (Firefly)"},
+}
+
+// adaptedLocal reports whether a is one of the §4 adapted actions for
+// (s, e), returning its origin.
+func adaptedLocal(s State, e LocalEvent, a LocalAction) (string, bool) {
+	for _, ent := range adaptedLocalActions {
+		if ent.state == s && ent.event == e && localEqual(ent.action, a) {
+			return ent.origin, true
+		}
+	}
+	return "", false
+}
+
+// localEqual compares local actions, treating an entry with BCOptional
+// as matching the candidate with BC asserted, with BC clear, or with the
+// option recorded.
+func localEqual(class, cand LocalAction) bool {
+	if class.Op != cand.Op || class.Next != cand.Next {
+		return false
+	}
+	if class.BCOptional {
+		base := class.Assert &^ SigBC
+		got := cand.Assert &^ SigBC
+		return base == got
+	}
+	return class.Assert == cand.Assert && class.BCOptional == cand.BCOptional
+}
+
+// snoopActionStatus classifies a snoop action for (s, e): InClass,
+// RequiresBS (a legal abort), or NotInClass.
+func snoopActionStatus(s State, e BusEvent, a SnoopAction) (Membership, string) {
+	if a.Abort != nil {
+		return abortStatus(s, e, *a.Abort)
+	}
+	for _, ent := range snoopClass[s][e] {
+		if equalSnoop(ent.Action, a, false) {
+			return InClass, ""
+		}
+	}
+	return NotInClass, "no matching entry in Table 2 (including notes 9 and 11)"
+}
+
+// abortStatus checks a BS abort-and-push against the BS-extended class:
+// only an owner (M or O) may abort, the recovery must write memory
+// up to date, must relinquish ownership (next state unowned — after the
+// push, memory is the owner again), and must assert CA exactly when the
+// snooper keeps a copy.
+func abortStatus(s State, e BusEvent, r Recovery) (Membership, string) {
+	if !s.OwnedCopy() {
+		return NotInClass, "BS abort from an unowned state"
+	}
+	if r.Next.OwnedCopy() {
+		return NotInClass, "BS recovery must pass ownership back to memory"
+	}
+	if r.Next.Valid() != r.Assert.Has(SigCA) {
+		return NotInClass, "BS recovery must assert CA exactly when a copy is retained"
+	}
+	if r.Assert.Has(SigIM) {
+		return NotInClass, "BS recovery push must not assert IM"
+	}
+	switch e {
+	case BusCacheRead, BusCacheRFO, BusPlainRead, BusPlainWrite:
+		return RequiresBS, ""
+	default:
+		return NotInClass, "BS abort is only meaningful on non-broadcast transactions"
+	}
+}
+
+// CheckSnoopAction classifies a single snoop action against the class
+// (including the BS extension) for a (state, bus event) cell. The
+// paranoid bus mode uses it to police every response at runtime.
+func CheckSnoopAction(s State, e BusEvent, a SnoopAction) (Membership, string) {
+	return snoopActionStatus(s, e, a)
+}
+
+// Validate checks every cell of a protocol table against the class and
+// returns the verdict. The variant describes what kind of client the
+// protocol drives (CopyBack for Tables 3–7, WriteThrough or NonCaching
+// for the starred rows of Table 1).
+func Validate(t *Table, variant Variant) ValidationReport {
+	rep := ValidationReport{Protocol: t.Name, Verdict: InClass}
+	for _, s := range t.States {
+		for _, e := range t.LocalEvents {
+			for _, a := range t.Local(s, e) {
+				if localActionInClass(s, e, a, variant) {
+					continue
+				}
+				if origin, ok := adaptedLocal(s, e, a); ok {
+					rep.AdaptedActions = append(rep.AdaptedActions,
+						fmt.Sprintf("state %s, %s: %s (%s)", s.Letter(), e, a, origin))
+					continue
+				}
+				e := e
+				rep.Violations = append(rep.Violations, Violation{
+					State: s, Local: &e, Action: a.String(),
+					Reason: "no matching entry in Table 1 (including notes 9, 10 and 12)",
+				})
+			}
+		}
+		for _, e := range t.BusEvents {
+			for _, a := range t.Snoop(s, e) {
+				status, reason := snoopActionStatus(s, e, a)
+				switch status {
+				case RequiresBS:
+					rep.UsesBS = true
+				case NotInClass:
+					e := e
+					rep.Violations = append(rep.Violations, Violation{
+						State: s, Bus: &e, Action: a.String(), Reason: reason,
+					})
+				}
+			}
+		}
+	}
+	switch {
+	case len(rep.Violations) > 0:
+		rep.Verdict = NotInClass
+	case len(rep.AdaptedActions) > 0:
+		rep.Verdict = RequiresAdaptation
+	case rep.UsesBS:
+		rep.Verdict = RequiresBS
+	}
+	return rep
+}

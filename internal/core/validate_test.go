@@ -1,0 +1,167 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperTableVerdicts is the paper's §4 compatibility analysis as a
+// test: Berkeley and Dragon are class members as printed; Write-Once,
+// Illinois and Firefly need (at least) the BS extension.
+func TestPaperTableVerdicts(t *testing.T) {
+	cases := []struct {
+		table *Table
+		want  Membership
+	}{
+		{PaperTable3(), InClass},            // Berkeley (§4.1)
+		{PaperTable4(), InClass},            // Dragon (§4.2)
+		{PaperTable5(), RequiresAdaptation}, // Write-Once (§4.3)
+		{PaperTable6(), RequiresBS},         // Illinois (§4.4)
+		{PaperTable7(), RequiresAdaptation}, // Firefly (§4.5)
+	}
+	for _, c := range cases {
+		rep := Validate(c.table, CopyBack)
+		if rep.Verdict != c.want {
+			t.Errorf("%s: verdict %s, want %s\n%s", c.table.Name, rep.Verdict, c.want, rep)
+		}
+		if len(rep.Violations) != 0 {
+			t.Errorf("%s: unexpected violations: %s", c.table.Name, rep)
+		}
+	}
+}
+
+// TestMOESIClassTableValidates: the class validated against itself is
+// trivially in class.
+func TestMOESIClassTableValidates(t *testing.T) {
+	tbl := FullMOESITable("class")
+	for _, s := range States {
+		for _, e := range LocalEvents {
+			tbl.SetLocal(s, e, LocalChoicesFor(s, e, CopyBack)...)
+		}
+		for _, e := range BusEvents {
+			tbl.SetSnoop(s, e, SnoopChoices(s, e)...)
+		}
+	}
+	rep := Validate(tbl, CopyBack)
+	if rep.Verdict != InClass {
+		t.Fatalf("class does not validate against itself:\n%s", rep)
+	}
+}
+
+// TestValidateCatchesIllegalLocal: an out-of-class local action is
+// reported with state and event.
+func TestValidateCatchesIllegalLocal(t *testing.T) {
+	tbl := NewTable("broken", []State{Shared}, []LocalEvent{LocalWrite}, nil)
+	// Writing an S line silently (no bus) loses other copies — the
+	// cardinal sin the S/O pair exists to prevent.
+	tbl.SetLocal(Shared, LocalWrite, LocalAction{Next: Uncond(Modified)})
+	rep := Validate(tbl, CopyBack)
+	if rep.Verdict != NotInClass || len(rep.Violations) != 1 {
+		t.Fatalf("silent shared write not caught:\n%s", rep)
+	}
+	if !strings.Contains(rep.Violations[0].String(), "state S") {
+		t.Errorf("violation lacks location: %s", rep.Violations[0])
+	}
+}
+
+// TestValidateCatchesIllegalSnoop: refusing to invalidate on column 6
+// is outside the class.
+func TestValidateCatchesIllegalSnoop(t *testing.T) {
+	tbl := NewTable("broken", []State{Shared}, nil, []BusEvent{BusCacheRFO})
+	tbl.SetSnoop(Shared, BusCacheRFO, SnoopAction{Next: Uncond(Shared), AssertCH: true})
+	rep := Validate(tbl, CopyBack)
+	if rep.Verdict != NotInClass {
+		t.Fatalf("column-6 survival not caught:\n%s", rep)
+	}
+}
+
+// TestAbortRules: the BS-extended class only admits principled aborts.
+func TestAbortRules(t *testing.T) {
+	check := func(s State, e BusEvent, rec Recovery) Membership {
+		tbl := NewTable("t", []State{s}, nil, []BusEvent{e})
+		tbl.SetSnoop(s, e, SnoopAction{Abort: &rec})
+		return Validate(tbl, CopyBack).Verdict
+	}
+	// The real Write-Once/Illinois/Firefly patterns pass.
+	if got := check(Modified, BusCacheRead, Recovery{Next: Shared, Assert: SigCA}); got != RequiresBS {
+		t.Errorf("BS;S,CA,W from M on col 5: %s", got)
+	}
+	if got := check(Modified, BusCacheRead, Recovery{Next: Exclusive, Assert: SigCA}); got != RequiresBS {
+		t.Errorf("BS;E,CA,W from M on col 5: %s", got)
+	}
+	// Aborting from an unowned state is nonsense.
+	if got := check(Shared, BusCacheRead, Recovery{Next: Shared, Assert: SigCA}); got != NotInClass {
+		t.Errorf("BS from S accepted: %s", got)
+	}
+	// The recovery must pass ownership back to memory.
+	if got := check(Modified, BusCacheRead, Recovery{Next: Modified, Assert: SigCA}); got != NotInClass {
+		t.Errorf("ownership-keeping recovery accepted: %s", got)
+	}
+	// CA must match copy retention.
+	if got := check(Modified, BusCacheRead, Recovery{Next: Shared}); got != NotInClass {
+		t.Errorf("copy kept without CA accepted: %s", got)
+	}
+	if got := check(Modified, BusCacheRead, Recovery{Next: Invalid, Assert: SigCA}); got != NotInClass {
+		t.Errorf("CA without copy accepted: %s", got)
+	}
+	// Aborting a broadcast write is not meaningful.
+	if got := check(Modified, BusCacheBroadcastWrite, Recovery{Next: Shared, Assert: SigCA}); got != NotInClass {
+		t.Errorf("BS on col 8 accepted: %s", got)
+	}
+}
+
+// TestAdaptedActionsRecognised: the §4 adapted local actions upgrade
+// the verdict to RequiresAdaptation, not NotInClass.
+func TestAdaptedActionsRecognised(t *testing.T) {
+	tbl := NewTable("wo-write", []State{Shared}, []LocalEvent{LocalWrite}, nil)
+	tbl.SetLocal(Shared, LocalWrite, mustLocal("E,CA,IM,W"))
+	rep := Validate(tbl, CopyBack)
+	if rep.Verdict != RequiresAdaptation {
+		t.Fatalf("Write-Once first write: %s", rep)
+	}
+	if len(rep.AdaptedActions) != 1 || !strings.Contains(rep.AdaptedActions[0], "§4.3") {
+		t.Errorf("adapted actions: %v", rep.AdaptedActions)
+	}
+}
+
+// TestBCOptionalMatching: a concrete BC choice matches a BC? class
+// entry either way.
+func TestBCOptionalMatching(t *testing.T) {
+	for _, cell := range []string{"I,W", "I,BC,W", "I,BC?,W"} {
+		tbl := NewTable("flush", []State{Modified}, []LocalEvent{Flush}, nil)
+		tbl.SetLocal(Modified, Flush, mustLocal(cell))
+		if rep := Validate(tbl, CopyBack); rep.Verdict != InClass {
+			t.Errorf("flush %q rejected:\n%s", cell, rep)
+		}
+	}
+}
+
+// TestMembershipStrings pins the verdict wording used in reports.
+func TestMembershipStrings(t *testing.T) {
+	if InClass.String() != "in class" {
+		t.Error(InClass)
+	}
+	if !strings.Contains(RequiresBS.String(), "BS") {
+		t.Error(RequiresBS)
+	}
+	if !strings.Contains(RequiresAdaptation.String(), "protocol-pure") {
+		t.Error(RequiresAdaptation)
+	}
+	if NotInClass.String() != "not in class" {
+		t.Error(NotInClass)
+	}
+}
+
+// TestWriteThroughRowValidates: the V≡S write-through behaviour of §3.3
+// is a class member under the WriteThrough variant but not under
+// CopyBack (the starred entries).
+func TestWriteThroughRowValidates(t *testing.T) {
+	tbl := NewTable("wt-write", []State{Shared}, []LocalEvent{LocalWrite}, nil)
+	tbl.SetLocal(Shared, LocalWrite, mustLocal("S,IM,W"))
+	if rep := Validate(tbl, WriteThrough); rep.Verdict != InClass {
+		t.Errorf("write-through write rejected for WT variant:\n%s", rep)
+	}
+	if rep := Validate(tbl, CopyBack); rep.Verdict != NotInClass {
+		t.Errorf("starred entry accepted for copy-back variant:\n%s", rep)
+	}
+}

@@ -1,0 +1,66 @@
+package hierarchy
+
+import "futurebus/internal/workload"
+
+// ClusterModel generates one processor's references in a two-level
+// sharing structure: most sharing is with cluster neighbours (the
+// locality a clustered machine is built for), a smaller fraction
+// crosses clusters, and the rest is private.
+type ClusterModel struct {
+	// Cluster and Proc identify the processor.
+	Cluster, Proc int
+	// GlobalSharedLines are shared by every processor in the machine;
+	// ClusterSharedLines by this cluster only; PrivateLines by this
+	// processor only.
+	GlobalSharedLines, ClusterSharedLines, PrivateLines int
+	// PGlobal and PCluster are the probabilities of touching the global
+	// and cluster shared regions (the rest is private).
+	PGlobal, PCluster float64
+	// PWrite is the store probability.
+	PWrite float64
+	// WordsPerLine bounds the word index.
+	WordsPerLine int
+}
+
+type clusterGen struct {
+	m   ClusterModel
+	rng *workload.RNG
+	seq uint32
+}
+
+// Address regions: global shared, per-cluster shared, per-processor
+// private — all disjoint.
+const (
+	globalBase  = uint64(1) << 40
+	clusterBase = uint64(1) << 32
+)
+
+// NewGenerator returns the model's reference stream.
+func (m ClusterModel) NewGenerator(seed uint64) workload.Generator {
+	mix := uint64(m.Cluster)<<16 | uint64(m.Proc)
+	return &clusterGen{m: m, rng: workload.NewRNG(seed ^ mix*0x9e3779b97f4a7c15)}
+}
+
+// Next implements workload.Generator.
+func (g *clusterGen) Next() workload.Ref {
+	m := g.m
+	var line uint64
+	switch r := g.rng.Float64(); {
+	case r < m.PGlobal:
+		line = globalBase + uint64(g.rng.Intn(m.GlobalSharedLines))
+	case r < m.PGlobal+m.PCluster:
+		line = clusterBase + uint64(m.Cluster)<<20 + uint64(g.rng.Intn(m.ClusterSharedLines))
+	default:
+		line = uint64(m.Cluster)<<24 + uint64(m.Proc+1)<<16 + uint64(g.rng.Intn(m.PrivateLines))
+	}
+	ref := workload.Ref{
+		Line:  line,
+		Word:  g.rng.Intn(m.WordsPerLine),
+		Write: g.rng.Bool(m.PWrite),
+	}
+	if ref.Write {
+		g.seq++
+		ref.Val = uint32(m.Cluster)<<28 | uint32(m.Proc)<<24 | g.seq&0xffffff
+	}
+	return ref
+}

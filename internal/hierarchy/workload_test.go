@@ -1,0 +1,93 @@
+package hierarchy
+
+import (
+	"math"
+	"testing"
+)
+
+// TestClusterModelRegions: the three address regions are disjoint and
+// hit with the configured probabilities.
+func TestClusterModelRegions(t *testing.T) {
+	m := ClusterModel{
+		Cluster: 1, Proc: 2,
+		GlobalSharedLines: 8, ClusterSharedLines: 16, PrivateLines: 32,
+		PGlobal: 0.1, PCluster: 0.3, PWrite: 0.25,
+		WordsPerLine: 8,
+	}
+	g := m.NewGenerator(42)
+	const n = 40000
+	var global, cluster, private, writes int
+	for i := 0; i < n; i++ {
+		ref := g.Next()
+		switch {
+		case ref.Line >= globalBase:
+			global++
+			if ref.Line >= globalBase+8 {
+				t.Fatalf("global line out of range: %#x", ref.Line)
+			}
+		case ref.Line >= clusterBase:
+			cluster++
+			if ref.Line < clusterBase+1<<20 || ref.Line >= clusterBase+1<<20+16 {
+				t.Fatalf("cluster line out of range: %#x", ref.Line)
+			}
+		default:
+			private++
+		}
+		if ref.Write {
+			writes++
+			if ref.Val == 0 {
+				t.Fatal("zero write value")
+			}
+		}
+		if ref.Word < 0 || ref.Word >= 8 {
+			t.Fatalf("word out of range: %d", ref.Word)
+		}
+	}
+	if got := float64(global) / n; math.Abs(got-0.1) > 0.01 {
+		t.Errorf("global fraction %.3f", got)
+	}
+	if got := float64(cluster) / n; math.Abs(got-0.3) > 0.015 {
+		t.Errorf("cluster fraction %.3f", got)
+	}
+	if got := float64(writes) / n; math.Abs(got-0.25) > 0.015 {
+		t.Errorf("write fraction %.3f", got)
+	}
+}
+
+// TestClusterModelIsolation: different clusters' cluster-shared and
+// private regions never collide; the global region is common.
+func TestClusterModelIsolation(t *testing.T) {
+	mk := func(cluster, proc int) map[uint64]bool {
+		m := ClusterModel{
+			Cluster: cluster, Proc: proc,
+			GlobalSharedLines: 4, ClusterSharedLines: 8, PrivateLines: 8,
+			PGlobal: 0, PCluster: 0.5, PWrite: 0.2, WordsPerLine: 8,
+		}
+		g := m.NewGenerator(9)
+		seen := map[uint64]bool{}
+		for i := 0; i < 4000; i++ {
+			seen[g.Next().Line] = true
+		}
+		return seen
+	}
+	a := mk(0, 0)
+	b := mk(1, 0)
+	for line := range a {
+		if b[line] {
+			t.Fatalf("clusters share non-global line %#x", line)
+		}
+	}
+	c := mk(0, 1) // same cluster, different proc
+	sharedAny := false
+	for line := range a {
+		if c[line] && line >= clusterBase {
+			sharedAny = true
+		}
+		if c[line] && line < clusterBase {
+			t.Fatalf("private line %#x shared between procs", line)
+		}
+	}
+	if !sharedAny {
+		t.Error("cluster-shared region not shared within the cluster")
+	}
+}

@@ -1,0 +1,65 @@
+package protocols
+
+import (
+	"fmt"
+	"sort"
+
+	"futurebus/internal/core"
+)
+
+// Factory creates a fresh policy instance. Dynamic policies (random,
+// round-robin) carry per-instance state, so every cache gets its own.
+type Factory func() core.Policy
+
+// registry maps protocol names to factories for the command-line tools
+// and the experiment harness.
+var registry = map[string]Factory{
+	"moesi":            MOESI,
+	"moesi-invalidate": MOESIInvalidate,
+	"moesi-update":     MOESIUpdate,
+	"moesi-adaptive":   func() core.Policy { return NewAdaptive() },
+	"berkeley":         Berkeley,
+	"dragon":           Dragon,
+	"write-once":       WriteOnce,
+	"illinois":         Illinois,
+	"synapse":          Synapse,
+	"firefly":          Firefly,
+	"write-through": func() core.Policy {
+		return WriteThrough(WriteThroughConfig{})
+	},
+	"write-through-broadcast": func() core.Policy {
+		return WriteThrough(WriteThroughConfig{Broadcast: true})
+	},
+	"random":      func() core.Policy { return NewRandom(0xf0f0f0f0) },
+	"round-robin": func() core.Policy { return NewRoundRobin() },
+}
+
+// New creates a policy by registry name.
+func New(name string) (core.Policy, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("protocols: unknown protocol %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered protocol names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PureOnly reports whether the named protocol uses §4 adapted actions
+// and must therefore run in a protocol-pure system (never share a bus
+// with O-capable boards). See core.RequiresAdaptation.
+func PureOnly(name string) bool {
+	p, err := New(name)
+	if err != nil {
+		return false
+	}
+	return core.Validate(p.Table(), p.Variant()).Verdict == core.RequiresAdaptation
+}

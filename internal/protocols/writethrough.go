@@ -1,0 +1,77 @@
+package protocols
+
+import "futurebus/internal/core"
+
+// WriteThroughConfig selects the optional behaviours Table 1 offers a
+// write-through cache.
+type WriteThroughConfig struct {
+	// Broadcast: writes assert BC (column 10 — holders may update
+	// themselves) instead of plain IM writes (column 9 — holders must
+	// invalidate).
+	Broadcast bool
+	// Allocate: write misses load the line first ("Read>Write",
+	// Table 1's starred alternative) instead of writing past the cache.
+	Allocate bool
+}
+
+// WriteThrough returns a write-through cache policy (the "*" rows of
+// Table 1). Its two states are V (valid) and I; §3.3 equates V with S —
+// a write-through cache is not capable of ownership, so it can never
+// intervene and must invalidate on any non-broadcast write it snoops
+// (§3.3 point 8).
+func WriteThrough(cfg WriteThroughConfig) core.Policy {
+	name := "write-through"
+	writeHit, writeMiss := "S,IM,W", "I,IM,W"
+	if cfg.Broadcast {
+		name += "-broadcast"
+		writeHit, writeMiss = "S,IM,BC,W", "I,IM,BC,W"
+	}
+	if cfg.Allocate {
+		name += "-allocate"
+		writeMiss = "Read>Write"
+	}
+	snoopWrite := "I"
+	if cfg.Broadcast {
+		// An update-style WT cache keeps its copy live on broadcast
+		// writes; the class permits either.
+		snoopWrite = "S,CH,SL"
+	}
+	states := []core.State{core.Shared, core.Invalid}
+	t := core.TableFromCells(name, states, core.LocalEvents[:], core.BusEvents[:],
+		[][]string{
+			{"S", writeHit, "-", "I"},
+			{"S,CA,R", writeMiss, "-", "-"},
+		},
+		[][]string{
+			{"S,CH", "I", "S,CH", snoopWrite, "I", snoopWrite},
+			{"I", "I", "I", "I", "I", "I"},
+		})
+	return NewPreferred(name, core.WriteThrough, mustInClass(t, core.WriteThrough))
+}
+
+// NonCaching returns the "**" rows of Table 1 as a policy. Dedicated
+// uncached masters (cache.Uncached) hard-code the same two actions; the
+// policy form exists for §3.4's selective use — marking an address
+// region of a CACHED board uncacheable (cache.Region): reads fetch
+// without retaining, writes go past the cache.
+func NonCaching(broadcast bool) core.Policy {
+	t := NonCachingTable(broadcast)
+	return NewPreferred(t.Name, core.NonCaching, t)
+}
+
+// NonCachingTable returns the "**" rows of Table 1: the behaviour of a
+// processor without a cache. It is used for class validation and table
+// regeneration; actual uncached masters (cache.Uncached) hard-code the
+// same two actions and never snoop.
+func NonCachingTable(broadcast bool) *core.Table {
+	write := "I,IM,W"
+	name := "non-caching"
+	if broadcast {
+		write = "I,IM,BC,W"
+		name = "non-caching-broadcast"
+	}
+	states := []core.State{core.Invalid}
+	return core.TableFromCells(name, states, core.LocalEvents[:], nil,
+		[][]string{{"I,R", write, "-", "-"}},
+		[][]string{{}})
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"futurebus/internal/workload"
+)
+
+// DefaultHitLatency is the assumed processor cost of one reference that
+// hits in the cache (nanoseconds) — a 20 MHz-class 1986 processor with
+// a one-cycle cache.
+const DefaultHitLatency = 50
+
+// Engine is the deterministic discrete-event engine: boards execute
+// their reference streams in global simulated-time order, contending
+// for the bus. One run with the same config, generators and seeds is
+// exactly reproducible.
+type Engine struct {
+	Sys  *System
+	Gens []workload.Generator
+	// HitLatency is the per-reference processor time; 0 = default.
+	HitLatency int64
+}
+
+// procEvent is one board's position on the timeline.
+type procEvent struct {
+	time int64
+	proc int
+	seq  int64 // tie-break for determinism
+}
+
+type eventHeap []procEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)           { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)             { *h = append(*h, x.(procEvent)) }
+func (h *eventHeap) Pop() any               { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+func (h eventHeap) top() procEvent          { return h[0] }
+func (h *eventHeap) replaceTop(e procEvent) { (*h)[0] = e; heap.Fix(h, 0) }
+
+// Run executes refsPerProc references on every board and returns the
+// aggregated metrics.
+func (e *Engine) Run(refsPerProc int) (Metrics, error) {
+	if len(e.Gens) != len(e.Sys.Boards) {
+		return Metrics{}, fmt.Errorf("sim: %d generators for %d boards", len(e.Gens), len(e.Sys.Boards))
+	}
+	hit := e.HitLatency
+	if hit == 0 {
+		hit = DefaultHitLatency
+	}
+
+	type procState struct {
+		remaining int
+		pending   *workload.Ref
+		time      int64
+	}
+	procs := make([]procState, len(e.Sys.Boards))
+	h := make(eventHeap, 0, len(procs))
+	var seq int64
+	for i := range procs {
+		procs[i].remaining = refsPerProc
+		h = append(h, procEvent{time: 0, proc: i, seq: seq})
+		seq++
+	}
+	heap.Init(&h)
+
+	var busFreeAt int64
+	var elapsed int64
+	var refs int64
+
+	for len(h) > 0 {
+		ev := h.top()
+		p := &procs[ev.proc]
+		p.time = ev.time
+		if p.pending == nil {
+			r := e.Gens[ev.proc].Next()
+			p.pending = &r
+		}
+		ref := *p.pending
+		board := e.Sys.Boards[ev.proc]
+
+		// Bus accesses are executed in global time order: if the bus
+		// is still busy with an earlier transaction, this board waits
+		// (other boards with earlier clocks run first).
+		if p.time < busFreeAt && board.UsesBusNext(busAddr(ref.Line), ref.Write) {
+			ev.time = busFreeAt
+			h.replaceTop(ev)
+			continue
+		}
+
+		before := board.Stall()
+		var err error
+		if ref.Write {
+			err = board.Write(busAddr(ref.Line), ref.Word, ref.Val)
+		} else {
+			_, err = board.Read(busAddr(ref.Line), ref.Word)
+		}
+		if err != nil {
+			return Metrics{}, fmt.Errorf("sim: board %d ref %s: %w", ev.proc, ref, err)
+		}
+		busCost := board.Stall() - before
+		p.pending = nil
+		p.remaining--
+		refs++
+
+		p.time += hit + busCost
+		if busCost > 0 {
+			busFreeAt = p.time
+		}
+		if p.time > elapsed {
+			elapsed = p.time
+		}
+
+		if p.remaining > 0 {
+			ev.time = p.time
+			ev.seq = seq
+			seq++
+			h.replaceTop(ev)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+
+	return e.metrics(refs, elapsed, hit), nil
+}
+
+func (e *Engine) metrics(refs, elapsed, hit int64) Metrics {
+	return Metrics{
+		System:       e.Sys.Describe(),
+		Procs:        len(e.Sys.Boards),
+		Refs:         refs,
+		ElapsedNanos: elapsed,
+		HitLatency:   hit,
+		Bus:          e.Sys.Bus.Stats(),
+		Memory:       e.Sys.Memory.Stats(),
+		Cache:        aggregate(e.Sys.Caches, e.Sys.SectorCaches),
+	}
+}

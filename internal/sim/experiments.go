@@ -1,0 +1,420 @@
+package sim
+
+import (
+	"fmt"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/workload"
+)
+
+// This file implements the performance experiments P1–P8 of DESIGN.md:
+// the Archibald–Baer-style comparison the paper's §5.2 preference
+// discussion rests on, plus ablations of the design choices the paper
+// calls out. Absolute numbers depend on the Timing model; the
+// experiments report the *shapes* the paper predicts.
+
+// ExperimentOpts sizes an experiment run.
+type ExperimentOpts struct {
+	// RefsPerProc is the reference-stream length per board.
+	RefsPerProc int
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+// DefaultOpts is used by the commands; tests use smaller runs.
+func DefaultOpts() ExperimentOpts { return ExperimentOpts{RefsPerProc: 20000, Seed: 1986} }
+
+// abWorkload builds Archibald–Baer model generators tuned so the
+// private working set mostly fits the default cache (realistic miss
+// ratios) and sharing is controlled by pShared/pWrite.
+func abWorkload(sys *System, pShared, pWrite float64, seed uint64) []workload.Generator {
+	return sys.Generators(func(proc int) workload.Generator {
+		return workload.MustModel(workload.Model{
+			Proc:         proc,
+			SharedLines:  32,
+			PrivateLines: 80,
+			WordsPerLine: sys.WordsPerLine(),
+			PShared:      pShared,
+			PWrite:       pWrite,
+			Locality:     0.5,
+		}, seed)
+	})
+}
+
+// runHomogeneous builds an n-board system of one protocol, runs the AB
+// model, and returns the metrics.
+func runHomogeneous(protocol string, n int, pShared, pWrite float64, opts ExperimentOpts) (Metrics, error) {
+	cfg := Homogeneous(protocol, n)
+	sys, err := New(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	eng := Engine{Sys: sys, Gens: abWorkload(sys, pShared, pWrite, opts.Seed)}
+	m, err := eng.Run(opts.RefsPerProc)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return m, sys.Checker().MustPass()
+}
+
+// ProtocolComparison is experiment P1: every protocol on the
+// Archibald–Baer workload across processor counts — the comparison
+// [Arch85] ran and the paper's preferred-entry choices rest on.
+func ProtocolComparison(protocolNames []string, procCounts []int, opts ExperimentOpts) (*Report, error) {
+	rep := &Report{
+		ID:    "P1",
+		Title: "protocol comparison, Archibald–Baer model (pShared=0.2, pWrite=0.3)",
+		Columns: []string{"protocol", "procs", "miss", "trans/ref", "bytes/ref",
+			"busUtil", "efficiency", "systemPower", "aborts"},
+	}
+	for _, name := range protocolNames {
+		for _, n := range procCounts {
+			m, err := runHomogeneous(name, n, 0.2, 0.3, opts)
+			if err != nil {
+				return nil, fmt.Errorf("P1 %s×%d: %w", name, n, err)
+			}
+			rep.AddRow(name, d(int64(n)), f(m.MissRatio()), f(m.TransPerRef()),
+				f2(m.BytesPerRef()), f(m.BusUtilization()), f(m.Efficiency()),
+				f2(m.SystemPower()), d(m.Bus.Aborts))
+		}
+	}
+	rep.AddNote("expected shape (§5.2/[Arch85]): system power saturates as the bus does; BS-adapted protocols (write-once, illinois, firefly) pay extra for dirty-line transfers; write-through generates the most write traffic")
+	return rep, nil
+}
+
+// UpdateVsInvalidate is experiment P2: the §5.2 observation that
+// broadcasting writes beats invalidation when other caches hold the
+// line. Swept over sharing intensity and on the two structured patterns
+// that separate the strategies hardest.
+func UpdateVsInvalidate(opts ExperimentOpts) (*Report, error) {
+	rep := &Report{
+		ID:      "P2",
+		Title:   "broadcast-update vs invalidate (MOESI preferred vs MOESI-invalidate)",
+		Columns: []string{"workload", "protocol", "miss", "trans/ref", "bytes/ref", "efficiency"},
+	}
+	protos := []string{"moesi", "moesi-invalidate"}
+
+	for _, pShared := range []float64{0.05, 0.2, 0.4} {
+		for _, name := range protos {
+			m, err := runHomogeneous(name, 4, pShared, 0.3, opts)
+			if err != nil {
+				return nil, fmt.Errorf("P2 %s: %w", name, err)
+			}
+			rep.AddRow(fmt.Sprintf("AB pShared=%.2f", pShared), name,
+				f(m.MissRatio()), f(m.TransPerRef()), f2(m.BytesPerRef()), f(m.Efficiency()))
+		}
+	}
+
+	patterns := []struct {
+		name string
+		gen  func(sys *System, proc int) workload.Generator
+	}{
+		{"producer-consumer", func(sys *System, proc int) workload.Generator {
+			return workload.NewProducerConsumer(proc, 16, sys.WordsPerLine(), opts.Seed)
+		}},
+		{"ping-pong", func(sys *System, proc int) workload.Generator {
+			return workload.NewPingPong(proc, 8, sys.WordsPerLine(), opts.Seed)
+		}},
+		{"migratory", func(sys *System, proc int) workload.Generator {
+			return workload.NewMigratory(proc, 4, 16, 24, sys.WordsPerLine(), opts.Seed)
+		}},
+		{"zipf-hotspot", func(sys *System, proc int) workload.Generator {
+			return workload.NewZipf(proc, 64, sys.WordsPerLine(), 1.1, 0.3, opts.Seed)
+		}},
+	}
+	for _, pat := range patterns {
+		for _, name := range protos {
+			sys, err := New(Homogeneous(name, 4))
+			if err != nil {
+				return nil, err
+			}
+			gens := sys.Generators(func(proc int) workload.Generator { return pat.gen(sys, proc) })
+			eng := Engine{Sys: sys, Gens: gens}
+			m, err := eng.Run(opts.RefsPerProc)
+			if err != nil {
+				return nil, fmt.Errorf("P2 %s/%s: %w", pat.name, name, err)
+			}
+			if err := sys.Checker().MustPass(); err != nil {
+				return nil, err
+			}
+			rep.AddRow(pat.name, name, f(m.MissRatio()), f(m.TransPerRef()),
+				f2(m.BytesPerRef()), f(m.Efficiency()))
+		}
+	}
+	rep.AddNote("expected shape: update wins on producer-consumer, ping-pong and the zipf hot spot (hot lines stay resident everywhere, one broadcast word per write); invalidate wins on migratory data (updates to a line the next owner will rewrite are wasted)")
+	return rep, nil
+}
+
+// MixedBus is experiment P3: one bus carrying every true class member
+// plus a write-through cache and an uncached DMA master — §3.4's
+// compatibility claim, measured.
+func MixedBus(opts ExperimentOpts) (*Report, error) {
+	cfg := Config{
+		Boards: []BoardSpec{
+			{Protocol: "moesi"},
+			{Protocol: "moesi-invalidate"},
+			{Protocol: "berkeley"},
+			{Protocol: "dragon"},
+			{Protocol: "write-through"},
+			{Protocol: "random"},
+			{Protocol: "uncached"},
+		},
+		Shadow: true,
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng := Engine{Sys: sys, Gens: abWorkload(sys, 0.3, 0.3, opts.Seed)}
+	m, err := eng.Run(opts.RefsPerProc)
+	if err != nil {
+		return nil, err
+	}
+	consistent := "yes"
+	if err := sys.Checker().MustPass(); err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:      "P3",
+		Title:   "heterogeneous bus: copy-back + write-through + non-caching + random boards",
+		Columns: []string{"mix", "consistent", "miss", "trans/ref", "bytes/ref", "efficiency"},
+	}
+	rep.AddRow(m.System, consistent, f(m.MissRatio()), f(m.TransPerRef()),
+		f2(m.BytesPerRef()), f(m.Efficiency()))
+	rep.AddNote("§3.4: caches of different types coexist on the bus simultaneously; the shared memory image stays single-valued (checker invariants 1–6 all hold)")
+	return rep, nil
+}
+
+// RandomChoice is experiment P4: boards choosing random legal actions
+// on every event remain consistent — the paper's extreme case.
+func RandomChoice(opts ExperimentOpts) (*Report, error) {
+	rep := &Report{
+		ID:      "P4",
+		Title:   "random and round-robin action selection (§3.4 extreme case)",
+		Columns: []string{"mix", "consistent", "miss", "trans/ref", "bytes/ref", "efficiency"},
+	}
+	for _, mix := range [][]BoardSpec{
+		{{Protocol: "random"}, {Protocol: "random"}, {Protocol: "random"}, {Protocol: "random"}},
+		{{Protocol: "round-robin"}, {Protocol: "round-robin"}, {Protocol: "round-robin"}, {Protocol: "round-robin"}},
+		{{Protocol: "random"}, {Protocol: "round-robin"}, {Protocol: "moesi"}, {Protocol: "berkeley"}},
+	} {
+		sys, err := New(Config{Boards: mix, Shadow: true})
+		if err != nil {
+			return nil, err
+		}
+		eng := Engine{Sys: sys, Gens: abWorkload(sys, 0.4, 0.4, opts.Seed)}
+		m, err := eng.Run(opts.RefsPerProc)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Checker().MustPass(); err != nil {
+			return nil, err
+		}
+		rep.AddRow(m.System, "yes", f(m.MissRatio()), f(m.TransPerRef()),
+			f2(m.BytesPerRef()), f(m.Efficiency()))
+	}
+	rep.AddNote("\"it would introduce no errors if a board were to select an action at each instant from the available set using a random number generator or a selection algorithm such as round robin\" — verified against all six invariants; the cost is efficiency, not correctness")
+	return rep, nil
+}
+
+// CopyBackVsWriteThrough is experiment P5: the §3.1 claim (after
+// [Good83], [Smit79]) that copy-back gives the greatest bus-traffic
+// reduction, swept over write ratio.
+func CopyBackVsWriteThrough(opts ExperimentOpts) (*Report, error) {
+	rep := &Report{
+		ID:      "P5",
+		Title:   "copy-back vs write-through bus traffic",
+		Columns: []string{"pWrite", "protocol", "trans/ref", "bytes/ref", "busUtil", "efficiency"},
+	}
+	for _, pWrite := range []float64{0.1, 0.3, 0.5} {
+		for _, name := range []string{"moesi", "write-through", "write-through-broadcast"} {
+			m, err := runHomogeneous(name, 4, 0.2, pWrite, opts)
+			if err != nil {
+				return nil, fmt.Errorf("P5 %s: %w", name, err)
+			}
+			rep.AddRow(fmt.Sprintf("%.1f", pWrite), name, f(m.TransPerRef()),
+				f2(m.BytesPerRef()), f(m.BusUtilization()), f(m.Efficiency()))
+		}
+	}
+	rep.AddNote("expected shape: write-through bus transactions grow linearly with the write ratio (every write is a bus write), copy-back stays near the miss ratio — the reason §3.1 calls copy-back caches the route to \"the best performance and greatest reduction in bus traffic\"")
+	return rep, nil
+}
+
+// ReplacementStatusRefinement is experiment P6: the §5.2 refinement —
+// update recently-used snooped lines, discard ones nearing replacement.
+func ReplacementStatusRefinement(opts ExperimentOpts) (*Report, error) {
+	rep := &Report{
+		ID:      "P6",
+		Title:   "§5.2 refinement: update-if-recent / discard-if-LRU (MOESI vs MOESI-adaptive)",
+		Columns: []string{"protocol", "miss", "updatesReceived", "invalidations", "trans/ref", "bytes/ref", "efficiency"},
+	}
+	for _, name := range []string{"moesi", "moesi-invalidate", "moesi-adaptive"} {
+		m, err := runHomogeneous(name, 4, 0.3, 0.3, opts)
+		if err != nil {
+			return nil, fmt.Errorf("P6 %s: %w", name, err)
+		}
+		rep.AddRow(name, f(m.MissRatio()), d(m.Cache.UpdatesReceived),
+			d(m.Cache.InvalidationsReceived), f(m.TransPerRef()), f2(m.BytesPerRef()), f(m.Efficiency()))
+	}
+	rep.AddNote("the adaptive policy sits between pure update and pure invalidate: live lines keep receiving updates, dying lines stop costing broadcast slots")
+	return rep, nil
+}
+
+// LineSizeSweep is experiment P7: §5.1's standard-line-size discussion;
+// the simulator enforces one system-wide size, and this sweep shows the
+// traffic trade-off a standard must settle.
+func LineSizeSweep(opts ExperimentOpts) (*Report, error) {
+	rep := &Report{
+		ID:      "P7",
+		Title:   "line size sweep (MOESI, constant cache capacity)",
+		Columns: []string{"lineSize", "miss", "trans/ref", "bytes/ref", "busUtil", "efficiency"},
+	}
+	for _, lineSize := range []int{16, 32, 64, 128} {
+		cfg := Homogeneous("moesi", 4)
+		cfg.LineSize = lineSize
+		// Keep capacity constant at 4 KiB per cache.
+		cfg.CacheSets = 4096 / lineSize / 2
+		cfg.CacheWays = 2
+		sys, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// A sequential walk over a shared buffer with sparse writes:
+		// the workload with real spatial locality, so line size
+		// matters — bigger lines amortise misses but widen the
+		// false-sharing blast radius of each write.
+		gens := sys.Generators(func(proc int) workload.Generator {
+			return workload.NewSequential(proc, 4096, sys.WordsPerLine(), 0.05, opts.Seed)
+		})
+		eng := Engine{Sys: sys, Gens: gens}
+		m, err := eng.Run(opts.RefsPerProc)
+		if err != nil {
+			return nil, fmt.Errorf("P7 %d: %w", lineSize, err)
+		}
+		if err := sys.Checker().MustPass(); err != nil {
+			return nil, err
+		}
+		rep.AddRow(d(int64(lineSize)), f(m.MissRatio()), f(m.TransPerRef()),
+			f2(m.BytesPerRef()), f(m.BusUtilization()), f(m.Efficiency()))
+	}
+	rep.AddNote("§5.1: line size must be standardised system-wide (the bus rejects mismatched writes); larger lines cut the miss count on sequential data but move more bytes per miss and widen write sharing — the [Smit85c] trade-off a standard has to pick once for everyone")
+	return rep, nil
+}
+
+// AbortRetryOverhead is experiment P8: the cost of the BS
+// abort-push-retry adaptation versus native DI intervention, measured
+// where it hurts — migratory sharing, where every handoff finds the
+// line dirty in the previous owner's cache.
+func AbortRetryOverhead(opts ExperimentOpts) (*Report, error) {
+	rep := &Report{
+		ID:      "P8",
+		Title:   "BS abort/retry vs DI intervention on migratory sharing",
+		Columns: []string{"protocol", "aborts", "interventions", "trans/ref", "busUtil", "efficiency"},
+	}
+	for _, name := range []string{"moesi-invalidate", "berkeley", "illinois", "synapse", "write-once", "firefly"} {
+		sys, err := New(Homogeneous(name, 4))
+		if err != nil {
+			return nil, err
+		}
+		gens := sys.Generators(func(proc int) workload.Generator {
+			return workload.NewMigratory(proc, 4, 16, 24, sys.WordsPerLine(), opts.Seed)
+		})
+		eng := Engine{Sys: sys, Gens: gens}
+		m, err := eng.Run(opts.RefsPerProc)
+		if err != nil {
+			return nil, fmt.Errorf("P8 %s: %w", name, err)
+		}
+		if err := sys.Checker().MustPass(); err != nil {
+			return nil, err
+		}
+		rep.AddRow(name, d(m.Bus.Aborts), d(m.Cache.InterventionsSupplied),
+			f(m.TransPerRef()), f(m.BusUtilization()), f(m.Efficiency()))
+	}
+	rep.AddNote("expected shape: class members serve dirty misses with one intervened transaction; the adapted protocols abort, push the line to memory, and retry — roughly doubling the bus work per handoff (Futurebus cannot update memory during a cache-to-cache transfer, §4.3–4.5)")
+	return rep, nil
+}
+
+// HandshakePenalty quantifies the §2.2 wired-OR broadcast penalty: the
+// same workload run with and without the 25 ns glitch filter cost.
+func HandshakePenalty(opts ExperimentOpts) (*Report, error) {
+	rep := &Report{
+		ID:      "F1/F2",
+		Title:   "broadcast handshake penalty (wired-OR glitch filter)",
+		Columns: []string{"wiredORPenalty", "busBusy(ns)", "busUtil", "efficiency"},
+	}
+	for _, penalty := range []int64{0, 25, 50} {
+		cfg := Homogeneous("moesi", 4)
+		cfg.Timing = bus.DefaultTiming()
+		cfg.Timing.WiredORPenalty = penalty
+		sys, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng := Engine{Sys: sys, Gens: abWorkload(sys, 0.2, 0.3, opts.Seed)}
+		m, err := eng.Run(opts.RefsPerProc)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(d(penalty), d(m.Bus.BusyNanos), f(m.BusUtilization()), f(m.Efficiency()))
+	}
+	rep.AddNote("\"the exacted penalty on the Futurebus is that broadcast handshaking is 25 nanoseconds slower than single slave transactions. The reward is that broadcast operations are guaranteed to work\" (§2.2)")
+	return rep, nil
+}
+
+// AllExperiments runs the full battery in DESIGN.md order.
+func AllExperiments(opts ExperimentOpts) ([]*Report, error) {
+	var out []*Report
+	p1, err := ProtocolComparison([]string{
+		"moesi", "moesi-invalidate", "moesi-update", "berkeley", "dragon",
+		"illinois", "write-once", "firefly", "synapse", "write-through",
+	}, []int{1, 2, 4, 8, 16}, opts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, p1)
+	for _, run := range []func(ExperimentOpts) (*Report, error){
+		UpdateVsInvalidate, MixedBus, RandomChoice, CopyBackVsWriteThrough,
+		ReplacementStatusRefinement, LineSizeSweep, AbortRetryOverhead,
+		MultiBusScaling, SectorVsPlain, HandshakePenalty, SlowBoardTax,
+	} {
+		rep, err := run(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// SlowBoardTax quantifies the other half of §2.2: a broadcast bus runs
+// every address cycle at the pace of its SLOWEST board ("no matter how
+// new or old, fast or slow, a particular board may be"). The address
+// cost is derived from the simulated Figure 1/2 handshake over the
+// board timings, exactly as bus.Config.Handshake would.
+func SlowBoardTax(opts ExperimentOpts) (*Report, error) {
+	rep := &Report{
+		ID:      "F2b",
+		Title:   "the slow-board tax: address cycles complete at the slowest board's pace",
+		Columns: []string{"slowestBoard(ns)", "addrCycle(ns)", "busBusy(ms)", "efficiency"},
+	}
+	for _, slow := range []int64{90, 200, 400} {
+		hs := bus.DefaultHandshakeConfig()
+		hs.Slaves = append(hs.Slaves, bus.SlaveTiming{AckDelay: 5, ProcessTime: slow})
+		tr := bus.SimulateBroadcastHandshake(hs)
+		cfg := Homogeneous("moesi", 4)
+		cfg.Timing = bus.DefaultTiming()
+		cfg.Timing.AddressCycle = tr.Complete - cfg.Timing.WiredORPenalty
+		sys, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng := Engine{Sys: sys, Gens: abWorkload(sys, 0.2, 0.3, opts.Seed)}
+		m, err := eng.Run(opts.RefsPerProc)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(d(slow), d(tr.Complete), f2(float64(m.Bus.BusyNanos)/1e6), f(m.Efficiency()))
+	}
+	rep.AddNote("one slow board on the backplane raises EVERY unit's address-cycle cost — the price of guaranteed broadcast (§2.2); boards that cannot keep up belong behind a bridge (see P9)")
+	return rep, nil
+}

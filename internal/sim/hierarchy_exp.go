@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+
+	"futurebus/internal/hierarchy"
+	"futurebus/internal/workload"
+)
+
+// MultiBusScaling is experiment P9: the §6 multiple-bus question,
+// answered with the internal/hierarchy two-level tree. A single bus
+// saturates (P1); clustering moves intra-cluster sharing onto local
+// buses and leaves the global bus only the cross-cluster residue. The
+// experiment sweeps cluster shapes at a fixed total processor count and
+// reports how the traffic splits.
+func MultiBusScaling(opts ExperimentOpts) (*Report, error) {
+	rep := &Report{
+		ID:    "P9",
+		Title: "multi-bus hierarchy (§6): traffic split at 16 processors",
+		Columns: []string{"shape", "globalTrans/ref", "localTrans/ref",
+			"globalBusy(ms)", "maxLocalBusy(ms)", "fetches", "absorbs", "clusterInv"},
+	}
+	const totalProcs = 16
+	for _, clusters := range []int{1, 2, 4, 8} {
+		procs := totalProcs / clusters
+		sys, err := hierarchy.New(hierarchy.Config{
+			Clusters:        clusters,
+			ProcsPerCluster: procs,
+			CacheSets:       32,
+			CacheWays:       2,
+			Shadow:          true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gens := make([][]workload.Generator, clusters)
+		for ci := 0; ci < clusters; ci++ {
+			for pi := 0; pi < procs; pi++ {
+				m := hierarchy.ClusterModel{
+					Cluster: ci, Proc: pi,
+					GlobalSharedLines:  16,
+					ClusterSharedLines: 24,
+					PrivateLines:       48,
+					PGlobal:            0.05,
+					PCluster:           0.25,
+					PWrite:             0.3,
+					WordsPerLine:       sys.Global.LineSize() / 4,
+				}
+				gens[ci] = append(gens[ci], m.NewGenerator(opts.Seed))
+			}
+		}
+		refs := opts.RefsPerProc / 4 // the tree executes serially; keep runs bounded
+		if refs < 500 {
+			refs = 500
+		}
+		if err := hierarchy.Run(sys, gens, refs); err != nil {
+			return nil, fmt.Errorf("P9 %d×%d: %w", clusters, procs, err)
+		}
+		st := sys.CollectStats()
+		totalRefs := float64(refs * totalProcs)
+		rep.AddRow(
+			fmt.Sprintf("%d×%d", clusters, procs),
+			f(float64(st.GlobalTransactions)/totalRefs),
+			f(float64(st.LocalTransactions)/totalRefs),
+			f2(float64(st.GlobalBusy)/1e6),
+			f2(float64(st.MaxLocalBusy)/1e6),
+			d(st.GlobalFetches), d(st.Absorbs), d(st.ClusterInvalidations),
+		)
+	}
+	rep.AddNote("shape: with cluster-heavy sharing, the global bus's share of the traffic shrinks as clusters are added — the headroom a multiple-bus Futurebus buys; the 1×16 row is the single-bus baseline (its \"local\" bus is the only bus)")
+	rep.AddNote("consistency is checked at both levels after every run: global MOESI invariants over the bridges, and cluster invariants (no E/M below a bridge, inclusion, bridge currency)")
+	return rep, nil
+}

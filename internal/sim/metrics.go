@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/cache"
+	"futurebus/internal/core"
+	"futurebus/internal/memory"
+)
+
+// Metrics aggregates the result of one simulation run.
+type Metrics struct {
+	// System is the board-mix description.
+	System string
+	// Procs is the number of boards driven.
+	Procs int
+	// Refs is the total references executed.
+	Refs int64
+	// ElapsedNanos is the simulated completion time (the slowest
+	// board's clock in the deterministic engine).
+	ElapsedNanos int64
+	// HitLatency is the per-reference processor cost assumed.
+	HitLatency int64
+	// Bus, Memory and Cache are the substrate counters.
+	Bus    bus.Stats
+	Memory memory.Stats
+	Cache  cache.Stats // summed over all caches
+}
+
+// aggregate sums per-cache stats, folding sector-cache counters into
+// the comparable fields.
+func aggregate(caches []*cache.Cache, sectors []*cache.SectorCache) cache.Stats {
+	var total cache.Stats
+	for _, sc := range sectors {
+		s := sc.Stats()
+		total.Reads += s.Reads
+		total.Writes += s.Writes
+		total.ReadHits += s.ReadHits
+		total.WriteHits += s.WriteHits
+		total.ReadMisses += s.Reads - s.ReadHits
+		total.WriteMisses += s.Writes - s.WriteHits
+		total.SnoopHits += s.SnoopHits
+		total.InvalidationsReceived += s.InvalidationsReceived
+		total.UpdatesReceived += s.UpdatesReceived
+		total.InterventionsSupplied += s.InterventionsSupplied
+		total.StallNanos += s.StallNanos
+	}
+	for _, c := range caches {
+		s := c.Stats()
+		total.Reads += s.Reads
+		total.Writes += s.Writes
+		total.ReadHits += s.ReadHits
+		total.WriteHits += s.WriteHits
+		total.ReadMisses += s.ReadMisses
+		total.WriteMisses += s.WriteMisses
+		total.WriteUpgrades += s.WriteUpgrades
+		total.Passes += s.Passes
+		total.Flushes += s.Flushes
+		total.Replacements += s.Replacements
+		total.DirtyEvictions += s.DirtyEvictions
+		total.SnoopHits += s.SnoopHits
+		total.InvalidationsReceived += s.InvalidationsReceived
+		total.UpdatesReceived += s.UpdatesReceived
+		total.InterventionsSupplied += s.InterventionsSupplied
+		total.WritesCaptured += s.WritesCaptured
+		total.AbortsIssued += s.AbortsIssued
+		total.StallNanos += s.StallNanos
+		for from := range s.Transitions {
+			for to := range s.Transitions[from] {
+				total.Transitions[from][to] += s.Transitions[from][to]
+			}
+		}
+	}
+	return total
+}
+
+// TransitionTable renders the aggregated state-transition counts in
+// M,O,E,S,I order — the instrumentation view of how a protocol actually
+// moves lines around the MOESI diagram.
+func (m Metrics) TransitionTable() string {
+	order := []core.State{core.Modified, core.Owned, core.Exclusive, core.Shared, core.Invalid}
+	var b strings.Builder
+	b.WriteString("from\\to      M        O        E        S        I\n")
+	for _, from := range order {
+		fmt.Fprintf(&b, "%-5s", from.Letter())
+		for _, to := range order {
+			fmt.Fprintf(&b, " %8d", m.Cache.Transitions[from][to])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MissRatio is misses over references (cached boards only).
+func (m Metrics) MissRatio() float64 {
+	refs := m.Cache.Reads + m.Cache.Writes
+	if refs == 0 {
+		return 0
+	}
+	return float64(m.Cache.ReadMisses+m.Cache.WriteMisses) / float64(refs)
+}
+
+// TransPerRef is bus transactions per reference — the paper's central
+// cost: caches exist to cut the bus bandwidth demand (§1).
+func (m Metrics) TransPerRef() float64 {
+	if m.Refs == 0 {
+		return 0
+	}
+	return float64(m.Bus.Transactions) / float64(m.Refs)
+}
+
+// BytesPerRef is bus data bytes moved per reference.
+func (m Metrics) BytesPerRef() float64 {
+	if m.Refs == 0 {
+		return 0
+	}
+	return float64(m.Bus.BytesTransferred) / float64(m.Refs)
+}
+
+// BusUtilization is the fraction of elapsed time the bus was busy.
+func (m Metrics) BusUtilization() float64 {
+	if m.ElapsedNanos == 0 {
+		return 0
+	}
+	u := float64(m.Bus.BusyNanos) / float64(m.ElapsedNanos)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Efficiency is processor efficiency in the [Arch85] sense: the
+// fraction of a processor's time spent executing rather than stalled on
+// the bus. 1.0 means every reference hit.
+func (m Metrics) Efficiency() float64 {
+	if m.ElapsedNanos == 0 || m.Procs == 0 {
+		return 0
+	}
+	useful := float64(m.Refs) * float64(m.HitLatency)
+	total := float64(m.ElapsedNanos) * float64(m.Procs)
+	if total == 0 {
+		return 0
+	}
+	e := useful / total
+	if e > 1 {
+		e = 1
+	}
+	return e
+}
+
+// SystemPower is Procs × Efficiency: the effective number of
+// processors' worth of work the machine delivers ([Arch85] reports this
+// curve; it saturates when the bus does).
+func (m Metrics) SystemPower() float64 { return float64(m.Procs) * m.Efficiency() }
+
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d refs, miss=%.4f trans/ref=%.4f bytes/ref=%.2f",
+		m.System, m.Refs, m.MissRatio(), m.TransPerRef(), m.BytesPerRef())
+	fmt.Fprintf(&b, " util=%.3f eff=%.3f power=%.2f", m.BusUtilization(), m.Efficiency(), m.SystemPower())
+	fmt.Fprintf(&b, " inv=%d upd=%d int=%d abrt=%d",
+		m.Cache.InvalidationsReceived, m.Cache.UpdatesReceived,
+		m.Cache.InterventionsSupplied, m.Bus.Aborts)
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"fmt"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/cache"
+	"futurebus/internal/check"
+	"futurebus/internal/memory"
+	"futurebus/internal/protocols"
+	"futurebus/internal/workload"
+)
+
+// SectorVsPlain is experiment P10: the §5.1 sector-cache discussion
+// made quantitative. A sector cache exists to stretch a fixed TAG
+// budget ([Hill84]: on-chip tag storage is the scarce resource), so the
+// comparison holds the tag count fixed at 64 and varies organisation:
+//
+//   - plain/16B, 64 tags: 64 small lines = 1 KiB of data — the tag
+//     budget strangles capacity;
+//   - sector 4×16B, 64 tags: 64 sectors × 4 sub-sectors = 4 KiB of
+//     data, 16-byte transfers, consistency state per sub-sector;
+//   - plain/64B, 64 tags: also 4 KiB, but transfer and consistency
+//     granularity is the whole 64 bytes (more bytes per miss, coarser
+//     write sharing);
+//   - plain/16B, 256 tags: the unconstrained baseline (4× the tag
+//     hardware).
+//
+// The workload re-walks a 2.5 KiB shared buffer with sparse writes, so
+// reuse fits the 4 KiB organisations but not the tag-starved one.
+func SectorVsPlain(opts ExperimentOpts) (*Report, error) {
+	rep := &Report{
+		ID:      "P10",
+		Title:   "sector cache vs plain caches at a fixed tag budget (§5.1, [Hill84])",
+		Columns: []string{"organisation", "tags", "data", "miss", "trans/ref", "bytes/ref", "invalidations"},
+	}
+	const procs = 4
+	refs := opts.RefsPerProc
+
+	type shape struct {
+		name     string
+		lineSize int
+		sector   int // sub-sectors per sector; 0 = plain cache
+		capacity int // bytes per cache
+	}
+	for _, sh := range []shape{
+		{"plain 16B, 64 tags", 16, 0, 1024},
+		{"sector 4×16B, 64 tags", 16, 4, 4096},
+		{"plain 64B, 64 tags", 64, 0, 4096},
+		{"plain 16B, 256 tags", 16, 0, 4096},
+	} {
+		mem := memory.New(sh.lineSize)
+		b := bus.New(mem, bus.Config{LineSize: sh.lineSize})
+		shadow := check.NewShadow(sh.lineSize)
+
+		capacity := sh.capacity
+		var sources []check.LineSource
+		type board interface {
+			ReadWord(bus.Addr, int) (uint32, error)
+			WriteWord(bus.Addr, int, uint32) error
+		}
+		var boards []board
+		var tags int
+		var misses func() int64
+		var invalidations func() int64
+
+		if sh.sector == 0 {
+			lines := capacity / sh.lineSize
+			var caches []*cache.Cache
+			for i := 0; i < procs; i++ {
+				c := cache.New(i, b, protocols.MOESI(), cache.Config{
+					Sets: lines / 2, Ways: 2, OnWrite: shadow.OnWrite,
+				})
+				caches = append(caches, c)
+				boards = append(boards, c)
+				sources = append(sources, c)
+			}
+			tags = lines
+			misses = func() int64 {
+				var n int64
+				for _, c := range caches {
+					s := c.Stats()
+					n += s.ReadMisses + s.WriteMisses
+				}
+				return n
+			}
+			invalidations = func() int64 {
+				var n int64
+				for _, c := range caches {
+					n += c.Stats().InvalidationsReceived
+				}
+				return n
+			}
+		} else {
+			sectors := capacity / (sh.lineSize * sh.sector)
+			var caches []*cache.SectorCache
+			for i := 0; i < procs; i++ {
+				c := cache.NewSector(i, b, protocols.MOESI(), cache.SectorConfig{
+					Sets: sectors / 2, Ways: 2, SubSectors: sh.sector, OnWrite: shadow.OnWrite,
+				})
+				caches = append(caches, c)
+				boards = append(boards, c)
+				sources = append(sources, c)
+			}
+			tags = sectors
+			misses = func() int64 {
+				var n int64
+				for _, c := range caches {
+					s := c.Stats()
+					n += s.SubMisses + s.SectorMisses
+				}
+				return n
+			}
+			invalidations = func() int64 {
+				var n int64
+				for _, c := range caches {
+					n += c.Stats().InvalidationsReceived
+				}
+				return n
+			}
+		}
+
+		// A 2.5 KiB shared buffer, re-walked: reuse fits 4 KiB caches
+		// but not the tag-starved 1 KiB organisation.
+		gens := make([]workload.Generator, procs)
+		for i := range gens {
+			gens[i] = workload.NewSequential(i, 640, sh.lineSize/4, 0.02, opts.Seed)
+		}
+		for n := 0; n < refs; n++ {
+			for pi, bd := range boards {
+				ref := gens[pi].Next()
+				var err error
+				if ref.Write {
+					err = bd.WriteWord(bus.Addr(ref.Line), ref.Word, ref.Val)
+				} else {
+					_, err = bd.ReadWord(bus.Addr(ref.Line), ref.Word)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("P10 %s: %w", sh.name, err)
+				}
+			}
+		}
+		checker := &check.Checker{Caches: sources, Memory: mem, Shadow: shadow}
+		if err := checker.MustPass(); err != nil {
+			return nil, fmt.Errorf("P10 %s: %w", sh.name, err)
+		}
+
+		st := b.Stats()
+		total := float64(refs * procs)
+		rep.AddRow(sh.name, d(int64(tags)), fmt.Sprintf("%dB", capacity),
+			f(float64(misses())/total),
+			f(float64(st.Transactions)/total),
+			f2(float64(st.BytesTransferred)/total),
+			d(invalidations()))
+	}
+	rep.AddNote("shape: at a fixed tag budget the sector organisation recovers almost all of the 4× data capacity the plain small-line cache forfeits, while keeping 16-byte transfers and per-sub-sector consistency state — \"consistency status also appears to be necessarily associated with the transfer subsector\" (§5.1)")
+	return rep, nil
+}

@@ -1,0 +1,226 @@
+// Package sim assembles complete Futurebus systems — processors with
+// policy-driven caches, uncached I/O masters, shared memory, the bus —
+// and drives them with synthetic workloads under two engines: a
+// deterministic discrete-event engine for reproducible experiments, and
+// a concurrent engine with one goroutine per processor that exercises
+// the same protocol machinery under real interleavings.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"futurebus/internal/bus"
+	"futurebus/internal/cache"
+	"futurebus/internal/check"
+	"futurebus/internal/memory"
+	"futurebus/internal/protocols"
+	"futurebus/internal/workload"
+)
+
+// Board is a bus master the engines drive with references: a cached
+// processor or an uncached I/O master.
+type Board interface {
+	ID() int
+	Read(addr bus.Addr, word int) (uint32, error)
+	Write(addr bus.Addr, word int, val uint32) error
+	// UsesBusNext predicts whether the given access needs the bus (for
+	// event ordering in the deterministic engine).
+	UsesBusNext(addr bus.Addr, write bool) bool
+	// Stall returns cumulative simulated bus time this board has spent.
+	Stall() int64
+	// Describe names the board's protocol.
+	Describe() string
+}
+
+// BoardSpec configures one board. Protocol is a protocols registry name
+// or one of the pseudo-protocols "uncached" / "uncached-broadcast".
+type BoardSpec struct {
+	Protocol string
+	// SectorSubs, when non-zero, makes the board a §5.1 sector cache
+	// with that many sub-sectors per tag (its data capacity stays
+	// CacheSets × CacheWays × SectorSubs × line size).
+	SectorSubs int
+}
+
+// Config assembles a System.
+type Config struct {
+	// LineSize in bytes; 0 = bus.DefaultLineSize. §5.1: one standard
+	// line size for the whole system.
+	LineSize int
+	// CacheSets and CacheWays give every cache's geometry.
+	CacheSets, CacheWays int
+	// Timing overrides the bus cost model (zero = default).
+	Timing bus.Timing
+	// Boards lists the masters, in bus-id order.
+	Boards []BoardSpec
+	// Shadow enables golden-image tracking for the consistency checker
+	// (small overhead per write).
+	Shadow bool
+	// Paranoid enables per-response class validation on the bus
+	// (bus.Config.Paranoid).
+	Paranoid bool
+}
+
+// System is an assembled machine.
+type System struct {
+	Bus    *bus.Bus
+	Memory *memory.Memory
+	Boards []Board
+	// Caches lists the plain cached boards (subset of Boards) for the
+	// checker and reports; SectorCaches the sector-organised ones.
+	Caches       []*cache.Cache
+	SectorCaches []*cache.SectorCache
+	Shadow       *check.Shadow
+}
+
+// cachedBoard adapts cache.Cache to Board.
+type cachedBoard struct {
+	*cache.Cache
+	name string
+}
+
+func (b *cachedBoard) Read(addr bus.Addr, word int) (uint32, error) { return b.ReadWord(addr, word) }
+func (b *cachedBoard) Write(addr bus.Addr, word int, val uint32) error {
+	return b.WriteWord(addr, word, val)
+}
+func (b *cachedBoard) UsesBusNext(addr bus.Addr, write bool) bool { return b.WouldUseBus(addr, write) }
+func (b *cachedBoard) Stall() int64                               { return b.Stats().StallNanos }
+func (b *cachedBoard) Describe() string                           { return b.name }
+
+// sectorBoard adapts cache.SectorCache to Board.
+type sectorBoard struct {
+	*cache.SectorCache
+	name string
+}
+
+func (b *sectorBoard) Read(addr bus.Addr, word int) (uint32, error) { return b.ReadWord(addr, word) }
+func (b *sectorBoard) Write(addr bus.Addr, word int, val uint32) error {
+	return b.WriteWord(addr, word, val)
+}
+func (b *sectorBoard) UsesBusNext(addr bus.Addr, write bool) bool { return b.WouldUseBus(addr, write) }
+func (b *sectorBoard) Stall() int64                               { return b.Stats().StallNanos }
+func (b *sectorBoard) Describe() string                           { return b.name }
+
+// uncachedBoard adapts cache.Uncached to Board.
+type uncachedBoard struct {
+	*cache.Uncached
+	name string
+}
+
+func (b *uncachedBoard) Read(addr bus.Addr, word int) (uint32, error) { return b.ReadWord(addr, word) }
+func (b *uncachedBoard) Write(addr bus.Addr, word int, val uint32) error {
+	return b.WriteWord(addr, word, val)
+}
+func (b *uncachedBoard) UsesBusNext(bus.Addr, bool) bool { return true }
+func (b *uncachedBoard) Stall() int64                    { return b.Stats().StallNanos }
+func (b *uncachedBoard) Describe() string                { return b.name }
+
+// New builds a system from the config.
+func New(cfg Config) (*System, error) {
+	if len(cfg.Boards) == 0 {
+		return nil, fmt.Errorf("sim: no boards configured")
+	}
+	lineSize := cfg.LineSize
+	if lineSize == 0 {
+		lineSize = bus.DefaultLineSize
+	}
+	if cfg.CacheSets == 0 {
+		cfg.CacheSets = 64
+	}
+	if cfg.CacheWays == 0 {
+		cfg.CacheWays = 2
+	}
+	mem := memory.New(lineSize)
+	b := bus.New(mem, bus.Config{LineSize: lineSize, Timing: cfg.Timing, Paranoid: cfg.Paranoid})
+	sys := &System{Bus: b, Memory: mem}
+	if cfg.Shadow {
+		sys.Shadow = check.NewShadow(lineSize)
+	}
+	var onWrite func(bus.Addr, int, uint32)
+	if sys.Shadow != nil {
+		onWrite = sys.Shadow.OnWrite
+	}
+
+	for i, spec := range cfg.Boards {
+		switch spec.Protocol {
+		case "uncached", "uncached-broadcast":
+			u := cache.NewUncached(i, b, spec.Protocol == "uncached-broadcast", onWrite)
+			sys.Boards = append(sys.Boards, &uncachedBoard{Uncached: u, name: spec.Protocol})
+		default:
+			p, err := protocols.New(spec.Protocol)
+			if err != nil {
+				return nil, fmt.Errorf("sim: board %d: %w", i, err)
+			}
+			if spec.SectorSubs > 0 {
+				c := cache.NewSector(i, b, p, cache.SectorConfig{
+					Sets: cfg.CacheSets, Ways: cfg.CacheWays,
+					SubSectors: spec.SectorSubs, OnWrite: onWrite,
+				})
+				sys.SectorCaches = append(sys.SectorCaches, c)
+				sys.Boards = append(sys.Boards, &sectorBoard{
+					SectorCache: c,
+					name:        fmt.Sprintf("%s/sector%d", spec.Protocol, spec.SectorSubs),
+				})
+				continue
+			}
+			c := cache.New(i, b, p, cache.Config{
+				Sets: cfg.CacheSets, Ways: cfg.CacheWays, OnWrite: onWrite,
+			})
+			sys.Caches = append(sys.Caches, c)
+			sys.Boards = append(sys.Boards, &cachedBoard{Cache: c, name: spec.Protocol})
+		}
+	}
+	return sys, nil
+}
+
+// Homogeneous returns a Config with n identical cached boards.
+func Homogeneous(protocol string, n int) Config {
+	boards := make([]BoardSpec, n)
+	for i := range boards {
+		boards[i] = BoardSpec{Protocol: protocol}
+	}
+	return Config{Boards: boards}
+}
+
+// Checker returns a consistency checker over the system. Run it only
+// when the system is quiesced.
+func (s *System) Checker() *check.Checker {
+	sources := make([]check.LineSource, 0, len(s.Caches)+len(s.SectorCaches))
+	for _, c := range s.Caches {
+		sources = append(sources, c)
+	}
+	for _, c := range s.SectorCaches {
+		sources = append(sources, c)
+	}
+	return &check.Checker{Caches: sources, Memory: s.Memory, Shadow: s.Shadow}
+}
+
+// Describe summarises the board mix ("4×moesi" or "2×moesi+1×dragon").
+func (s *System) Describe() string {
+	counts := make(map[string]int)
+	var order []string
+	for _, b := range s.Boards {
+		if counts[b.Describe()] == 0 {
+			order = append(order, b.Describe())
+		}
+		counts[b.Describe()]++
+	}
+	parts := make([]string, len(order))
+	for i, name := range order {
+		parts[i] = fmt.Sprintf("%d×%s", counts[name], name)
+	}
+	return strings.Join(parts, "+")
+}
+
+// WordsPerLine returns the number of 32-bit words per line.
+func (s *System) WordsPerLine() int { return s.Bus.LineSize() / 4 }
+
+// Generators builds one workload generator per board from a factory.
+func (s *System) Generators(f func(proc int) workload.Generator) []workload.Generator {
+	gens := make([]workload.Generator, len(s.Boards))
+	for i := range gens {
+		gens[i] = f(i)
+	}
+	return gens
+}

@@ -1,0 +1,89 @@
+package tablegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"futurebus/internal/core"
+)
+
+// DOT renders a protocol table as a GraphViz digraph — the state
+// diagram the paper's tables encode. Local-event transitions draw
+// solid, snooped bus events dashed, BS abort recoveries dotted;
+// CH-conditional results become two edges. Self-loops that carry no bus
+// action (read hits and the like) are omitted to keep the diagram
+// readable.
+func DOT(t *core.Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", t.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle, fontname=\"Helvetica\"];\n")
+	b.WriteString("  edge [fontname=\"Helvetica\", fontsize=10];\n")
+
+	states := map[core.State]bool{}
+	for _, s := range t.States {
+		states[s] = true
+	}
+	var order []core.State
+	for _, s := range []core.State{core.Modified, core.Owned, core.Exclusive, core.Shared, core.Invalid} {
+		if states[s] {
+			order = append(order, s)
+			fmt.Fprintf(&b, "  %s;\n", s.Letter())
+		}
+	}
+
+	type edge struct {
+		from, to core.State
+		label    string
+		style    string
+	}
+	var edges []edge
+	add := func(from core.State, next core.CondState, label, style string) {
+		if next.Conditional() {
+			edges = append(edges, edge{from, next.OnCH, label + " [CH]", style})
+			edges = append(edges, edge{from, next.NoCH, label + " [~CH]", style})
+			return
+		}
+		edges = append(edges, edge{from, next.OnCH, label, style})
+	}
+
+	for _, s := range order {
+		for _, e := range t.LocalEvents {
+			for _, a := range t.Local(s, e) {
+				if a.Op == core.BusReadThenWrite {
+					continue // a composite of two drawn transitions
+				}
+				if !a.NeedsBus() && !a.Next.Conditional() && a.Next.NoCH == s {
+					continue // silent self-loop (hit)
+				}
+				add(s, a.Next, fmt.Sprintf("%s: %s", e, a), "solid")
+			}
+		}
+		for _, e := range t.BusEvents {
+			for _, a := range t.Snoop(s, e) {
+				if a.Abort != nil {
+					edges = append(edges, edge{s, a.Abort.Next,
+						fmt.Sprintf("col %d: %s", e.Column(), a), "dotted"})
+					continue
+				}
+				if !a.Next.Conditional() && a.Next.NoCH == s {
+					continue // state-preserving snoop
+				}
+				add(s, a.Next, fmt.Sprintf("col %d: %s", e.Column(), a), "dashed")
+			}
+		}
+	}
+
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from > edges[j].from
+		}
+		return edges[i].label < edges[j].label
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %s -> %s [label=%q, style=%s];\n",
+			e.from.Letter(), e.to.Letter(), e.label, e.style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package tablegen
+
+import (
+	"strings"
+	"testing"
+
+	"futurebus/internal/core"
+	"futurebus/internal/protocols"
+)
+
+// TestDOTStructure: the digraph declares every state and the signature
+// transitions, with correct styles.
+func TestDOTStructure(t *testing.T) {
+	out := DOT(protocols.MOESI().Table())
+	for _, want := range []string{
+		"digraph \"MOESI\"",
+		"  M;", "  O;", "  E;", "  S;", "  I;",
+		"E -> M",        // silent write upgrade
+		"M -> O",        // intervened read
+		"style=dashed",  // snoop edges
+		"[CH]", "[~CH]", // conditional split
+		"Write: M", // local labels
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Read: M\"") {
+		t.Error("silent read self-loop drawn")
+	}
+}
+
+// TestDOTAbortEdges: the adapted protocols draw their BS recoveries
+// dotted.
+func TestDOTAbortEdges(t *testing.T) {
+	out := DOT(protocols.Illinois().Table())
+	if !strings.Contains(out, "style=dotted") {
+		t.Errorf("Illinois DOT lacks abort edges:\n%s", out)
+	}
+	if !strings.Contains(out, "BS;S,CA,W") {
+		t.Error("abort label missing")
+	}
+}
+
+// TestDOTPartialTable: paper tables (partial columns) render without
+// undefined rows.
+func TestDOTPartialTable(t *testing.T) {
+	out := DOT(core.PaperTable3())
+	if strings.Contains(out, "  E;") {
+		t.Error("Berkeley DOT declares an E state")
+	}
+	if !strings.Contains(out, "I -> S") {
+		t.Error("Berkeley read miss edge missing")
+	}
+}
+
+// TestDOTBalancedBraces: output is structurally sane for every
+// registered protocol.
+func TestDOTBalancedBraces(t *testing.T) {
+	for _, name := range protocols.Names() {
+		p, err := protocols.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := DOT(p.Table())
+		if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(out, "}\n") {
+			t.Errorf("%s: malformed DOT", name)
+		}
+		if strings.Count(out, "{") != strings.Count(out, "}") {
+			t.Errorf("%s: unbalanced braces", name)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package tablegen
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable1MatchesPaper … TestTable7MatchesPaper are experiments
+// T1–T7: the implementation regenerates each of the paper's tables
+// cell for cell.
+
+func artifactByID(t *testing.T, id string) Artifact {
+	t.Helper()
+	for _, a := range Artifacts() {
+		if a.ID == id {
+			return a
+		}
+	}
+	t.Fatalf("no artifact %s", id)
+	return Artifact{}
+}
+
+func requireNoDiff(t *testing.T, id string) {
+	t.Helper()
+	a := artifactByID(t, id)
+	if diffs := a.Diff(); len(diffs) != 0 {
+		t.Fatalf("%s (%s) diverges from the paper:\n  %s", a.ID, a.Title, strings.Join(diffs, "\n  "))
+	}
+	rendered := a.Render()
+	if !strings.Contains(rendered, "|") {
+		t.Fatalf("%s rendered nothing useful:\n%s", a.ID, rendered)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) { requireNoDiff(t, "T1") }
+func TestTable2MatchesPaper(t *testing.T) { requireNoDiff(t, "T2") }
+func TestTable3MatchesPaper(t *testing.T) { requireNoDiff(t, "T3") }
+func TestTable4MatchesPaper(t *testing.T) { requireNoDiff(t, "T4") }
+func TestTable5MatchesPaper(t *testing.T) { requireNoDiff(t, "T5") }
+func TestTable6MatchesPaper(t *testing.T) { requireNoDiff(t, "T6") }
+func TestTable7MatchesPaper(t *testing.T) { requireNoDiff(t, "T7") }
+
+// TestArtifactsComplete ensures every table artifact is present.
+func TestArtifactsComplete(t *testing.T) {
+	want := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7"}
+	got := Artifacts()
+	if len(got) != len(want) {
+		t.Fatalf("got %d artifacts, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.ID != want[i] {
+			t.Errorf("artifact %d: got %s, want %s", i, a.ID, want[i])
+		}
+	}
+}
+
+// TestTable1MarkersRendered checks the write-through and non-caching
+// rows keep the paper's * and ** markers.
+func TestTable1MarkersRendered(t *testing.T) {
+	cells := Table1Cells()
+	readMissCell := cells[4][0] // I row, Read column
+	for _, want := range []string{"CH:S/E,CA,R", "S,CA,R*", "I,R**"} {
+		if !strings.Contains(readMissCell, want) {
+			t.Errorf("I/Read cell %q missing %q", readMissCell, want)
+		}
+	}
+}
+
+// TestDiffCellsDetectsDrift guards the diff machinery itself.
+func TestDiffCellsDetectsDrift(t *testing.T) {
+	got := [][]string{{"a", "b"}, {"c", "d"}}
+	want := [][]string{{"a", "X"}, {"c", "d"}}
+	diffs := DiffCells(got, want)
+	if len(diffs) != 1 || diffs[0].Row != 0 || diffs[0].Col != 1 {
+		t.Fatalf("unexpected diffs %v", diffs)
+	}
+}
+
+// TestRenderGridShape checks headers and rows line up.
+func TestRenderGridShape(t *testing.T) {
+	out := RenderGrid("X", []string{"M", "I"}, []string{"c1", "c2"},
+		[][]string{{"a", "b"}, {"c", "d"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "X") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+}
+
+// TestRenderedTablesContainPaperCells spot-checks that the rendered
+// artifacts contain signature cells from the paper.
+func TestRenderedTablesContainPaperCells(t *testing.T) {
+	signature := map[string]string{
+		"T2": "CH:O/M,DI",         // the listening owner on column 7
+		"T3": "O,CH,DI",           // Berkeley's intervening owner
+		"T4": "CH:O/M,CA,IM,BC,W", // Dragon's broadcast write
+		"T5": "E,CA,IM,W",         // Write-Once's first write
+		"T6": "BS;S,CA,W",         // Illinois's abort-push
+		"T7": "CH:S/E,CA,IM,BC,W", // Firefly's unowned broadcast write
+	}
+	for id, cell := range signature {
+		a := artifactByID(t, id)
+		if out := a.Render(); !strings.Contains(out, cell) {
+			t.Errorf("%s rendering lacks signature cell %q:\n%s", id, cell, out)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package verify_test
+
+import (
+	"fmt"
+
+	"futurebus/internal/core"
+	"futurebus/internal/verify"
+)
+
+// ExampleExplore proves the two-board class exhaustively consistent.
+func ExampleExplore() {
+	res := verify.Explore([]verify.Chooser{
+		verify.ClassChooser{Variant: core.CopyBack},
+		verify.ClassChooser{Variant: core.CopyBack},
+	})
+	fmt.Println(res.Ok(), res.States)
+	// Output:
+	// true 18
+}

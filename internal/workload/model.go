@@ -1,0 +1,92 @@
+package workload
+
+import "fmt"
+
+// Model is an Archibald–Baer-style program-behaviour model ([Arch85],
+// [Dubo82]): each reference goes to a shared block with probability
+// PShared (uniformly over SharedLines, with run-length locality) or to
+// the processor's private region otherwise; a reference is a write
+// with probability PWrite. Private regions are disjoint per processor,
+// so only shared lines generate coherence traffic.
+type Model struct {
+	// Proc is the processor id (selects the private region).
+	Proc int
+	// SharedLines is the number of shared blocks in the system.
+	SharedLines int
+	// PrivateLines is the size of the processor's private working set
+	// in lines; sized relative to the cache, it controls the natural
+	// miss ratio.
+	PrivateLines int
+	// WordsPerLine bounds the word index within a line.
+	WordsPerLine int
+	// PShared is the probability a reference touches a shared block
+	// (the "md" of [Dubo82]).
+	PShared float64
+	// PWrite is the probability a reference is a write.
+	PWrite float64
+	// Locality is the probability of re-referencing the previous line
+	// (a run-length knob; 0 = uniform).
+	Locality float64
+}
+
+// sharedBase places shared lines in a region disjoint from every
+// private region.
+const sharedBase = uint64(1) << 32
+
+// privateBase returns the first private line of a processor.
+func privateBase(proc int) uint64 { return uint64(proc+1) << 20 }
+
+// ModelGen generates references from a Model.
+type ModelGen struct {
+	m    Model
+	rng  *RNG
+	last Ref
+	has  bool
+	seq  uint32
+}
+
+// NewModel validates the model and returns its generator.
+func NewModel(m Model, seed uint64) (*ModelGen, error) {
+	if m.SharedLines <= 0 || m.PrivateLines <= 0 {
+		return nil, fmt.Errorf("workload: model needs shared and private lines, got %d/%d", m.SharedLines, m.PrivateLines)
+	}
+	if m.WordsPerLine <= 0 {
+		return nil, fmt.Errorf("workload: model needs words per line")
+	}
+	if m.PShared < 0 || m.PShared > 1 || m.PWrite < 0 || m.PWrite > 1 || m.Locality < 0 || m.Locality > 1 {
+		return nil, fmt.Errorf("workload: model probabilities out of range")
+	}
+	return &ModelGen{m: m, rng: NewRNG(seed ^ uint64(m.Proc)*0x9e3779b9)}, nil
+}
+
+// MustModel is NewModel for static configurations.
+func MustModel(m Model, seed uint64) *ModelGen {
+	g, err := NewModel(m, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Next implements Generator.
+func (g *ModelGen) Next() Ref {
+	var line uint64
+	if g.has && g.rng.Bool(g.m.Locality) {
+		line = g.last.Line
+	} else if g.rng.Bool(g.m.PShared) {
+		line = sharedBase + uint64(g.rng.Intn(g.m.SharedLines))
+	} else {
+		line = privateBase(g.m.Proc) + uint64(g.rng.Intn(g.m.PrivateLines))
+	}
+	ref := Ref{
+		Line:  line,
+		Word:  g.rng.Intn(g.m.WordsPerLine),
+		Write: g.rng.Bool(g.m.PWrite),
+	}
+	if ref.Write {
+		g.seq++
+		ref.Val = uint32(g.m.Proc)<<24 | g.seq&0xffffff
+	}
+	g.last, g.has = ref, true
+	return ref
+}

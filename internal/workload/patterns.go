@@ -1,0 +1,202 @@
+package workload
+
+// Structured sharing patterns. Each exercises a protocol behaviour the
+// paper's discussion turns on: migratory data rewards invalidation
+// (ownership should move), producer/consumer and ping-pong reward
+// broadcast updates (sharers should stay live), read-mostly rewards the
+// E state (silent upgrade, no invalidation traffic on private reads).
+
+// Migratory models a data structure protected by a lock and passed
+// between processors: a processor makes several read/write passes over
+// a block, then the block "migrates" to another processor. Each
+// processor generates references to every shared block but with phase
+// offsets, so at any time a block is touched predominantly by one
+// processor.
+type Migratory struct {
+	proc, procs  int
+	lines        int
+	burst        int
+	wordsPerLine int
+	rng          *RNG
+	pos, left    int
+}
+
+// NewMigratory creates one processor's stream over `lines` migratory
+// blocks shared by `procs` processors; each visit makes `burst`
+// read-modify-write pairs.
+func NewMigratory(proc, procs, lines, burst, wordsPerLine int, seed uint64) *Migratory {
+	return &Migratory{
+		proc: proc, procs: procs, lines: lines, burst: burst,
+		wordsPerLine: wordsPerLine,
+		rng:          NewRNG(seed ^ uint64(proc)*0x2545f491),
+		pos:          proc % lines,
+	}
+}
+
+// Next implements Generator: alternating read and write to the current
+// block, moving on after the burst.
+func (m *Migratory) Next() Ref {
+	if m.left == 0 {
+		m.pos = (m.pos + 1 + m.rng.Intn(m.lines)) % m.lines
+		m.left = 2 * m.burst
+	}
+	m.left--
+	write := m.left%2 == 0
+	ref := Ref{
+		Line:  sharedBase + uint64(m.pos),
+		Word:  m.rng.Intn(m.wordsPerLine),
+		Write: write,
+	}
+	if write {
+		ref.Val = uint32(m.proc)<<24 | uint32(m.rng.Next())&0xffffff
+	}
+	return ref
+}
+
+// ProducerConsumer models one writer and many readers of a buffer: the
+// producer (proc 0) writes words of the shared lines; consumers read
+// them. This is the pattern where broadcast updates beat invalidation —
+// every invalidate forces all consumers to miss again.
+type ProducerConsumer struct {
+	proc         int
+	lines        int
+	wordsPerLine int
+	rng          *RNG
+	seq          uint32
+}
+
+// NewProducerConsumer creates one processor's stream; proc 0 produces,
+// others consume.
+func NewProducerConsumer(proc, lines, wordsPerLine int, seed uint64) *ProducerConsumer {
+	return &ProducerConsumer{
+		proc: proc, lines: lines, wordsPerLine: wordsPerLine,
+		rng: NewRNG(seed ^ uint64(proc)*0x6c62272e),
+	}
+}
+
+// Next implements Generator.
+func (p *ProducerConsumer) Next() Ref {
+	ref := Ref{
+		Line: sharedBase + uint64(p.rng.Intn(p.lines)),
+		Word: p.rng.Intn(p.wordsPerLine),
+	}
+	if p.proc == 0 {
+		ref.Write = true
+		p.seq++
+		ref.Val = p.seq
+	}
+	return ref
+}
+
+// ReadMostly models shared data that is read by everyone and written
+// rarely (e.g. a configuration table): the E state pays off because a
+// lone reader can upgrade silently when it does write.
+type ReadMostly struct {
+	proc         int
+	lines        int
+	wordsPerLine int
+	pWrite       float64
+	rng          *RNG
+	seq          uint32
+}
+
+// NewReadMostly creates one processor's stream with the given (small)
+// write probability.
+func NewReadMostly(proc, lines, wordsPerLine int, pWrite float64, seed uint64) *ReadMostly {
+	return &ReadMostly{
+		proc: proc, lines: lines, wordsPerLine: wordsPerLine, pWrite: pWrite,
+		rng: NewRNG(seed ^ uint64(proc)*0x100000001b3),
+	}
+}
+
+// Next implements Generator.
+func (r *ReadMostly) Next() Ref {
+	ref := Ref{
+		Line:  sharedBase + uint64(r.rng.Intn(r.lines)),
+		Word:  r.rng.Intn(r.wordsPerLine),
+		Write: r.rng.Bool(r.pWrite),
+	}
+	if ref.Write {
+		r.seq++
+		ref.Val = uint32(r.proc)<<24 | r.seq&0xffffff
+	}
+	return ref
+}
+
+// Sequential models an array traversal: word addresses walked in order
+// over a buffer, mapped onto lines by the system's line size. This is
+// the workload where spatial locality exists, so it is the one that
+// exposes the §5.1 line-size trade-off: one miss per line fetches
+// wordsPerLine useful words, but sparse writes invalidate whole lines
+// (false sharing grows with the line).
+type Sequential struct {
+	proc         int
+	words        int // buffer length in words
+	wordsPerLine int
+	pWrite       float64
+	rng          *RNG
+	pos          int
+	seq          uint32
+}
+
+// NewSequential creates one processor's walk over a shared buffer of
+// `words` words; each processor starts at its own offset.
+func NewSequential(proc, words, wordsPerLine int, pWrite float64, seed uint64) *Sequential {
+	return &Sequential{
+		proc: proc, words: words, wordsPerLine: wordsPerLine, pWrite: pWrite,
+		rng: NewRNG(seed ^ uint64(proc)*0x9e3779b97f4a7c15),
+		pos: (proc * words / 8) % words,
+	}
+}
+
+// Next implements Generator.
+func (s *Sequential) Next() Ref {
+	wordAddr := s.pos
+	s.pos = (s.pos + 1) % s.words
+	ref := Ref{
+		Line:  sharedBase + uint64(wordAddr/s.wordsPerLine),
+		Word:  wordAddr % s.wordsPerLine,
+		Write: s.rng.Bool(s.pWrite),
+	}
+	if ref.Write {
+		s.seq++
+		ref.Val = uint32(s.proc)<<24 | s.seq&0xffffff
+	}
+	return ref
+}
+
+// PingPong models two (or more) processors alternately writing the same
+// few lines — the worst case for every protocol, and the sharpest
+// separator between update (one word broadcast per write) and
+// invalidate (a full miss per write) strategies.
+type PingPong struct {
+	proc         int
+	lines        int
+	wordsPerLine int
+	rng          *RNG
+	seq          uint32
+	i            int
+}
+
+// NewPingPong creates one processor's stream over `lines` contested
+// lines.
+func NewPingPong(proc, lines, wordsPerLine int, seed uint64) *PingPong {
+	return &PingPong{
+		proc: proc, lines: lines, wordsPerLine: wordsPerLine,
+		rng: NewRNG(seed ^ uint64(proc)*0xc2b2ae35),
+	}
+}
+
+// Next implements Generator: read then write each contested line in
+// turn.
+func (p *PingPong) Next() Ref {
+	line := sharedBase + uint64(p.i/2%p.lines)
+	write := p.i%2 == 1
+	p.i++
+	ref := Ref{Line: line, Word: p.rng.Intn(p.wordsPerLine), Write: write}
+	if write {
+		p.seq++
+		ref.Val = uint32(p.proc)<<24 | p.seq&0xffffff
+	}
+	return ref
+}

@@ -1,0 +1,66 @@
+package workload
+
+import "math"
+
+// Zipf generates a skewed shared-access stream: line popularity follows
+// a Zipf distribution with exponent S (S=0 is uniform; S≈1 is the
+// classic hot-spot curve). Real shared data is rarely uniform — a few
+// lock and counter lines absorb most of the coherence traffic — and a
+// skewed stream stresses exactly the update-vs-invalidate choice of
+// §5.2: hot lines stay resident everywhere, so updates pay off.
+type Zipf struct {
+	proc         int
+	wordsPerLine int
+	pWrite       float64
+	rng          *RNG
+	cdf          []float64
+	seq          uint32
+}
+
+// NewZipf creates one processor's stream over `lines` shared lines with
+// Zipf exponent s.
+func NewZipf(proc, lines, wordsPerLine int, s, pWrite float64, seed uint64) *Zipf {
+	if lines <= 0 {
+		panic("workload: zipf needs lines")
+	}
+	// Precompute the CDF of p(k) ∝ 1/(k+1)^s.
+	cdf := make([]float64, lines)
+	sum := 0.0
+	for k := 0; k < lines; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{
+		proc: proc, wordsPerLine: wordsPerLine, pWrite: pWrite,
+		rng: NewRNG(seed ^ uint64(proc)*0x9e3779b97f4a7c15),
+		cdf: cdf,
+	}
+}
+
+// Next implements Generator.
+func (z *Zipf) Next() Ref {
+	u := z.rng.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	ref := Ref{
+		Line:  sharedBase + uint64(lo),
+		Word:  z.rng.Intn(z.wordsPerLine),
+		Write: z.rng.Bool(z.pWrite),
+	}
+	if ref.Write {
+		z.seq++
+		ref.Val = uint32(z.proc)<<24 | z.seq&0xffffff
+	}
+	return ref
+}
