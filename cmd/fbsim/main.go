@@ -8,13 +8,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"futurebus/internal/bus"
+	"futurebus/internal/obs"
 	"futurebus/internal/sim"
 	"futurebus/internal/workload"
 )
@@ -37,6 +40,11 @@ func main() {
 	watch := flag.Uint64("watch", 0, "print a per-board state timeline for this line address (0 = off)")
 	record := flag.String("record", "", "record each board's reference stream to <prefix>.<board>.trace")
 	replay := flag.String("replay", "", "replay reference streams from <prefix>.<board>.trace (overrides -workload)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
+	jsonlOut := flag.String("jsonl-out", "", "write the raw event stream as JSON Lines")
+	metricsJSON := flag.String("metrics-json", "", "write the run metrics as JSON to this file ('-' = stdout)")
+	hist := flag.Bool("hist", false, "print p50/p95/p99 latency/stall/retry histograms")
+	audit := flag.Uint64("audit", 0, "print the event history of this line address after the run (0 = off)")
 	flag.Parse()
 
 	var boards []sim.BoardSpec
@@ -50,6 +58,36 @@ func main() {
 		}
 		boards = append(boards, spec)
 	}
+	// Assemble observability sinks; the recorder is only created (and
+	// the emission paths only pay their cost) when something consumes
+	// the events.
+	var sinks []obs.Sink
+	var toClose []*os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fail(err)
+		toClose = append(toClose, f)
+		sinks = append(sinks, obs.NewChromeTraceSink(f))
+	}
+	if *jsonlOut != "" {
+		f, err := os.Create(*jsonlOut)
+		fail(err)
+		toClose = append(toClose, f)
+		sinks = append(sinks, obs.NewJSONLSink(f))
+	}
+	if *hist {
+		sinks = append(sinks, obs.NewHistogramSink())
+	}
+	var auditSink *obs.LineAuditSink
+	if *audit != 0 {
+		auditSink = obs.NewLineAuditSink(0)
+		sinks = append(sinks, auditSink)
+	}
+	var rec *obs.Recorder
+	if len(sinks) > 0 {
+		rec = obs.New(sinks...)
+	}
+
 	cfg := sim.Config{
 		LineSize:  *lineSize,
 		CacheSets: *sets,
@@ -57,6 +95,7 @@ func main() {
 		Boards:    boards,
 		Shadow:    *checkConsistency,
 		Paranoid:  *paranoid,
+		Obs:       rec,
 	}
 	sys, err := sim.New(cfg)
 	fail(err)
@@ -138,19 +177,55 @@ func main() {
 	}
 	fail(err)
 
+	// With -metrics-json - the machine-readable document owns stdout,
+	// so the human-readable summary moves to stderr to keep stdout
+	// parseable (fbsim ... -metrics-json - | jq).
+	sum := io.Writer(os.Stdout)
+	if *metricsJSON == "-" {
+		sum = os.Stderr
+	}
 	if *checkConsistency {
 		fail(sys.Checker().MustPass())
-		fmt.Println("consistency: all invariants hold")
+		fmt.Fprintln(sum, "consistency: all invariants hold")
 	}
-	fmt.Println(m)
-	fmt.Printf("bus: %s\n", m.Bus)
-	fmt.Printf("memory: reads=%d writes=%d\n", m.Memory.Reads, m.Memory.Writes)
-	fmt.Printf("caches: hits=%d misses=%d upgrades=%d flushes=%d snoopHits=%d inv=%d upd=%d captured=%d\n",
+	fmt.Fprintln(sum, m)
+	fmt.Fprintf(sum, "bus: %s\n", m.Bus)
+	fmt.Fprintf(sum, "memory: reads=%d writes=%d\n", m.Memory.Reads, m.Memory.Writes)
+	fmt.Fprintf(sum, "caches: hits=%d misses=%d upgrades=%d flushes=%d snoopHits=%d inv=%d upd=%d captured=%d\n",
 		m.Cache.ReadHits+m.Cache.WriteHits, m.Cache.ReadMisses+m.Cache.WriteMisses,
 		m.Cache.WriteUpgrades, m.Cache.Flushes, m.Cache.SnoopHits,
 		m.Cache.InvalidationsReceived, m.Cache.UpdatesReceived, m.Cache.WritesCaptured)
 	if *transitions {
-		fmt.Printf("state transitions:\n%s", m.TransitionTable())
+		fmt.Fprintf(sum, "state transitions:\n%s", m.TransitionTable())
+	}
+
+	if rec != nil {
+		fail(rec.Close())
+		if *hist {
+			if h := obs.FindHistogram(rec); h != nil {
+				fmt.Fprintf(sum, "latency histograms:\n%s", h.Render())
+			}
+		}
+		if auditSink != nil {
+			fmt.Fprint(sum, auditSink.Explain(*audit))
+		}
+		for _, f := range toClose {
+			fail(f.Close())
+		}
+		if *traceOut != "" {
+			fmt.Fprintf(os.Stderr, "fbsim: wrote Chrome trace to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+		}
+	}
+	if *metricsJSON != "" {
+		out, err := json.MarshalIndent(m, "", "  ")
+		fail(err)
+		out = append(out, '\n')
+		if *metricsJSON == "-" {
+			_, err = os.Stdout.Write(out)
+		} else {
+			err = os.WriteFile(*metricsJSON, out, 0o644)
+		}
+		fail(err)
 	}
 }
 

@@ -7,12 +7,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"futurebus/internal/obs"
 	"futurebus/internal/sim"
 )
 
@@ -22,9 +24,30 @@ func main() {
 	seed := flag.Uint64("seed", 1986, "workload seed")
 	format := flag.String("format", "table", "output format: table or csv")
 	outDir := flag.String("out", "", "also write each report as <dir>/<ID>.csv")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of every system the sweep ran")
+	metricsJSON := flag.String("metrics-json", "", "write the reports as JSON to this file ('-' = stdout)")
+	hist := flag.Bool("hist", false, "print sweep-wide p50/p95/p99 latency/stall/retry histograms")
 	flag.Parse()
 
-	opts := sim.ExperimentOpts{RefsPerProc: *refs, Seed: *seed}
+	// One recorder instruments every system the experiments build, so
+	// histograms and traces cover the whole sweep.
+	var sinks []obs.Sink
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fail(err)
+		traceFile = f
+		sinks = append(sinks, obs.NewChromeTraceSink(f))
+	}
+	if *hist {
+		sinks = append(sinks, obs.NewHistogramSink())
+	}
+	var rec *obs.Recorder
+	if len(sinks) > 0 {
+		rec = obs.New(sinks...)
+	}
+
+	opts := sim.ExperimentOpts{RefsPerProc: *refs, Seed: *seed, Obs: rec}
 
 	runners := map[string]func(sim.ExperimentOpts) (*sim.Report, error){
 		"P2":  sim.UpdateVsInvalidate,
@@ -83,6 +106,30 @@ func main() {
 		} else {
 			fmt.Print(rep.Render())
 		}
+	}
+
+	if rec != nil {
+		fail(rec.Close())
+		if *hist {
+			if h := obs.FindHistogram(rec); h != nil {
+				fmt.Printf("\nsweep-wide latency histograms:\n%s", h.Render())
+			}
+		}
+		if traceFile != nil {
+			fail(traceFile.Close())
+			fmt.Fprintf(os.Stderr, "fbsweep: wrote Chrome trace to %s\n", *traceOut)
+		}
+	}
+	if *metricsJSON != "" {
+		out, err := json.MarshalIndent(reports, "", "  ")
+		fail(err)
+		out = append(out, '\n')
+		if *metricsJSON == "-" {
+			_, err = os.Stdout.Write(out)
+		} else {
+			err = os.WriteFile(*metricsJSON, out, 0o644)
+		}
+		fail(err)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"futurebus/internal/bus"
+	"futurebus/internal/obs"
 	"futurebus/internal/sim"
 	"futurebus/internal/workload"
 )
@@ -38,22 +39,28 @@ func main() {
 		return
 	}
 	fmt.Printf("\nLive transaction trace (4×moesi + 1 uncached DMA):\n")
+	// The live trace is an obs sink: the bus emits a structured event
+	// per completed transaction and the sink renders it. Events arrive
+	// in bus order (the ring preserves emission sequence).
+	count := 0
+	printer := obs.SinkFunc(func(e *obs.Event) {
+		if e.Kind != obs.KindTx || count >= *txns {
+			return
+		}
+		count++
+		fmt.Printf("  %2d. t=%-7d m%-2d %s %#x -> col %d, CH=%t DI=%t SL=%t retries=%d cost=%dns\n",
+			count, e.TS, e.Proc, e.Op, e.Addr, e.Col, e.CH, e.DI, e.SL, e.Retries, e.Dur)
+	})
+	rec := obs.New(printer)
+
 	sysCfg := sim.Homogeneous("moesi", 4)
 	sysCfg.Boards = append(sysCfg.Boards, sim.BoardSpec{Protocol: "uncached"})
+	sysCfg.Obs = rec
 	sys, err := sim.New(sysCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fbtrace:", err)
 		os.Exit(1)
 	}
-	count := 0
-	sys.Bus.SetTrace(func(tx *bus.Transaction, r *bus.Result) {
-		if count >= *txns {
-			return
-		}
-		count++
-		fmt.Printf("  %2d. %s -> col %d, CH=%t DI=%t SL=%t retries=%d cost=%dns\n",
-			count, tx, tx.Event().Column(), r.CH, r.DI, r.SL, r.Retries, r.Cost)
-	})
 	gens := sys.Generators(func(proc int) workload.Generator {
 		return workload.MustModel(workload.Model{
 			Proc: proc, SharedLines: 8, PrivateLines: 16,
@@ -62,6 +69,10 @@ func main() {
 	})
 	eng := sim.Engine{Sys: sys, Gens: gens}
 	if _, err := eng.Run(*txns); err != nil {
+		fmt.Fprintln(os.Stderr, "fbtrace:", err)
+		os.Exit(1)
+	}
+	if err := rec.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "fbtrace:", err)
 		os.Exit(1)
 	}

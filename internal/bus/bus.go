@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"futurebus/internal/core"
+	"futurebus/internal/obs"
 )
 
 // Addr identifies a line of the shared address space. The bus moves
@@ -144,6 +145,14 @@ type Config struct {
 	// boards on the bus make every address cycle slower for everyone —
 	// the price of "broadcast operations are guaranteed to work".
 	Handshake *HandshakeConfig
+	// Obs, when non-nil, receives structured events for every
+	// transaction, abort, recovery push and grant; attached caches
+	// inherit it (via Bus.Recorder) for state-transition and stall
+	// events. Nil disables all instrumentation at one branch per site.
+	Obs *obs.Recorder
+	// ObsID names this bus segment in emitted events (a hierarchy
+	// numbers global=0, clusters 1..N).
+	ObsID int
 }
 
 // DefaultLineSize is the line size used when Config.LineSize is zero.
@@ -188,6 +197,14 @@ func (b *Bus) LineSize() int { return b.cfg.LineSize }
 
 // Timing returns the cost model in use.
 func (b *Bus) Timing() Timing { return b.cfg.Timing }
+
+// Recorder returns the observability recorder (nil when tracing is
+// off). Attached units emit their own events through it, so wiring a
+// recorder into the bus instruments the whole segment.
+func (b *Bus) Recorder() *obs.Recorder { return b.cfg.Obs }
+
+// ObsID returns this bus segment's id in emitted events.
+func (b *Bus) ObsID() int { return b.cfg.ObsID }
 
 // Attach registers a snooping unit. Units attach at configuration time,
 // before traffic starts; Attach is not safe concurrently with Execute.
@@ -241,6 +258,12 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 	if err := tx.check(b.cfg.LineSize); err != nil {
 		return Result{}, err
 	}
+	if rec := b.cfg.Obs; rec != nil {
+		rec.Emit(obs.Event{
+			TS: rec.Clock(), Kind: obs.KindGrant, Bus: b.cfg.ObsID,
+			Proc: tx.MasterID, Addr: uint64(tx.Addr), Col: tx.Event().Column(),
+		})
+	}
 	var res Result
 	for attempt := 0; ; attempt++ {
 		if attempt > maxRetries {
@@ -287,6 +310,12 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 			// (§3.2.2, §4.3–4.5).
 			res.Retries++
 			b.stats.Aborts++
+			if rec := b.cfg.Obs; rec != nil {
+				rec.Emit(obs.Event{
+					TS: rec.Clock(), Kind: obs.KindAbort, Bus: b.cfg.ObsID,
+					Proc: tx.MasterID, Addr: uint64(tx.Addr), Col: tx.Event().Column(),
+				})
+			}
 			for i, s := range b.snoopers {
 				if s.SnooperID() == tx.MasterID {
 					continue
@@ -300,6 +329,12 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 				a, ok := s.(Aborter)
 				if !ok {
 					return res, fmt.Errorf("bus: snooper %d asserted BS without implementing Aborter", s.SnooperID())
+				}
+				if rec := b.cfg.Obs; rec != nil {
+					rec.Emit(obs.Event{
+						TS: rec.Clock(), Kind: obs.KindRecover, Bus: b.cfg.ObsID,
+						Proc: s.SnooperID(), Addr: uint64(tx.Addr),
+					})
 				}
 				b.depth++
 				err := a.Recover(b, tx, responses[i])
@@ -318,6 +353,18 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 		r.Retries = res.Retries
 		r.Cost += res.Cost
 		b.stats.record(tx, &r, b.cfg.LineSize)
+		if rec := b.cfg.Obs; rec != nil {
+			// The recorder's clock is cumulative bus occupancy; this
+			// transaction's slice spans [begin, begin+Cost).
+			begin := rec.Advance(r.Cost)
+			rec.Emit(obs.Event{
+				TS: begin, Dur: r.Cost, Kind: obs.KindTx, Bus: b.cfg.ObsID,
+				Proc: tx.MasterID, Addr: uint64(tx.Addr),
+				Col: tx.Event().Column(), Op: opLetter(tx.Op),
+				CH: r.CH, DI: r.DI, SL: r.SL,
+				Retries: r.Retries, Bytes: txBytes(tx, b.cfg.LineSize),
+			})
+		}
 		if b.trace != nil {
 			b.trace(tx, &r)
 		}

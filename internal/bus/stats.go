@@ -38,18 +38,41 @@ func (s *Stats) record(tx *Transaction, r *Result, lineSize int) {
 	switch tx.Op {
 	case core.BusRead:
 		s.Reads++
-		s.BytesTransferred += int64(lineSize)
 	case core.BusWrite:
 		s.Writes++
-		if tx.Partial != nil {
-			s.BytesTransferred += 4
-		} else {
-			s.BytesTransferred += int64(lineSize)
-		}
 	case core.BusAddrOnly:
 		s.AddrOnly++
 	}
+	s.BytesTransferred += int64(txBytes(tx, lineSize))
 	s.BusyNanos += r.Cost
+}
+
+// txBytes is the data-phase payload size of a transaction: a read
+// moves a line, a partial write one word, an address-only cycle
+// nothing. Shared by Stats and the obs event emission.
+func txBytes(tx *Transaction, lineSize int) int {
+	switch tx.Op {
+	case core.BusRead:
+		return lineSize
+	case core.BusWrite:
+		if tx.Partial != nil {
+			return 4
+		}
+		return lineSize
+	}
+	return 0
+}
+
+// opLetter abbreviates the data phase for event streams.
+func opLetter(op core.BusOp) string {
+	switch op {
+	case core.BusRead:
+		return "R"
+	case core.BusWrite:
+		return "W"
+	default:
+		return "A"
+	}
 }
 
 // Add accumulates other into s.

@@ -19,6 +19,7 @@ import (
 
 	"futurebus/internal/bus"
 	"futurebus/internal/core"
+	"futurebus/internal/obs"
 )
 
 // Config parameterises a cache.
@@ -88,6 +89,10 @@ type Cache struct {
 	bus    *bus.Bus
 	policy core.Policy
 	cfg    Config
+	// obs and busID are inherited from the bus at construction: one
+	// recorder instruments a whole segment. Nil obs = tracing off.
+	obs   *obs.Recorder
+	busID int
 
 	mu    sync.Mutex
 	sets  [][]line
@@ -122,13 +127,62 @@ type Stats struct {
 	Transitions [5][5]int64
 }
 
-// setState records a state change on a line. Callers hold c.mu.
-func (c *Cache) setState(l *line, next core.State) {
+// Add accumulates other into s, field by field — including the
+// transition matrix — so aggregation code cannot silently drop a
+// counter when one is added here.
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.ReadHits += other.ReadHits
+	s.WriteHits += other.WriteHits
+	s.ReadMisses += other.ReadMisses
+	s.WriteMisses += other.WriteMisses
+	s.WriteUpgrades += other.WriteUpgrades
+	s.Passes += other.Passes
+	s.Flushes += other.Flushes
+	s.Replacements += other.Replacements
+	s.DirtyEvictions += other.DirtyEvictions
+	s.SnoopHits += other.SnoopHits
+	s.InvalidationsReceived += other.InvalidationsReceived
+	s.UpdatesReceived += other.UpdatesReceived
+	s.InterventionsSupplied += other.InterventionsSupplied
+	s.WritesCaptured += other.WritesCaptured
+	s.AbortsIssued += other.AbortsIssued
+	s.StallNanos += other.StallNanos
+	for from := range s.Transitions {
+		for to := range s.Transitions[from] {
+			s.Transitions[from][to] += other.Transitions[from][to]
+		}
+	}
+}
+
+// setState records a state change on a line, tagging the emitted
+// event with why it happened. Callers hold c.mu.
+func (c *Cache) setState(l *line, next core.State, cause string) {
 	if l.state == next {
 		return
 	}
 	c.stats.Transitions[l.state][next]++
+	if rec := c.obs; rec != nil {
+		rec.Emit(obs.Event{
+			TS: rec.Clock(), Kind: obs.KindState, Bus: c.busID, Proc: c.id,
+			Addr: uint64(l.addr), From: l.state.Letter(), To: next.Letter(), Cause: cause,
+		})
+	}
 	l.state = next
+}
+
+// noteStall accounts simulated bus time this cache's processor spent
+// on a transaction it issued, and emits the stall span. Callers hold
+// c.mu.
+func (c *Cache) noteStall(addr bus.Addr, cost int64) {
+	c.stats.StallNanos += cost
+	if rec := c.obs; rec != nil {
+		rec.Emit(obs.Event{
+			TS: rec.Clock() - cost, Dur: cost, Kind: obs.KindStall,
+			Bus: c.busID, Proc: c.id, Addr: uint64(addr),
+		})
+	}
 }
 
 // StateCensus returns the number of valid lines per state — the
@@ -153,7 +207,7 @@ func New(id int, b *bus.Bus, policy core.Policy, cfg Config) *Cache {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 {
 		panic(fmt.Sprintf("cache: invalid geometry %d sets × %d ways", cfg.Sets, cfg.Ways))
 	}
-	c := &Cache{id: id, bus: b, policy: policy, cfg: cfg}
+	c := &Cache{id: id, bus: b, policy: policy, cfg: cfg, obs: b.Recorder(), busID: b.ObsID()}
 	c.sets = make([][]line, cfg.Sets)
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Ways)

@@ -5,6 +5,7 @@ import (
 
 	"futurebus/internal/bus"
 	"futurebus/internal/core"
+	"futurebus/internal/obs"
 )
 
 // This file is the processor side of the cache. The locking discipline
@@ -33,7 +34,7 @@ func (c *Cache) ReadWord(addr bus.Addr, wordIdx int) (uint32, error) {
 			c.mu.Unlock()
 			return 0, fmt.Errorf("cache %d (%s): no local read action for state %s", c.id, c.policyFor(addr).Name(), l.state)
 		}
-		c.setState(l, action.Next.Resolve(false))
+		c.setState(l, action.Next.Resolve(false), "read-hit")
 		c.touch(l)
 		v := word(l.data, wordIdx)
 		c.stats.ReadHits++
@@ -70,7 +71,7 @@ func (c *Cache) WriteWord(addr bus.Addr, wordIdx int, val uint32) error {
 		if !action.NeedsBus() {
 			// Silent write: M stays M, E goes to M (the M/E pair of
 			// Figure 4 — no other copy can exist).
-			c.setState(l, action.Next.Resolve(false))
+			c.setState(l, action.Next.Resolve(false), "silent-write")
 			putWord(l.data, wordIdx, val)
 			c.touch(l)
 			c.stats.WriteHits++
@@ -114,7 +115,7 @@ func (c *Cache) writeHitBus(addr bus.Addr, wordIdx int, val uint32) error {
 	if !action.NeedsBus() {
 		// The state improved (e.g. everyone else was invalidated)
 		// while we waited for the bus.
-		c.setState(l, action.Next.Resolve(false))
+		c.setState(l, action.Next.Resolve(false), "write-hit")
 		putWord(l.data, wordIdx, val)
 		c.touch(l)
 		c.noteWrite(addr, wordIdx, val)
@@ -150,10 +151,10 @@ func (c *Cache) writeHitBus(addr bus.Addr, wordIdx int, val uint32) error {
 		c.mu.Unlock()
 		return fmt.Errorf("cache %d: line %#x vanished during its own upgrade", c.id, uint64(addr))
 	}
-	c.setState(l, action.Next.Resolve(res.CH))
+	c.setState(l, action.Next.Resolve(res.CH), "write-upgrade")
 	putWord(l.data, wordIdx, val)
 	c.touch(l)
-	c.stats.StallNanos += res.Cost
+	c.noteStall(addr, res.Cost)
 	c.noteWrite(addr, wordIdx, val)
 	c.mu.Unlock()
 	return nil
@@ -205,7 +206,7 @@ func (c *Cache) writeMiss(addr bus.Addr, wordIdx int, val uint32) error {
 		}
 		if !action2.NeedsBus() {
 			l := c.lookup(addr)
-			c.setState(l, action2.Next.Resolve(false))
+			c.setState(l, action2.Next.Resolve(false), "write-hit")
 			putWord(l.data, wordIdx, val)
 			c.touch(l)
 			c.noteWrite(addr, wordIdx, val)
@@ -228,7 +229,7 @@ func (c *Cache) writeMiss(addr bus.Addr, wordIdx int, val uint32) error {
 			return err
 		}
 		c.mu.Lock()
-		c.stats.StallNanos += res.Cost
+		c.noteStall(addr, res.Cost)
 		c.noteWrite(addr, wordIdx, val)
 		c.mu.Unlock()
 		return nil
@@ -284,7 +285,7 @@ func (c *Cache) fillLineWith(addr bus.Addr, action core.LocalAction) ([]byte, in
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.stats.StallNanos += res.Cost
+	c.noteStall(addr, res.Cost)
 	if !next.Valid() {
 		// A non-caching read: nothing retained.
 		return res.Data, res.Cost, nil
@@ -296,7 +297,7 @@ func (c *Cache) fillLineWith(addr bus.Addr, action core.LocalAction) ([]byte, in
 		return nil, 0, fmt.Errorf("cache %d: no free way for %#x after eviction", c.id, uint64(addr))
 	}
 	v.addr = addr
-	c.setState(v, next)
+	c.setState(v, next, "fill")
 	v.data = append(v.data[:0], res.Data...)
 	c.touch(v)
 	return append([]byte(nil), res.Data...), res.Cost, nil
@@ -338,7 +339,7 @@ func (c *Cache) makeRoom(addr bus.Addr) error {
 	}
 	if !action.NeedsBus() {
 		// Clean victims (E, S) are dropped silently.
-		c.setState(v, core.Invalid)
+		c.setState(v, core.Invalid, "evict-clean")
 		c.mu.Unlock()
 		return nil
 	}
@@ -362,9 +363,12 @@ func (c *Cache) makeRoom(addr bus.Addr) error {
 	c.mu.Lock()
 	c.stats.DirtyEvictions++
 	c.stats.Flushes++
-	c.stats.StallNanos += res.Cost
+	c.noteStall(victimAddr, res.Cost)
+	if rec := c.obs; rec != nil {
+		rec.Emit(obs.Event{TS: rec.Clock(), Kind: obs.KindEvict, Bus: c.busID, Proc: c.id, Addr: uint64(victimAddr)})
+	}
 	if l := c.lookup(victimAddr); l != nil {
-		c.setState(l, action.Next.Resolve(res.CH))
+		c.setState(l, action.Next.Resolve(res.CH), "evict")
 	}
 	c.mu.Unlock()
 	return nil
@@ -411,7 +415,7 @@ func (c *Cache) pushLine(addr bus.Addr, event core.LocalEvent) error {
 		return fmt.Errorf("cache %d (%s): no %s action for state %s", c.id, c.policyFor(addr).Name(), event, st)
 	}
 	if !action.NeedsBus() {
-		c.setState(l, action.Next.Resolve(false))
+		c.setState(l, action.Next.Resolve(false), "push")
 		if event == core.Flush {
 			c.stats.Flushes++
 		}
@@ -434,7 +438,7 @@ func (c *Cache) pushLine(addr bus.Addr, event core.LocalEvent) error {
 	}
 	c.mu.Lock()
 	if l := c.lookup(addr); l != nil {
-		c.setState(l, action.Next.Resolve(res.CH))
+		c.setState(l, action.Next.Resolve(res.CH), "push")
 	}
 	switch event {
 	case core.Pass:
@@ -442,7 +446,7 @@ func (c *Cache) pushLine(addr bus.Addr, event core.LocalEvent) error {
 	case core.Flush:
 		c.stats.Flushes++
 	}
-	c.stats.StallNanos += res.Cost
+	c.noteStall(addr, res.Cost)
 	c.mu.Unlock()
 	return nil
 }

@@ -44,7 +44,7 @@ func (c *Cache) AbsorbLineHeld(addr bus.Addr, data []byte) error {
 	l := c.lookup(addr)
 	if l != nil && l.state.MayModifySilently() {
 		copy(l.data, data)
-		c.setState(l, core.Modified)
+		c.setState(l, core.Modified, "absorb")
 		c.touch(l)
 		c.mu.Unlock()
 		return nil
@@ -83,7 +83,7 @@ func (c *Cache) AbsorbLineHeld(addr bus.Addr, data []byte) error {
 		return fmt.Errorf("cache %d: absorbed line %#x vanished", c.id, uint64(addr))
 	}
 	copy(l.data, data)
-	c.setState(l, core.Modified)
+	c.setState(l, core.Modified, "absorb")
 	c.touch(l)
 	return nil
 }
@@ -96,6 +96,6 @@ func (c *Cache) InvalidateHeld(addr bus.Addr) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if l := c.lookup(addr); l != nil {
-		c.setState(l, core.Invalid)
+		c.setState(l, core.Invalid, "invalidate-held")
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"futurebus/internal/bus"
 	"futurebus/internal/core"
+	"futurebus/internal/obs"
 )
 
 // SectorCache is the §5.1 sector organisation ([Hill84]): one address
@@ -22,6 +23,9 @@ type SectorCache struct {
 	bus    *bus.Bus
 	policy core.Policy
 	cfg    SectorConfig
+	// obs and busID are inherited from the bus (see Cache).
+	obs   *obs.Recorder
+	busID int
 
 	mu    sync.Mutex
 	sets  [][]sectorEntry
@@ -56,6 +60,29 @@ type SectorStats struct {
 	StallNanos            int64
 }
 
+// AsStats converts sector counters to the comparable plain-cache view:
+// misses are derived (Reads−ReadHits), sector evictions map to
+// Replacements, and dirty sub-sector evictions to DirtyEvictions.
+// Counters with no plain-cache analogue (SubMisses vs SectorMisses)
+// fold into the derived miss totals.
+func (s SectorStats) AsStats() Stats {
+	return Stats{
+		Reads:                 s.Reads,
+		Writes:                s.Writes,
+		ReadHits:              s.ReadHits,
+		WriteHits:             s.WriteHits,
+		ReadMisses:            s.Reads - s.ReadHits,
+		WriteMisses:           s.Writes - s.WriteHits,
+		Replacements:          s.SectorEvictions,
+		DirtyEvictions:        s.DirtySubEvictions,
+		SnoopHits:             s.SnoopHits,
+		InvalidationsReceived: s.InvalidationsReceived,
+		UpdatesReceived:       s.UpdatesReceived,
+		InterventionsSupplied: s.InterventionsSupplied,
+		StallNanos:            s.StallNanos,
+	}
+}
+
 type sub struct {
 	state core.State
 	data  []byte
@@ -73,7 +100,7 @@ func NewSector(id int, b *bus.Bus, policy core.Policy, cfg SectorConfig) *Sector
 	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.SubSectors <= 0 {
 		panic(fmt.Sprintf("cache: invalid sector geometry %d×%d×%d", cfg.Sets, cfg.Ways, cfg.SubSectors))
 	}
-	c := &SectorCache{id: id, bus: b, policy: policy, cfg: cfg}
+	c := &SectorCache{id: id, bus: b, policy: policy, cfg: cfg, obs: b.Recorder(), busID: b.ObsID()}
 	c.sets = make([][]sectorEntry, cfg.Sets)
 	for i := range c.sets {
 		ways := make([]sectorEntry, cfg.Ways)
@@ -94,6 +121,18 @@ func (c *SectorCache) Stats() SectorStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// noteStall accounts simulated bus time spent on a transaction this
+// cache issued, and emits the stall span. Callers hold c.mu.
+func (c *SectorCache) noteStall(addr bus.Addr, cost int64) {
+	c.stats.StallNanos += cost
+	if rec := c.obs; rec != nil {
+		rec.Emit(obs.Event{
+			TS: rec.Clock() - cost, Dur: cost, Kind: obs.KindStall,
+			Bus: c.busID, Proc: c.id, Addr: uint64(addr),
+		})
+	}
 }
 
 // sectorOf splits a line address into sector number and sub index.
@@ -273,7 +312,7 @@ func (c *SectorCache) writeHeld(addr bus.Addr, wordIdx int, val uint32) error {
 	e.subs[si].state = action.Next.Resolve(res.CH)
 	putWord(e.subs[si].data, wordIdx, val)
 	c.touch(e)
-	c.stats.StallNanos += res.Cost
+	c.noteStall(addr, res.Cost)
 	c.note(addr, wordIdx, val)
 	return nil
 }
@@ -318,7 +357,7 @@ func (c *SectorCache) writeMissHeld(addr bus.Addr, wordIdx int, val uint32) erro
 			return err
 		}
 		c.mu.Lock()
-		c.stats.StallNanos += res.Cost
+		c.noteStall(addr, res.Cost)
 		c.mu.Unlock()
 		c.note(addr, wordIdx, val)
 		return nil
@@ -365,7 +404,7 @@ func (c *SectorCache) fillSubWith(addr bus.Addr, action core.LocalAction) ([]byt
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.stats.StallNanos += res.Cost
+	c.noteStall(addr, res.Cost)
 	e, si := c.lookup(addr)
 	if e == nil {
 		return nil, fmt.Errorf("sector cache %d: allocated sector of %#x vanished", c.id, uint64(addr))
@@ -435,7 +474,7 @@ func (c *SectorCache) allocateSector(addr bus.Addr) error {
 			return err
 		}
 		c.mu.Lock()
-		c.stats.StallNanos += res.Cost
+		c.noteStall(bus.Addr(pushes[i].Addr), res.Cost)
 		c.mu.Unlock()
 	}
 	return nil

@@ -113,7 +113,7 @@ func (c *SectorCache) Recover(b *bus.Bus, aborted *bus.Transaction, resp bus.Sno
 	if err != nil {
 		return err
 	}
-	c.stats.StallNanos += res.Cost
+	c.noteStall(aborted.Addr, res.Cost)
 	e.subs[si].state = rec.Next
 	if !e.subs[si].state.Valid() {
 		e.subs[si].state = core.Invalid

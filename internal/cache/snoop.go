@@ -5,6 +5,7 @@ import (
 
 	"futurebus/internal/bus"
 	"futurebus/internal/core"
+	"futurebus/internal/obs"
 )
 
 // This file is the bus side of the cache: participation in every
@@ -104,12 +105,15 @@ func (c *Cache) Commit(tx *bus.Transaction, resp bus.SnoopResponse, otherCH bool
 		}
 		if action.AssertDI {
 			c.stats.WritesCaptured++
+			c.emitSnoop(obs.KindCapture, tx)
 		} else {
 			c.stats.UpdatesReceived++
+			c.emitSnoop(obs.KindUpdate, tx)
 		}
 	}
 	if tx.Op == core.BusRead && action.AssertDI {
 		c.stats.InterventionsSupplied++
+		c.emitSnoop(obs.KindIntervene, tx)
 	}
 
 	next := action.Next.Resolve(otherCH)
@@ -117,7 +121,7 @@ func (c *Cache) Commit(tx *bus.Transaction, resp bus.SnoopResponse, otherCH bool
 		next = core.Invalid
 		c.stats.InvalidationsReceived++
 	}
-	c.setState(l, next)
+	c.setState(l, next, "snoop")
 	if c.cfg.OnSnoopChange != nil && (from != next || dataChanged) {
 		c.cfg.OnSnoopChange(tx.Addr, from, next, dataChanged)
 	}
@@ -158,7 +162,16 @@ func (c *Cache) Recover(b *bus.Bus, aborted *bus.Transaction, resp bus.SnoopResp
 	if err != nil {
 		return err
 	}
-	c.stats.StallNanos += res.Cost
-	c.setState(l, rec.Next)
+	c.noteStall(aborted.Addr, res.Cost)
+	c.setState(l, rec.Next, "bs-recovery")
 	return nil
+}
+
+// emitSnoop emits an instant event for a data movement this cache
+// performed as a snooper (intervention supplied, update received, write
+// captured). Callers hold c.mu.
+func (c *Cache) emitSnoop(kind obs.Kind, tx *bus.Transaction) {
+	if rec := c.obs; rec != nil {
+		rec.Emit(obs.Event{TS: rec.Clock(), Kind: kind, Bus: c.busID, Proc: c.id, Addr: uint64(tx.Addr)})
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"futurebus/internal/check"
 	"futurebus/internal/core"
 	"futurebus/internal/memory"
+	"futurebus/internal/obs"
 	"futurebus/internal/protocols"
 )
 
@@ -36,6 +37,10 @@ type Config struct {
 	BridgeSets, BridgeWays int
 	// Shadow enables golden-image tracking.
 	Shadow bool
+	// Obs, when non-nil, instruments every bus, cache and memory in the
+	// tree. Events tag the global bus as segment 0 and cluster i's
+	// local bus as segment i+1.
+	Obs *obs.Recorder
 }
 
 // Cluster is one local bus with its caches and bridge.
@@ -85,7 +90,10 @@ func New(cfg Config) (*System, error) {
 
 	arb := bus.NewArbiter()
 	mem := memory.New(cfg.LineSize)
-	global := bus.New(mem, bus.Config{LineSize: cfg.LineSize, Arbiter: arb})
+	if cfg.Obs != nil {
+		mem.SetObs(cfg.Obs)
+	}
+	global := bus.New(mem, bus.Config{LineSize: cfg.LineSize, Arbiter: arb, Obs: cfg.Obs, ObsID: 0})
 
 	sys := &System{Global: global, Memory: mem, arbiter: arb}
 	if cfg.Shadow {
@@ -124,7 +132,7 @@ func newCluster(ci int, cfg Config, sys *System, global *bus.Bus, arb *bus.Arbit
 	bridge := newBridge(ci, ci /* global master id */, global, cache.Config{
 		Sets: cfg.BridgeSets, Ways: cfg.BridgeWays,
 	})
-	local := bus.New(bridge, bus.Config{LineSize: cfg.LineSize, Arbiter: arb})
+	local := bus.New(bridge, bus.Config{LineSize: cfg.LineSize, Arbiter: arb, Obs: cfg.Obs, ObsID: ci + 1})
 	bridge.local = local
 	local.Attach(&localAgent{bridge: bridge, id: bridgeLocalID})
 

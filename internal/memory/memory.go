@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"futurebus/internal/bus"
+	"futurebus/internal/obs"
 )
 
 // Memory is a sparse main-memory module. Lines never written read as
@@ -21,6 +22,7 @@ import (
 // memory is defined to be valid (e.g. at power-on)" (§3.1.1).
 type Memory struct {
 	lineSize int
+	rec      *obs.Recorder
 
 	mu    sync.Mutex
 	lines map[bus.Addr][]byte
@@ -47,8 +49,16 @@ func New(lineSize int) *Memory {
 // LineSize returns the module's line size in bytes.
 func (m *Memory) LineSize() int { return m.lineSize }
 
+// SetObs attaches an observability recorder: every line supplied to or
+// accepted from a bus is emitted as a memread/memwrite event. Set it
+// at configuration time, before traffic starts.
+func (m *Memory) SetObs(rec *obs.Recorder) { m.rec = rec }
+
 // ReadLine implements bus.MemoryPort.
 func (m *Memory) ReadLine(addr bus.Addr) []byte {
+	if rec := m.rec; rec != nil {
+		rec.Emit(obs.Event{TS: rec.Clock(), Kind: obs.KindMemRead, Bus: -1, Proc: -1, Addr: uint64(addr), Bytes: m.lineSize})
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.Reads++
@@ -62,6 +72,9 @@ func (m *Memory) ReadLine(addr bus.Addr) []byte {
 func (m *Memory) WriteLine(addr bus.Addr, data []byte) {
 	if len(data) != m.lineSize {
 		panic(fmt.Sprintf("memory: write of %d bytes, line size %d", len(data), m.lineSize))
+	}
+	if rec := m.rec; rec != nil {
+		rec.Emit(obs.Event{TS: rec.Clock(), Kind: obs.KindMemWrite, Bus: -1, Proc: -1, Addr: uint64(addr), Bytes: m.lineSize})
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,0 +1,95 @@
+// Package obs is the unified event-tracing and metrics layer of the
+// simulator. Every substrate — the bus, the caches, memory, the
+// engines — emits simulation-timestamped structured Events into a
+// Recorder, which moves them through a fixed-size lock-free ring buffer
+// (safe to feed from the goroutine-per-processor concurrent engine)
+// into pluggable Sinks: a Chrome trace-event exporter for Perfetto, a
+// JSONL exporter, a per-line audit trail, and log-bucketed latency
+// histograms.
+//
+// The whole layer is optional: a nil *Recorder is a valid recorder
+// whose methods are no-ops, and every instrumentation site guards
+// event construction behind a single nil check, so an uninstrumented
+// run pays one predictable branch per site.
+package obs
+
+// Kind names an event type. Kinds are stable strings so JSONL output
+// is self-describing and round-trips without a registry.
+type Kind string
+
+const (
+	// KindTx is a completed (non-aborted) bus transaction. TS is the
+	// simulated begin time, Dur the total bus occupancy including
+	// aborted attempts; Col, CH/DI/SL and Retries carry the resolved
+	// address-cycle outcome.
+	KindTx Kind = "tx"
+	// KindGrant marks the arbiter granting mastership for a
+	// transaction (the begin of its first address cycle).
+	KindGrant Kind = "grant"
+	// KindAbort is one BS abort of a transaction attempt; Proc is the
+	// aborted master.
+	KindAbort Kind = "abort"
+	// KindRecover is a BS recovery push: Proc is the owner that
+	// asserted BS and is pushing the line to memory.
+	KindRecover Kind = "recover"
+	// KindState is a cache-line state transition: Proc's copy of Addr
+	// moved From→To because of Cause.
+	KindState Kind = "state"
+	// KindIntervene marks an owning cache supplying read data (DI).
+	KindIntervene Kind = "intervene"
+	// KindUpdate marks a snooper merging a broadcast write (SL).
+	KindUpdate Kind = "update"
+	// KindCapture marks an owner capturing a non-broadcast write (DI).
+	KindCapture Kind = "capture"
+	// KindEvict is a dirty eviction: a replacement pushed an owned
+	// line back to memory.
+	KindEvict Kind = "evict"
+	// KindStall is processor-side: Proc stalled Dur simulated ns on a
+	// bus operation it issued for Addr.
+	KindStall Kind = "stall"
+	// KindMemRead / KindMemWrite are main-memory line accesses.
+	KindMemRead  Kind = "memread"
+	KindMemWrite Kind = "memwrite"
+)
+
+// Event is one structured observation. The zero value of every field
+// except Kind is meaningful ("not applicable"), so emitters fill only
+// what they know. Addr is a raw line address (bus.Addr widened) to
+// keep obs importable from the bus package itself.
+type Event struct {
+	// Seq is the global emission order, assigned by the Recorder.
+	Seq uint64 `json:"seq"`
+	// TS is the simulated timestamp in nanoseconds (the Recorder's
+	// clock, advanced by bus occupancy).
+	TS int64 `json:"ts"`
+	// Dur is a duration in simulated nanoseconds for span-like events
+	// (tx cost, stall time); 0 for instants.
+	Dur int64 `json:"dur,omitempty"`
+	// Kind discriminates the event.
+	Kind Kind `json:"kind"`
+	// Bus identifies the bus segment (0 for a single-bus system; a
+	// hierarchy numbers global=0, clusters 1..N; -1 = not applicable).
+	Bus int `json:"bus"`
+	// Proc is the board / master / snooper id (-1 = not applicable).
+	Proc int `json:"proc"`
+	// Addr is the line address.
+	Addr uint64 `json:"addr"`
+	// Col is the Table 2 event column of a bus transaction (-1 = n/a).
+	Col int `json:"col,omitempty"`
+	// Op is the data phase of a transaction: "R", "W" or "A".
+	Op string `json:"op,omitempty"`
+	// From and To are state letters for KindState.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Cause says why a state transition happened ("snoop", "fill",
+	// "evict", "write-upgrade", ...).
+	Cause string `json:"cause,omitempty"`
+	// CH, DI, SL are the resolved wired-OR response lines of a tx.
+	CH bool `json:"ch,omitempty"`
+	DI bool `json:"di,omitempty"`
+	SL bool `json:"sl,omitempty"`
+	// Retries counts BS abort/retry rounds the transaction suffered.
+	Retries int `json:"retries,omitempty"`
+	// Bytes is the data-phase payload size.
+	Bytes int `json:"bytes,omitempty"`
+}

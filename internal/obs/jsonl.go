@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONLSink streams every event as one JSON object per line — the
+// machine-readable firehose for offline analysis (jq, pandas, diffing
+// two runs). Unlike the Chrome exporter it does not buffer the run:
+// events are written as they drain, so it is usable on runs too large
+// to hold in memory.
+type JSONLSink struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewJSONLSink creates a sink writing one event per line to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{bw: bufio.NewWriter(w)}
+}
+
+// Consume implements Sink.
+func (s *JSONLSink) Consume(e *Event) {
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		s.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.bw.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Flush implements Sink.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// ReadJSONL parses a JSONL event stream back into events (the reverse
+// of JSONLSink, for round-trip tests and offline tools).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", lineNo, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink consumes drained events. Consume is always called from a single
+// goroutine at a time (the Recorder serialises draining), in emission
+// order, so sinks need no internal locking against each other — only
+// against their own readers (see HistogramSink, LineAuditSink).
+type Sink interface {
+	// Consume observes one event. The pointee is only valid for the
+	// duration of the call; sinks that retain events must copy.
+	Consume(e *Event)
+	// Flush finalises buffered output (write files, close arrays).
+	Flush() error
+}
+
+// SinkFunc adapts a function to a Sink with a no-op Flush.
+type SinkFunc func(e *Event)
+
+// Consume implements Sink.
+func (f SinkFunc) Consume(e *Event) { f(e) }
+
+// Flush implements Sink.
+func (f SinkFunc) Flush() error { return nil }
+
+// DefaultBuffer is the ring capacity used by New.
+const DefaultBuffer = 1 << 16
+
+// Recorder accepts events from any goroutine and moves them through a
+// lock-free ring into its sinks from a background drain goroutine. A
+// nil *Recorder is valid and inert: every method is a no-op, which is
+// the branch-cheap fast path the substrates rely on.
+type Recorder struct {
+	ring  *ring
+	clock atomic.Int64
+	sinks []Sink
+
+	drainMu sync.Mutex // serialises ring consumption and sink access
+	notify  chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// New creates a recorder with the default ring capacity.
+func New(sinks ...Sink) *Recorder { return NewSized(DefaultBuffer, sinks...) }
+
+// NewSized creates a recorder whose ring holds at least buffer events.
+func NewSized(buffer int, sinks ...Sink) *Recorder {
+	if buffer < 2 {
+		buffer = 2
+	}
+	r := &Recorder{
+		ring:   newRing(buffer),
+		sinks:  sinks,
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.drainLoop()
+	return r
+}
+
+// Sinks returns the attached sinks (for summary extraction at the end
+// of a run, e.g. FindHistogram).
+func (r *Recorder) Sinks() []Sink {
+	if r == nil {
+		return nil
+	}
+	return r.sinks
+}
+
+// Clock returns the simulated time in nanoseconds: the cumulative bus
+// occupancy advanced by the bus as transactions complete.
+func (r *Recorder) Clock() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.clock.Load()
+}
+
+// Advance moves the simulated clock forward by d and returns the clock
+// value BEFORE the advance — the begin timestamp of the span that d
+// paid for.
+func (r *Recorder) Advance(d int64) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.clock.Add(d) - d
+}
+
+// Emit enqueues one event. Safe from any goroutine. When the ring is
+// full, Emit yields until the drainer frees space (events are never
+// dropped while the recorder is open, so audit trails stay complete).
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	for !r.ring.push(&e) {
+		if r.closed.Load() {
+			return // drainer gone; drop rather than spin forever
+		}
+		r.wake()
+		runtime.Gosched()
+	}
+	r.wake()
+}
+
+func (r *Recorder) wake() {
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (r *Recorder) drainLoop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.notify:
+			r.drain()
+		case <-r.done:
+			r.drain()
+			return
+		}
+	}
+}
+
+// drain delivers every currently buffered event to the sinks.
+func (r *Recorder) drain() {
+	r.drainMu.Lock()
+	defer r.drainMu.Unlock()
+	var e Event
+	for r.ring.pop(&e) {
+		for _, s := range r.sinks {
+			s.Consume(&e)
+		}
+	}
+}
+
+// Drain delivers every buffered event to the sinks without flushing
+// them — use it to read pull-style sinks (histograms) mid-run without
+// forcing document-style sinks (the Chrome exporter writes a single
+// JSON document on Flush) to finalise their output.
+func (r *Recorder) Drain() {
+	if r == nil {
+		return
+	}
+	r.drain()
+}
+
+// Flush drains the ring and flushes every sink. Call it when the
+// system is quiescent (no emitters mid-flight) to get a complete view.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.drain()
+	var first error
+	for _, s := range r.sinks {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close stops the drain goroutine, drains whatever remains and flushes
+// the sinks. The recorder accepts (and discards) Emits afterwards.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	if r.closed.Swap(true) {
+		return nil
+	}
+	close(r.done)
+	r.wg.Wait()
+	return r.Flush()
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"sync/atomic"
+)
+
+// ring is a bounded multi-producer single-consumer queue of Events
+// (Vyukov's bounded MPMC algorithm, consumed from one goroutine). Each
+// slot carries a sequence word: producers claim a position with a CAS
+// on tail, write the event, and publish by storing pos+1 into the
+// slot; the consumer reads a slot only once its sequence shows the
+// publication, so an enqueue-in-progress never tears.
+type ring struct {
+	mask  uint64
+	slots []slot
+	tail  atomic.Uint64 // next enqueue position
+	head  atomic.Uint64 // next dequeue position (single consumer)
+}
+
+type slot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+// newRing creates a ring with capacity rounded up to a power of two.
+func newRing(capacity int) *ring {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r := &ring{mask: uint64(n - 1), slots: make([]slot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues ev, returning false when the ring is full.
+func (r *ring) push(ev *Event) bool {
+	for {
+		pos := r.tail.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				ev.Seq = pos
+				s.ev = *ev
+				s.seq.Store(pos + 1)
+				return true
+			}
+		case d < 0:
+			return false // full: the consumer has not freed this slot
+		}
+		// d > 0: another producer claimed pos; reload and retry.
+	}
+}
+
+// pop dequeues into out, returning false when the ring is empty. Only
+// one goroutine may call pop at a time.
+func (r *ring) pop(out *Event) bool {
+	pos := r.head.Load()
+	s := &r.slots[pos&r.mask]
+	if int64(s.seq.Load())-int64(pos+1) < 0 {
+		return false
+	}
+	*out = s.ev
+	s.seq.Store(pos + r.mask + 1)
+	r.head.Store(pos + 1)
+	return true
+}

@@ -56,6 +56,7 @@ func RunConcurrent(sys *System, gens []workload.Generator, refsPerProc int) (Met
 		Bus:        sys.Bus.Stats(),
 		Memory:     sys.Memory.Stats(),
 		Cache:      aggregate(sys.Caches, sys.SectorCaches),
+		Hist:       histSummaries(sys.Obs),
 	}
 	m.ElapsedNanos = m.Bus.BusyNanos + m.Refs*DefaultHitLatency/int64(max(1, len(sys.Boards)))
 

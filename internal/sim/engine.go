@@ -141,5 +141,6 @@ func (e *Engine) metrics(refs, elapsed, hit int64) Metrics {
 		Bus:          e.Sys.Bus.Stats(),
 		Memory:       e.Sys.Memory.Stats(),
 		Cache:        aggregate(e.Sys.Caches, e.Sys.SectorCaches),
+		Hist:         histSummaries(e.Sys.Obs),
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"futurebus/internal/bus"
+	"futurebus/internal/obs"
 	"futurebus/internal/workload"
 )
 
@@ -19,6 +20,10 @@ type ExperimentOpts struct {
 	RefsPerProc int
 	// Seed makes runs reproducible.
 	Seed uint64
+	// Obs, when non-nil, instruments every system an experiment builds
+	// (latency histograms, traces). Metrics.Hist is filled when the
+	// recorder carries a HistogramSink.
+	Obs *obs.Recorder
 }
 
 // DefaultOpts is used by the commands; tests use smaller runs.
@@ -45,6 +50,7 @@ func abWorkload(sys *System, pShared, pWrite float64, seed uint64) []workload.Ge
 // model, and returns the metrics.
 func runHomogeneous(protocol string, n int, pShared, pWrite float64, opts ExperimentOpts) (Metrics, error) {
 	cfg := Homogeneous(protocol, n)
+	cfg.Obs = opts.Obs
 	sys, err := New(cfg)
 	if err != nil {
 		return Metrics{}, err
@@ -124,7 +130,9 @@ func UpdateVsInvalidate(opts ExperimentOpts) (*Report, error) {
 	}
 	for _, pat := range patterns {
 		for _, name := range protos {
-			sys, err := New(Homogeneous(name, 4))
+			cfg := Homogeneous(name, 4)
+			cfg.Obs = opts.Obs
+			sys, err := New(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -160,6 +168,7 @@ func MixedBus(opts ExperimentOpts) (*Report, error) {
 			{Protocol: "uncached"},
 		},
 		Shadow: true,
+		Obs:    opts.Obs,
 	}
 	sys, err := New(cfg)
 	if err != nil {
@@ -198,7 +207,7 @@ func RandomChoice(opts ExperimentOpts) (*Report, error) {
 		{{Protocol: "round-robin"}, {Protocol: "round-robin"}, {Protocol: "round-robin"}, {Protocol: "round-robin"}},
 		{{Protocol: "random"}, {Protocol: "round-robin"}, {Protocol: "moesi"}, {Protocol: "berkeley"}},
 	} {
-		sys, err := New(Config{Boards: mix, Shadow: true})
+		sys, err := New(Config{Boards: mix, Shadow: true, Obs: opts.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -275,6 +284,7 @@ func LineSizeSweep(opts ExperimentOpts) (*Report, error) {
 		// Keep capacity constant at 4 KiB per cache.
 		cfg.CacheSets = 4096 / lineSize / 2
 		cfg.CacheWays = 2
+		cfg.Obs = opts.Obs
 		sys, err := New(cfg)
 		if err != nil {
 			return nil, err
@@ -312,7 +322,9 @@ func AbortRetryOverhead(opts ExperimentOpts) (*Report, error) {
 		Columns: []string{"protocol", "aborts", "interventions", "trans/ref", "busUtil", "efficiency"},
 	}
 	for _, name := range []string{"moesi-invalidate", "berkeley", "illinois", "synapse", "write-once", "firefly"} {
-		sys, err := New(Homogeneous(name, 4))
+		cfg := Homogeneous(name, 4)
+		cfg.Obs = opts.Obs
+		sys, err := New(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -346,6 +358,7 @@ func HandshakePenalty(opts ExperimentOpts) (*Report, error) {
 		cfg := Homogeneous("moesi", 4)
 		cfg.Timing = bus.DefaultTiming()
 		cfg.Timing.WiredORPenalty = penalty
+		cfg.Obs = opts.Obs
 		sys, err := New(cfg)
 		if err != nil {
 			return nil, err
@@ -404,6 +417,7 @@ func SlowBoardTax(opts ExperimentOpts) (*Report, error) {
 		cfg := Homogeneous("moesi", 4)
 		cfg.Timing = bus.DefaultTiming()
 		cfg.Timing.AddressCycle = tr.Complete - cfg.Timing.WiredORPenalty
+		cfg.Obs = opts.Obs
 		sys, err := New(cfg)
 		if err != nil {
 			return nil, err

@@ -29,6 +29,7 @@ func MultiBusScaling(opts ExperimentOpts) (*Report, error) {
 			CacheSets:       32,
 			CacheWays:       2,
 			Shadow:          true,
+			Obs:             opts.Obs,
 		})
 		if err != nil {
 			return nil, err

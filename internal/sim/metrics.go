@@ -8,6 +8,7 @@ import (
 	"futurebus/internal/cache"
 	"futurebus/internal/core"
 	"futurebus/internal/memory"
+	"futurebus/internal/obs"
 )
 
 // Metrics aggregates the result of one simulation run.
@@ -27,51 +28,37 @@ type Metrics struct {
 	Bus    bus.Stats
 	Memory memory.Stats
 	Cache  cache.Stats // summed over all caches
+	// Hist carries latency/stall/retry distribution summaries when the
+	// run had an obs.HistogramSink attached (nil otherwise). Keys are
+	// the obs.Metric* names.
+	Hist map[string]obs.Summary `json:",omitempty"`
 }
 
-// aggregate sums per-cache stats, folding sector-cache counters into
-// the comparable fields.
+// histSummaries drains the recorder and digests its histogram sink, if
+// any. Safe on a nil recorder or a recorder without a HistogramSink.
+func histSummaries(rec *obs.Recorder) map[string]obs.Summary {
+	if rec == nil {
+		return nil
+	}
+	rec.Drain()
+	h := obs.FindHistogram(rec)
+	if h == nil {
+		return nil
+	}
+	return h.Summaries()
+}
+
+// aggregate sums per-cache stats via cache.Stats.Add, folding
+// sector-cache counters in through SectorStats.AsStats — both live next
+// to the Stats definitions, so a new counter cannot be silently dropped
+// here.
 func aggregate(caches []*cache.Cache, sectors []*cache.SectorCache) cache.Stats {
 	var total cache.Stats
 	for _, sc := range sectors {
-		s := sc.Stats()
-		total.Reads += s.Reads
-		total.Writes += s.Writes
-		total.ReadHits += s.ReadHits
-		total.WriteHits += s.WriteHits
-		total.ReadMisses += s.Reads - s.ReadHits
-		total.WriteMisses += s.Writes - s.WriteHits
-		total.SnoopHits += s.SnoopHits
-		total.InvalidationsReceived += s.InvalidationsReceived
-		total.UpdatesReceived += s.UpdatesReceived
-		total.InterventionsSupplied += s.InterventionsSupplied
-		total.StallNanos += s.StallNanos
+		total.Add(sc.Stats().AsStats())
 	}
 	for _, c := range caches {
-		s := c.Stats()
-		total.Reads += s.Reads
-		total.Writes += s.Writes
-		total.ReadHits += s.ReadHits
-		total.WriteHits += s.WriteHits
-		total.ReadMisses += s.ReadMisses
-		total.WriteMisses += s.WriteMisses
-		total.WriteUpgrades += s.WriteUpgrades
-		total.Passes += s.Passes
-		total.Flushes += s.Flushes
-		total.Replacements += s.Replacements
-		total.DirtyEvictions += s.DirtyEvictions
-		total.SnoopHits += s.SnoopHits
-		total.InvalidationsReceived += s.InvalidationsReceived
-		total.UpdatesReceived += s.UpdatesReceived
-		total.InterventionsSupplied += s.InterventionsSupplied
-		total.WritesCaptured += s.WritesCaptured
-		total.AbortsIssued += s.AbortsIssued
-		total.StallNanos += s.StallNanos
-		for from := range s.Transitions {
-			for to := range s.Transitions[from] {
-				total.Transitions[from][to] += s.Transitions[from][to]
-			}
-		}
+		total.Add(c.Stats())
 	}
 	return total
 }
@@ -119,21 +106,22 @@ func (m Metrics) BytesPerRef() float64 {
 	return float64(m.Bus.BytesTransferred) / float64(m.Refs)
 }
 
-// BusUtilization is the fraction of elapsed time the bus was busy.
+// BusUtilization is the fraction of elapsed time the bus was busy. It
+// is NOT clamped: a value above 1.0 means the accounting model was
+// overcommitted (BusyNanos exceeded the elapsed clock — e.g. the
+// concurrent engine's wall-clock elapsed time undercounting simulated
+// bus time) and should be surfaced, not hidden. See Overcommitted.
 func (m Metrics) BusUtilization() float64 {
 	if m.ElapsedNanos == 0 {
 		return 0
 	}
-	u := float64(m.Bus.BusyNanos) / float64(m.ElapsedNanos)
-	if u > 1 {
-		u = 1
-	}
-	return u
+	return float64(m.Bus.BusyNanos) / float64(m.ElapsedNanos)
 }
 
 // Efficiency is processor efficiency in the [Arch85] sense: the
 // fraction of a processor's time spent executing rather than stalled on
-// the bus. 1.0 means every reference hit.
+// the bus. 1.0 means every reference hit. Like BusUtilization it is
+// unclamped; >1 indicates an inconsistent elapsed-time model.
 func (m Metrics) Efficiency() float64 {
 	if m.ElapsedNanos == 0 || m.Procs == 0 {
 		return 0
@@ -143,11 +131,14 @@ func (m Metrics) Efficiency() float64 {
 	if total == 0 {
 		return 0
 	}
-	e := useful / total
-	if e > 1 {
-		e = 1
-	}
-	return e
+	return useful / total
+}
+
+// Overcommitted reports whether either derived ratio exceeds 1.0 —
+// i.e. the run's time accounting is internally inconsistent and the
+// ratios should be read as model diagnostics, not physical fractions.
+func (m Metrics) Overcommitted() bool {
+	return m.BusUtilization() > 1 || m.Efficiency() > 1
 }
 
 // SystemPower is Procs × Efficiency: the effective number of

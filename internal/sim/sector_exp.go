@@ -50,7 +50,10 @@ func SectorVsPlain(opts ExperimentOpts) (*Report, error) {
 		{"plain 16B, 256 tags", 16, 0, 4096},
 	} {
 		mem := memory.New(sh.lineSize)
-		b := bus.New(mem, bus.Config{LineSize: sh.lineSize})
+		if opts.Obs != nil {
+			mem.SetObs(opts.Obs)
+		}
+		b := bus.New(mem, bus.Config{LineSize: sh.lineSize, Obs: opts.Obs})
 		shadow := check.NewShadow(sh.lineSize)
 
 		capacity := sh.capacity

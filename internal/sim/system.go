@@ -14,6 +14,7 @@ import (
 	"futurebus/internal/cache"
 	"futurebus/internal/check"
 	"futurebus/internal/memory"
+	"futurebus/internal/obs"
 	"futurebus/internal/protocols"
 	"futurebus/internal/workload"
 )
@@ -60,6 +61,13 @@ type Config struct {
 	// Paranoid enables per-response class validation on the bus
 	// (bus.Config.Paranoid).
 	Paranoid bool
+	// Obs, when non-nil, instruments the whole system: the bus, every
+	// cache and memory emit structured events into it. Nil = tracing
+	// off (the fast path).
+	Obs *obs.Recorder
+	// ObsID tags the bus segment in emitted events (0 for a single-bus
+	// system; hierarchies number clusters 1..N).
+	ObsID int
 }
 
 // System is an assembled machine.
@@ -72,6 +80,8 @@ type System struct {
 	Caches       []*cache.Cache
 	SectorCaches []*cache.SectorCache
 	Shadow       *check.Shadow
+	// Obs is the recorder the system was built with (nil if untraced).
+	Obs *obs.Recorder
 }
 
 // cachedBoard adapts cache.Cache to Board.
@@ -132,8 +142,14 @@ func New(cfg Config) (*System, error) {
 		cfg.CacheWays = 2
 	}
 	mem := memory.New(lineSize)
-	b := bus.New(mem, bus.Config{LineSize: lineSize, Timing: cfg.Timing, Paranoid: cfg.Paranoid})
-	sys := &System{Bus: b, Memory: mem}
+	if cfg.Obs != nil {
+		mem.SetObs(cfg.Obs)
+	}
+	b := bus.New(mem, bus.Config{
+		LineSize: lineSize, Timing: cfg.Timing, Paranoid: cfg.Paranoid,
+		Obs: cfg.Obs, ObsID: cfg.ObsID,
+	})
+	sys := &System{Bus: b, Memory: mem, Obs: cfg.Obs}
 	if cfg.Shadow {
 		sys.Shadow = check.NewShadow(lineSize)
 	}
