@@ -15,9 +15,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"futurebus/internal/bus"
 	"futurebus/internal/obs"
+	"futurebus/internal/obs/obshttp"
 	"futurebus/internal/sim"
 	"futurebus/internal/workload"
 )
@@ -45,6 +47,8 @@ func main() {
 	metricsJSON := flag.String("metrics-json", "", "write the run metrics as JSON to this file ('-' = stdout)")
 	hist := flag.Bool("hist", false, "print p50/p95/p99 latency/stall/retry histograms")
 	audit := flag.Uint64("audit", 0, "print the event history of this line address after the run (0 = off)")
+	serveAddr := flag.String("serve", "", "serve live observability on this address (/metrics, /healthz, /events, /slow, /debug/pprof)")
+	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the run finishes")
 	flag.Parse()
 
 	var boards []sim.BoardSpec
@@ -83,6 +87,11 @@ func main() {
 		auditSink = obs.NewLineAuditSink(0)
 		sinks = append(sinks, auditSink)
 	}
+	var svc *obshttp.Service
+	if *serveAddr != "" {
+		svc = obshttp.NewService(0)
+		sinks = append(sinks, svc.Sinks()...)
+	}
 	var rec *obs.Recorder
 	if len(sinks) > 0 {
 		rec = obs.New(sinks...)
@@ -99,6 +108,17 @@ func main() {
 	}
 	sys, err := sim.New(cfg)
 	fail(err)
+
+	var srv *obshttp.Server
+	if svc != nil {
+		for i, spec := range boards {
+			svc.Attr.SetProcLabel(i, spec.Protocol)
+		}
+		sys.RegisterLiveGauges(svc.Registry, sim.DefaultHitLatency)
+		srv, err = svc.Serve(*serveAddr)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "fbsim: serving observability on %s (/metrics /healthz /events /slow /debug/pprof)\n", srv.URL())
+	}
 
 	if *watch != 0 {
 		watchAddr := bus.Addr(*watch)
@@ -199,8 +219,18 @@ func main() {
 		fmt.Fprintf(sum, "state transitions:\n%s", m.TransitionTable())
 	}
 
+	if srv != nil {
+		if *serveLinger > 0 {
+			fmt.Fprintf(os.Stderr, "fbsim: run finished; observability endpoint stays up for %s\n", *serveLinger)
+			time.Sleep(*serveLinger)
+		}
+		fail(srv.Close())
+	}
 	if rec != nil {
 		fail(rec.Close())
+		if dropped := rec.Dropped(); dropped > 0 {
+			fmt.Fprintf(os.Stderr, "fbsim: warning: %d events emitted after recorder close were dropped\n", dropped)
+		}
 		if *hist {
 			if h := obs.FindHistogram(rec); h != nil {
 				fmt.Fprintf(sum, "latency histograms:\n%s", h.Render())

@@ -13,8 +13,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"futurebus/internal/obs"
+	"futurebus/internal/obs/obshttp"
 	"futurebus/internal/sim"
 )
 
@@ -27,6 +29,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of every system the sweep ran")
 	metricsJSON := flag.String("metrics-json", "", "write the reports as JSON to this file ('-' = stdout)")
 	hist := flag.Bool("hist", false, "print sweep-wide p50/p95/p99 latency/stall/retry histograms")
+	serveAddr := flag.String("serve", "", "serve live observability on this address (/metrics, /healthz, /events, /slow, /debug/pprof)")
+	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the sweep finishes")
 	flag.Parse()
 
 	// One recorder instruments every system the experiments build, so
@@ -41,6 +45,18 @@ func main() {
 	}
 	if *hist {
 		sinks = append(sinks, obs.NewHistogramSink())
+	}
+	// -serve instruments the whole sweep: the event-fed registry,
+	// phase summaries, SSE tail and slow-transaction ring cover every
+	// system the experiments build.
+	var srv *obshttp.Server
+	if *serveAddr != "" {
+		svc := obshttp.NewService(0)
+		sinks = append(sinks, svc.Sinks()...)
+		var err error
+		srv, err = svc.Serve(*serveAddr)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "fbsweep: serving observability on %s (/metrics /healthz /events /slow /debug/pprof)\n", srv.URL())
 	}
 	var rec *obs.Recorder
 	if len(sinks) > 0 {
@@ -108,8 +124,18 @@ func main() {
 		}
 	}
 
+	if srv != nil {
+		if *serveLinger > 0 {
+			fmt.Fprintf(os.Stderr, "fbsweep: sweep finished; observability endpoint stays up for %s\n", *serveLinger)
+			time.Sleep(*serveLinger)
+		}
+		fail(srv.Close())
+	}
 	if rec != nil {
 		fail(rec.Close())
+		if dropped := rec.Dropped(); dropped > 0 {
+			fmt.Fprintf(os.Stderr, "fbsweep: warning: %d events emitted after recorder close were dropped\n", dropped)
+		}
 		if *hist {
 			if h := obs.FindHistogram(rec); h != nil {
 				fmt.Printf("\nsweep-wide latency histograms:\n%s", h.Render())

@@ -49,3 +49,13 @@ func (f *fifoMutex) Unlock() {
 	}
 	f.mu.Unlock()
 }
+
+// pending returns tickets issued but not yet released: the current
+// holder plus queued waiters. A ticket is only taken after the caller
+// read its arbitration-wait start clock, so pending > 1 proves a
+// contender's wait measurement has begun (deterministic test hook).
+func (f *fifoMutex) pending() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next - f.serving
+}

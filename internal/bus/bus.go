@@ -111,6 +111,10 @@ type Result struct {
 	// Cost is the bus time consumed, in nanoseconds, including aborted
 	// attempts and recovery pushes.
 	Cost int64
+	// Phases attributes the transaction's time to bus phases:
+	// Phases.Occupancy() == Cost, and Phases.Arb carries the simulated
+	// arbitration wait before the grant (not part of Cost).
+	Phases PhaseCosts
 }
 
 // ErrTooManyRetries is returned when BS aborts do not quiesce; a correct
@@ -168,6 +172,11 @@ type Bus struct {
 	// trace, when non-nil, receives every executed transaction.
 	trace func(tx *Transaction, r *Result)
 	depth int // nested-transaction depth (recovery pushes)
+	// arbWait is the simulated time the current mastership spent
+	// waiting for the grant, measured against the recorder's occupancy
+	// clock in Acquire/Execute and consumed by the first transaction
+	// executed under the grant. Guarded by the arbiter lock.
+	arbWait int64
 }
 
 // New creates a bus with the given memory module.
@@ -233,8 +242,8 @@ func (b *Bus) Stats() Stats {
 // It blocks until the FIFO arbiter grants the bus. Masters must not
 // call Execute while holding any lock a snooper's Query/Commit needs.
 func (b *Bus) Execute(tx *Transaction) (Result, error) {
-	b.arb.mu.Lock()
-	defer b.arb.mu.Unlock()
+	b.Acquire()
+	defer b.Release()
 	return b.executeLocked(tx)
 }
 
@@ -243,10 +252,25 @@ func (b *Bus) Execute(tx *Transaction) (Result, error) {
 // directory (the state may have changed while it waited), and only
 // then issues transactions with ExecuteHeld — the same
 // look-up-again-after-arbitration a hardware cache controller performs.
-func (b *Bus) Acquire() { b.arb.mu.Lock() }
+//
+// When observability is on, the occupancy-clock advance across the
+// wait is recorded as the arbitration-wait phase of the first
+// transaction executed under this grant.
+func (b *Bus) Acquire() {
+	if rec := b.cfg.Obs; rec != nil {
+		t0 := rec.Clock()
+		b.arb.mu.Lock()
+		b.arbWait = rec.Clock() - t0
+		return
+	}
+	b.arb.mu.Lock()
+}
 
 // Release returns bus mastership.
-func (b *Bus) Release() { b.arb.mu.Unlock() }
+func (b *Bus) Release() {
+	b.arbWait = 0
+	b.arb.mu.Unlock()
+}
 
 // ExecuteHeld runs a transaction on an already-Acquired bus. It is also
 // how a BS recovery push runs nested inside an aborted transaction.
@@ -258,13 +282,19 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 	if err := tx.check(b.cfg.LineSize); err != nil {
 		return Result{}, err
 	}
+	// The first transaction of a mastership absorbs the arbitration
+	// wait; nested recovery pushes and follow-on held transactions ran
+	// without re-arbitrating.
+	arbWait := b.arbWait
+	b.arbWait = 0
 	if rec := b.cfg.Obs; rec != nil {
 		rec.Emit(obs.Event{
-			TS: rec.Clock(), Kind: obs.KindGrant, Bus: b.cfg.ObsID,
+			TS: rec.Clock(), Dur: arbWait, Kind: obs.KindGrant, Bus: b.cfg.ObsID,
 			Proc: tx.MasterID, Addr: uint64(tx.Addr), Col: tx.Event().Column(),
 		})
 	}
 	var res Result
+	res.Phases.Arb = arbWait
 	for attempt := 0; ; attempt++ {
 		if attempt > maxRetries {
 			return res, fmt.Errorf("%w: %s", ErrTooManyRetries, tx)
@@ -300,10 +330,14 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 			}
 			return res, errors.New(paranoidErr)
 		}
-		// Every address cycle pays the full broadcast handshake.
-		res.Cost += b.cfg.Timing.AddressCycleCost()
+		// Every address cycle pays the full broadcast handshake; aborted
+		// attempts charge it to the retry phase, the successful one to
+		// the address phase.
+		addrCost := b.cfg.Timing.AddressCycleCost()
+		res.Cost += addrCost
 
 		if busy {
+			res.Phases.Retry += addrCost
 			// BS: abort this attempt. Release every unit's directory
 			// first (Cancel), then each asserter pushes its line to
 			// memory as a nested transaction, and the master retries
@@ -352,6 +386,11 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 		}
 		r.Retries = res.Retries
 		r.Cost += res.Cost
+		// completeAttempt filled the data-phase breakdown; graft the
+		// attempt-loop phases (arbitration, address, retry) onto it.
+		r.Phases.Arb = res.Phases.Arb
+		r.Phases.Addr = addrCost
+		r.Phases.Retry = res.Phases.Retry
 		b.stats.record(tx, &r, b.cfg.LineSize)
 		if rec := b.cfg.Obs; rec != nil {
 			// The recorder's clock is cumulative bus occupancy; this
@@ -363,6 +402,9 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 				Col: tx.Event().Column(), Op: opLetter(tx.Op),
 				CH: r.CH, DI: r.DI, SL: r.SL,
 				Retries: r.Retries, Bytes: txBytes(tx, b.cfg.LineSize),
+				ArbNS: r.Phases.Arb, AddrNS: r.Phases.Addr,
+				DataNS: r.Phases.Data, IntvNS: r.Phases.Intervention,
+				MemNS: r.Phases.Memory, RetryNS: r.Phases.Retry,
 			})
 		}
 		if b.trace != nil {
@@ -468,6 +510,13 @@ func (b *Bus) completeAttempt(tx *Transaction, responses []SnoopResponse) (Resul
 		return res, fmt.Errorf("bus: unsupported op %v in %s", tx.Op, tx)
 	}
 
-	res.Cost += b.cfg.Timing.DataPhaseCost(tx, &res, b.cfg.LineSize)
+	beats, firstWord, fromOwner := b.cfg.Timing.DataPhaseParts(tx, &res, b.cfg.LineSize)
+	res.Phases.Data = beats
+	if fromOwner {
+		res.Phases.Intervention = firstWord
+	} else {
+		res.Phases.Memory = firstWord
+	}
+	res.Cost += beats + firstWord
 	return res, nil
 }

@@ -1,0 +1,43 @@
+package bus
+
+// PhaseCosts decomposes one transaction's simulated time by bus phase,
+// in nanoseconds — the paper's Table 2 costs broken down to where the
+// time actually went. Addr+Data+Intervention+Memory+Retry always equals
+// Result.Cost; Arb is waiting time (the bus was occupied by others), so
+// it is attributed to the master but not counted as bus occupancy.
+type PhaseCosts struct {
+	// Arb is the simulated time the master waited for the arbiter's
+	// grant while earlier transactions occupied the bus. It is measured
+	// against the recorder's occupancy clock, so it is zero when
+	// observability is off or the bus was idle.
+	Arb int64 `json:"arb"`
+	// Addr is the successful broadcast address handshake, including the
+	// 25 ns wired-OR glitch-filter penalty (§2.2).
+	Addr int64 `json:"addr"`
+	// Data is the transfer beats of the data phase: per-word cycles
+	// plus the wired-OR penalty on multi-party (broadcast) data cycles.
+	Data int64 `json:"data"`
+	// Intervention is the first-word latency paid when an owning cache
+	// preempted memory (DI) — the cache-to-cache supply path.
+	Intervention int64 `json:"intervention"`
+	// Memory is the first-word latency paid when main memory responded
+	// (reads it served, writes it accepted).
+	Memory int64 `json:"memory"`
+	// Retry is the BS abort/retry overhead: the address cycles of every
+	// aborted attempt. The owner's recovery pushes run as nested
+	// transactions and are accounted (and emitted) as their own
+	// transactions, charged to the recovering owner.
+	Retry int64 `json:"retry"`
+}
+
+// Occupancy is the bus-occupied portion of the breakdown — everything
+// except the arbitration wait. It equals Result.Cost.
+func (p PhaseCosts) Occupancy() int64 {
+	return p.Addr + p.Data + p.Intervention + p.Memory + p.Retry
+}
+
+// Transfer is the data-movement portion: beats plus whichever
+// first-word latency applied.
+func (p PhaseCosts) Transfer() int64 {
+	return p.Data + p.Intervention + p.Memory
+}

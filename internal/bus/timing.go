@@ -49,38 +49,47 @@ func (t Timing) AddressCycleCost() int64 {
 }
 
 // DataPhaseCost is the cost of the data phase of a completed
-// transaction.
+// transaction: the transfer beats plus the responder's first-word
+// latency. See DataPhaseParts for the decomposition.
 func (t Timing) DataPhaseCost(tx *Transaction, r *Result, lineSize int) int64 {
+	beats, firstWord, _ := t.DataPhaseParts(tx, r, lineSize)
+	return beats + firstWord
+}
+
+// DataPhaseParts decomposes the data-phase cost of a completed
+// transaction into the transfer beats (per-word cycles, plus the
+// wired-OR penalty on multi-party data cycles) and the responder's
+// first-word latency; fromOwner reports whether that latency was paid
+// by an intervening cache (DI) rather than main memory. The sum of the
+// parts is exactly DataPhaseCost.
+func (t Timing) DataPhaseParts(tx *Transaction, r *Result, lineSize int) (beats, firstWord int64, fromOwner bool) {
 	if tx.Op == core.BusAddrOnly {
-		return 0
+		return 0, 0, false
 	}
 	words := int64((lineSize + t.WordBytes - 1) / t.WordBytes)
 	if tx.Partial != nil {
 		words = 1
 	}
-	cost := words * t.DataPerWord
+	beats = words * t.DataPerWord
 	switch tx.Op {
 	case core.BusRead:
-		if r.DI {
-			cost += t.InterventionFirstWord
-		} else {
-			cost += t.MemoryFirstWord
-		}
+		fromOwner = r.DI
 	case core.BusWrite:
 		// Writes complete when the slowest participant accepts; memory
 		// participates unless preempted by DI.
-		if r.DI && !tx.Signals.Has(core.SigBC) {
-			cost += t.InterventionFirstWord
-		} else {
-			cost += t.MemoryFirstWord
-		}
+		fromOwner = r.DI && !tx.Signals.Has(core.SigBC)
+	}
+	if fromOwner {
+		firstWord = t.InterventionFirstWord
+	} else {
+		firstWord = t.MemoryFirstWord
 	}
 	// Multi-party transfers (broadcast writes, connected SL slaves)
 	// pay the wired-OR handshake on data cycles too (§2.3b: only
 	// participating units monitor data cycles, so two-party transfers
 	// run at full speed).
 	if tx.Signals.Has(core.SigBC) {
-		cost += t.WiredORPenalty * words
+		beats += t.WiredORPenalty * words
 	}
-	return cost
+	return beats, firstWord, fromOwner
 }

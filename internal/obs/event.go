@@ -92,4 +92,17 @@ type Event struct {
 	Retries int `json:"retries,omitempty"`
 	// Bytes is the data-phase payload size.
 	Bytes int `json:"bytes,omitempty"`
+	// ArbNS..RetryNS decompose a KindTx event's time by bus phase:
+	// arbitration wait before the grant, successful broadcast address
+	// handshake (including the wired-OR penalty), data beats,
+	// cache-to-cache intervention first-word, memory first-word, and
+	// BS abort/retry overhead. All but ArbNS sum to Dur; ArbNS is
+	// waiting, not occupancy (see bus.PhaseCosts). KindGrant events
+	// carry the arbitration wait as Dur.
+	ArbNS   int64 `json:"arb_ns,omitempty"`
+	AddrNS  int64 `json:"addr_ns,omitempty"`
+	DataNS  int64 `json:"data_ns,omitempty"`
+	IntvNS  int64 `json:"intv_ns,omitempty"`
+	MemNS   int64 `json:"mem_ns,omitempty"`
+	RetryNS int64 `json:"retry_ns,omitempty"`
 }

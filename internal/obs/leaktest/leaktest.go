@@ -1,0 +1,91 @@
+// Package leaktest asserts that a test leaves no goroutines behind —
+// the proof that a Recorder's drain goroutine and an HTTP server's
+// accept/handler goroutines actually shut down. Call Check at the top
+// of a test; at cleanup it diffs the live goroutine multiset against
+// the snapshot, retrying briefly so goroutines already unwinding are
+// not reported.
+package leaktest
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check snapshots the interesting goroutines and registers a cleanup
+// that fails t if new ones are still alive at the end of the test.
+func Check(t testing.TB) {
+	t.Helper()
+	before := snapshot()
+	t.Cleanup(func() {
+		// Goroutines that were signalled to stop may still be
+		// unwinding; give them a grace period before declaring a leak.
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for stack, n := range snapshot() {
+				for extra := n - before[stack]; extra > 0; extra-- {
+					leaked = append(leaked, stack)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		sort.Strings(leaked)
+		t.Errorf("leaktest: %d goroutine(s) leaked:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// snapshot returns the multiset of live goroutine stacks, keyed by the
+// trace with the "goroutine N [state]:" header dropped (ids and
+// scheduler states are noise; what must return to baseline is the set
+// of creation sites and running frames).
+func snapshot() map[string]int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := make(map[string]int)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if nl := strings.IndexByte(g, '\n'); nl >= 0 {
+			g = g[nl+1:]
+		}
+		g = strings.TrimRight(g, "\n")
+		if boring(g) {
+			continue
+		}
+		out[g]++
+	}
+	return out
+}
+
+// boring reports headerless stacks owned by the runtime or the testing
+// harness rather than code under test.
+func boring(stack string) bool {
+	if strings.TrimSpace(stack) == "" {
+		return true
+	}
+	for _, prefix := range []string{
+		"testing.", "runtime.", "os/signal.", "runtime/trace.",
+	} {
+		if strings.HasPrefix(stack, prefix) {
+			return true
+		}
+	}
+	return strings.Contains(stack, "created by runtime.") ||
+		strings.Contains(stack, "created by testing.")
+}

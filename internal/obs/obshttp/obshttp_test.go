@@ -1,0 +1,212 @@
+package obshttp
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"futurebus/internal/obs"
+	"futurebus/internal/obs/leaktest"
+)
+
+// TestRegistryPrometheus: the text exposition has TYPE/HELP headers,
+// sorted families, label rendering, and summary quantile series.
+func TestRegistryPrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zz_total", "", "last family").Add(3)
+	reg.Counter("aa_total", `op="R"`, "first family").Inc()
+	reg.Counter("aa_total", `op="W"`, "first family").Add(2)
+	reg.GaugeFunc("mid_gauge", "", "a gauge", func() float64 { return 0.5 })
+	sum := reg.Summary("lat_ns", `phase="arb"`, "a summary")
+	for _, v := range []int64{10, 20, 1000} {
+		sum.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# HELP aa_total first family\n# TYPE aa_total counter\n",
+		"aa_total{op=\"R\"} 1\n",
+		"aa_total{op=\"W\"} 2\n",
+		"# TYPE mid_gauge gauge\nmid_gauge 0.5\n",
+		"# TYPE zz_total counter\nzz_total 3\n",
+		"# TYPE lat_ns summary\n",
+		"lat_ns{phase=\"arb\",quantile=\"0.5\"}",
+		"lat_ns{phase=\"arb\",quantile=\"0.99\"}",
+		"lat_ns_sum{phase=\"arb\"} 1030\n",
+		"lat_ns_count{phase=\"arb\"} 3\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	if strings.Index(text, "# TYPE aa_total") > strings.Index(text, "# TYPE zz_total") {
+		t.Error("families not sorted by name")
+	}
+	// Idempotent re-registration returns the same counter.
+	reg.Counter("aa_total", `op="R"`, "first family").Inc()
+	if got := reg.Counter("aa_total", `op="R"`, "x").Value(); got != 2 {
+		t.Errorf("re-registered counter = %d, want 2", got)
+	}
+}
+
+// TestEventStreamShedding: a subscriber that never drains loses frames
+// without blocking the producer, and the loss is counted.
+func TestEventStreamShedding(t *testing.T) {
+	es := NewEventStream()
+	_, _, cancel := es.Subscribe()
+	defer cancel()
+	total := DefaultSubscriberBuffer + 50
+	for i := 0; i < total; i++ {
+		es.Consume(&obs.Event{Kind: obs.KindTx, Seq: uint64(i)})
+	}
+	frames, shed := es.Stats()
+	if frames != int64(total) {
+		t.Errorf("frames = %d, want %d", frames, total)
+	}
+	if shed != 50 {
+		t.Errorf("shed = %d, want 50", shed)
+	}
+	// The replay ring holds only the most recent frames.
+	_, replay, cancel2 := es.Subscribe()
+	defer cancel2()
+	if len(replay) != DefaultReplay {
+		t.Fatalf("replay depth = %d, want %d", len(replay), DefaultReplay)
+	}
+	var last obs.Event
+	if err := json.Unmarshal(replay[len(replay)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Seq != uint64(total-1) {
+		t.Errorf("replay tail seq = %d, want %d", last.Seq, total-1)
+	}
+}
+
+// TestEventStreamCancel: cancel closes the channel exactly once and a
+// cancelled subscriber stops receiving.
+func TestEventStreamCancel(t *testing.T) {
+	es := NewEventStream()
+	ch, _, cancel := es.Subscribe()
+	cancel()
+	cancel() // double-cancel must be safe
+	if _, ok := <-ch; ok {
+		t.Error("channel still open after cancel")
+	}
+	es.Consume(&obs.Event{Kind: obs.KindTx}) // must not panic on closed channel
+}
+
+// TestServerEndpoints: a real server on an ephemeral port serves
+// /metrics, /healthz, /slow and /events, and Close leaves no
+// goroutines behind (including the SSE handler we keep open).
+func TestServerEndpoints(t *testing.T) {
+	leaktest.Check(t)
+	svc := NewService(4)
+	rec := obs.New(svc.Sinks()...)
+	srv, err := svc.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Feed a little traffic through the recorder so every endpoint has
+	// something to show.
+	rec.Emit(obs.Event{Kind: obs.KindTx, Proc: 0, Op: "R", Dur: 645,
+		AddrNS: 125, DataNS: 320, MemNS: 200})
+	rec.Emit(obs.Event{Kind: obs.KindTx, Proc: 1, Op: "W", Dur: 565, Retries: 1,
+		AddrNS: 125, DataNS: 320, IntvNS: 120})
+	rec.Emit(obs.Event{Kind: obs.KindState, Proc: 0, From: "I", To: "E"})
+	rec.Emit(obs.Event{Kind: obs.KindAbort, Proc: 1})
+	rec.Drain()
+
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	if got := get("/healthz"); got != "ok\n" {
+		t.Errorf("/healthz = %q", got)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE " + MetricTransactions + " counter",
+		MetricTransactions + `{op="R"} 1`,
+		MetricTransactions + `{op="W"} 1`,
+		MetricStateTransitions + `{from="I",to="E"} 1`,
+		MetricAborts + " 1",
+		"# TYPE " + MetricPhaseLatency + " summary",
+		MetricPhaseLatency + `{phase="addr",quantile="0.5"}`,
+		MetricPhaseLatency + `_count{phase="intervention"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var slow []obs.TxSpan
+	if err := json.Unmarshal([]byte(get("/slow")), &slow); err != nil {
+		t.Fatal(err)
+	}
+	if len(slow) != 2 || slow[0].Dur != 645 {
+		t.Errorf("/slow = %+v", slow)
+	}
+
+	// SSE: the replay ring must deliver the already-seen events as
+	// data: frames without waiting for new traffic.
+	resp, err := http.Get(srv.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("/events content-type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.After(5 * time.Second)
+	gotFrame := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+				gotFrame <- strings.TrimPrefix(line, "data: ")
+				return
+			}
+		}
+	}()
+	select {
+	case frame := <-gotFrame:
+		var e obs.Event
+		if err := json.Unmarshal([]byte(frame), &e); err != nil {
+			t.Fatalf("bad SSE frame %q: %v", frame, err)
+		}
+		if e.Kind == "" {
+			t.Errorf("SSE frame missing kind: %q", frame)
+		}
+	case <-deadline:
+		t.Fatal("no SSE frame within deadline")
+	}
+
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatal(err)
+	}
+}

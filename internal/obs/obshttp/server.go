@@ -1,0 +1,176 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"futurebus/internal/obs"
+)
+
+// Server is the embedded observability endpoint. It owns its own mux
+// (the global http.DefaultServeMux stays untouched so two servers, or
+// a test harness, can coexist) and its own listener, so ":0" works and
+// Addr() reports the bound port.
+//
+//	/metrics     Prometheus text exposition of the registry
+//	/healthz     liveness ("ok\n", 200)
+//	/events      SSE tail of the obs event stream (shed when slow)
+//	/slow        top-K slowest transactions as JSON
+//	/debug/pprof Go runtime profiles
+type Server struct {
+	reg    *Registry
+	stream *EventStream
+	attr   *obs.AttributionSink
+
+	http *http.Server
+	ln   net.Listener
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewServer builds a server over the given registry, stream and
+// attribution sink; any of them may be nil, in which case the matching
+// endpoint degrades gracefully (404 for /events without a stream,
+// empty documents otherwise).
+func NewServer(reg *Registry, stream *EventStream, attr *obs.AttributionSink) *Server {
+	s := &Server{reg: reg, stream: stream, attr: attr, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/slow", s.handleSlow)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// Listen binds addr (e.g. ":9090" or "127.0.0.1:0") and starts serving
+// in a background goroutine. Call Close to stop.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// ErrServerClosed is the normal Close path; anything else is a
+		// serve failure the caller cannot see, so there is nothing
+		// better to do than stop (scrapes will fail loudly).
+		_ = s.http.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns "http://host:port" for the bound address.
+func (s *Server) URL() string {
+	if s.ln == nil {
+		return ""
+	}
+	return "http://" + s.ln.Addr().String()
+}
+
+// Close stops the listener, unblocks every /events subscriber, tears
+// down open connections and waits for the serve goroutine to exit.
+// Safe to call more than once.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.done) // SSE handlers select on this and return
+		s.closeErr = s.http.Close()
+		s.wg.Wait()
+	})
+	return s.closeErr
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.reg != nil {
+		_ = s.reg.WritePrometheus(w)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.attr == nil {
+		fmt.Fprintln(w, "[]")
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.attr.Slowest())
+}
+
+// handleEvents streams the event tail as server-sent events: the
+// replay ring first, then live frames until the client disconnects or
+// the server closes. A slow client does not stall the simulation —
+// frames it cannot drain are shed upstream in EventStream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.stream == nil {
+		http.NotFound(w, r)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch, replay, cancel := s.stream.Subscribe()
+	defer cancel()
+	for _, frame := range replay {
+		if writeSSE(w, frame) != nil {
+			return
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case frame, ok := <-ch:
+			if !ok {
+				return
+			}
+			if writeSSE(w, frame) != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, frame []byte) error {
+	_, err := fmt.Fprintf(w, "data: %s\n\n", frame)
+	return err
+}

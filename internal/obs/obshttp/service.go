@@ -1,0 +1,157 @@
+package obshttp
+
+import (
+	"fmt"
+
+	"futurebus/internal/obs"
+)
+
+// Metric families exposed on /metrics. Kept as constants so the CI
+// smoke test and the docs reference the same names the code emits.
+const (
+	MetricTransactions     = "futurebus_bus_transactions_total"
+	MetricAborts           = "futurebus_bus_aborts_total"
+	MetricRetries          = "futurebus_bus_retries_total"
+	MetricStateTransitions = "futurebus_state_transitions_total"
+	MetricEvents           = "futurebus_events_total"
+	MetricPhaseLatency     = "futurebus_phase_latency_ns"
+	MetricTxLatency        = "futurebus_tx_latency_ns"
+	MetricStall            = "futurebus_proc_stall_ns"
+	MetricSSEFrames        = "futurebus_sse_frames_total"
+	MetricSSEShed          = "futurebus_sse_shed_total"
+)
+
+// Service bundles everything live observability needs: the metrics
+// registry, the SSE event stream, the phase-attribution sink, and a
+// registry-feeding event sink. Attach Sinks() to the Recorder at
+// construction time, then Serve to expose it all over HTTP.
+type Service struct {
+	Registry *Registry
+	Stream   *EventStream
+	Attr     *obs.AttributionSink
+
+	metrics *metricsSink
+}
+
+// NewService builds a service with an attribution ring of topK slowest
+// transactions (0 = obs.DefaultTopK).
+func NewService(topK int) *Service {
+	s := &Service{
+		Registry: NewRegistry(),
+		Stream:   NewEventStream(),
+		Attr:     obs.NewAttributionSink(topK),
+	}
+	s.metrics = newMetricsSink(s.Registry)
+	s.Registry.GaugeFunc(MetricSSEFrames, "", "Event frames marshalled for SSE subscribers.", func() float64 {
+		frames, _ := s.Stream.Stats()
+		return float64(frames)
+	})
+	s.Registry.GaugeFunc(MetricSSEShed, "", "Event frames shed because a subscriber was too slow.", func() float64 {
+		_, shed := s.Stream.Stats()
+		return float64(shed)
+	})
+	return s
+}
+
+// Sinks returns the obs.Sinks the service needs attached to the
+// Recorder, in the order they should run.
+func (s *Service) Sinks() []obs.Sink {
+	return []obs.Sink{s.metrics, s.Attr, s.Stream}
+}
+
+// Serve binds addr and starts the HTTP server over this service's
+// registry, stream and attribution sink.
+func (s *Service) Serve(addr string) (*Server, error) {
+	srv := NewServer(s.Registry, s.Stream, s.Attr)
+	if err := srv.Listen(addr); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// metricsSink feeds the registry from the event stream. It runs on the
+// Recorder's single drain goroutine, so lazy per-label registration
+// has no registration races beyond what Registry already handles.
+type metricsSink struct {
+	reg    *Registry
+	events map[obs.Kind]*Counter
+	txOps  map[string]*Counter
+	trans  map[[2]string]*Counter
+	aborts *Counter
+	retry  *Counter
+	phases [obs.NumPhases]*SummaryMetric
+	txLat  *SummaryMetric
+	stall  *SummaryMetric
+}
+
+func newMetricsSink(reg *Registry) *metricsSink {
+	m := &metricsSink{
+		reg:    reg,
+		events: make(map[obs.Kind]*Counter),
+		txOps:  make(map[string]*Counter),
+		trans:  make(map[[2]string]*Counter),
+		aborts: reg.Counter(MetricAborts, "", "BS aborts of bus transaction attempts."),
+		retry:  reg.Counter(MetricRetries, "", "BS abort/retry rounds across all transactions."),
+		txLat:  reg.Summary(MetricTxLatency, "", "Per-transaction bus occupancy in simulated ns."),
+		stall:  reg.Summary(MetricStall, "", "Per-bus-op processor stall in simulated ns."),
+	}
+	for ph, name := range obs.PhaseNames {
+		m.phases[ph] = reg.Summary(MetricPhaseLatency, fmt.Sprintf("phase=%q", name),
+			"Per-phase bus transaction latency in simulated ns.")
+	}
+	return m
+}
+
+// Consume implements obs.Sink.
+func (m *metricsSink) Consume(e *obs.Event) {
+	c, ok := m.events[e.Kind]
+	if !ok {
+		c = m.reg.Counter(MetricEvents, fmt.Sprintf("kind=%q", e.Kind), "Events by kind.")
+		m.events[e.Kind] = c
+	}
+	c.Inc()
+
+	switch e.Kind {
+	case obs.KindTx:
+		op := e.Op
+		if op == "" {
+			op = "A"
+		}
+		oc, ok := m.txOps[op]
+		if !ok {
+			oc = m.reg.Counter(MetricTransactions, fmt.Sprintf("op=%q", op),
+				"Completed bus transactions by data-phase op.")
+			m.txOps[op] = oc
+		}
+		oc.Inc()
+		m.retry.Add(int64(e.Retries))
+		m.txLat.Observe(e.Dur)
+		if span, ok := obs.SpanFromEvent(e); ok {
+			for ph, v := range span.Phases {
+				// Same rule as AttributionSink: the always-paid phases
+				// count zeros, conditional phases only real samples.
+				if ph > obs.PhaseData && v == 0 {
+					continue
+				}
+				m.phases[ph].Observe(v)
+			}
+		}
+	case obs.KindAbort:
+		m.aborts.Inc()
+	case obs.KindState:
+		key := [2]string{e.From, e.To}
+		tc, ok := m.trans[key]
+		if !ok {
+			tc = m.reg.Counter(MetricStateTransitions,
+				fmt.Sprintf("from=%q,to=%q", e.From, e.To),
+				"Cache-line state transitions.")
+			m.trans[key] = tc
+		}
+		tc.Inc()
+	case obs.KindStall:
+		m.stall.Observe(e.Dur)
+	}
+}
+
+// Flush implements obs.Sink.
+func (m *metricsSink) Flush() error { return nil }

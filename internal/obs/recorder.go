@@ -44,6 +44,7 @@ type Recorder struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 	closed  atomic.Bool
+	dropped atomic.Int64
 }
 
 // New creates a recorder with the default ring capacity.
@@ -96,18 +97,37 @@ func (r *Recorder) Advance(d int64) int64 {
 // Emit enqueues one event. Safe from any goroutine. When the ring is
 // full, Emit yields until the drainer frees space (events are never
 // dropped while the recorder is open, so audit trails stay complete).
+// Emits after Close are discarded and counted (Dropped) instead of
+// being silently lost.
 func (r *Recorder) Emit(e Event) {
 	if r == nil {
 		return
 	}
+	if r.closed.Load() {
+		// The drainer may already be gone; an event pushed now could
+		// sit in the ring forever. Count the discard instead.
+		r.dropped.Add(1)
+		return
+	}
 	for !r.ring.push(&e) {
 		if r.closed.Load() {
+			r.dropped.Add(1)
 			return // drainer gone; drop rather than spin forever
 		}
 		r.wake()
 		runtime.Gosched()
 	}
 	r.wake()
+}
+
+// Dropped returns the number of events discarded because they were
+// emitted after Close. A non-zero value means some instrumentation
+// site outlived the recorder — surface it rather than hide it.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
 }
 
 func (r *Recorder) wake() {

@@ -38,6 +38,7 @@ func RunConcurrent(sys *System, gens []workload.Generator, refsPerProc int) (Met
 					errs[i] = fmt.Errorf("board %d ref %s: %w", i, ref, err)
 					return
 				}
+				sys.noteRef()
 			}
 		}(i, board, gens[i])
 	}

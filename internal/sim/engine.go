@@ -109,6 +109,7 @@ func (e *Engine) Run(refsPerProc int) (Metrics, error) {
 		p.pending = nil
 		p.remaining--
 		refs++
+		e.Sys.noteRef()
 
 		p.time += hit + busCost
 		if busCost > 0 {

@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"futurebus/internal/bus"
 	"futurebus/internal/cache"
@@ -82,7 +83,18 @@ type System struct {
 	Shadow       *check.Shadow
 	// Obs is the recorder the system was built with (nil if untraced).
 	Obs *obs.Recorder
+
+	// refsDone counts references completed by any engine — the only
+	// engine-side progress counter safe to read mid-run (LiveMetrics).
+	refsDone atomic.Int64
 }
+
+// noteRef records one completed reference for live progress reporting.
+func (s *System) noteRef() { s.refsDone.Add(1) }
+
+// RefsDone returns how many references the engines have completed so
+// far. Safe from any goroutine at any time.
+func (s *System) RefsDone() int64 { return s.refsDone.Load() }
 
 // cachedBoard adapts cache.Cache to Board.
 type cachedBoard struct {

@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Run the repository's benchmark suite and record per-benchmark ns/op
+# as a dated JSON document (BENCH_<YYYY-MM-DD>.json by default), so
+# performance regressions between PRs can be diffed with jq instead of
+# eyeballing `go test -bench` output.
+#
+# Usage:
+#   scripts/bench.sh                # full suite -> BENCH_<date>.json
+#   scripts/bench.sh -o out.json    # explicit output file
+#   scripts/bench.sh -b 'Cache|Bus' # only benchmarks matching the regex
+#   scripts/bench.sh -t 10x         # -benchtime per benchmark (default 5x)
+#
+# The JSON is an object keyed by benchmark name (GOMAXPROCS suffix
+# stripped): {"BenchmarkCacheReadHit": {"ns_per_op": 123.4, "runs": 5}}.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=""
+bench='.'
+benchtime='5x'
+while getopts 'o:b:t:' opt; do
+	case "$opt" in
+	o) out=$OPTARG ;;
+	b) bench=$OPTARG ;;
+	t) benchtime=$OPTARG ;;
+	*) echo "usage: scripts/bench.sh [-o out.json] [-b regex] [-t benchtime]" >&2; exit 2 ;;
+	esac
+done
+[ -n "$out" ] || out="BENCH_$(date +%Y-%m-%d).json"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "running benchmarks (-bench '$bench' -benchtime $benchtime)..." >&2
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" ./... | tee "$raw" >&2
+
+# `go test -bench` lines look like:
+#   BenchmarkCacheReadHit-8   5   123.4 ns/op
+# Normalise them into a JSON object; awk keeps this dependency-free.
+awk '
+/^Benchmark/ && /ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	runs = $2
+	ns = $3
+	if (n++) printf ",\n"
+	printf "  \"%s\": {\"ns_per_op\": %s, \"runs\": %s}", name, ns, runs
+}
+BEGIN { printf "{\n" }
+END   { printf "\n}\n" }
+' "$raw" >"$out"
+
+count=$(grep -c 'ns_per_op' "$out" || true)
+echo "wrote $count benchmark results to $out" >&2
