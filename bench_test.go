@@ -8,6 +8,8 @@
 package futurebus_test
 
 import (
+	"io"
+
 	"testing"
 
 	"futurebus/internal/bus"
@@ -16,6 +18,7 @@ import (
 	"futurebus/internal/hierarchy"
 	"futurebus/internal/litmus"
 	"futurebus/internal/memory"
+	"futurebus/internal/obs"
 	"futurebus/internal/protocols"
 	"futurebus/internal/sim"
 	"futurebus/internal/tablegen"
@@ -466,4 +469,48 @@ func BenchmarkModelChecker(b *testing.B) {
 			b.Fatalf("%s", res)
 		}
 	}
+}
+
+// BenchmarkObsRecordingOverhead measures the steady-state wall-clock
+// cost of recording the default fbsim workload (moesi, 4 boards) to a
+// binary .fbt trace: "off" runs with no recorder, "fbt" runs with a
+// process-lifetime recorder feeding a RecordSink, the way fbsim
+// -record-out attaches one. The recorder is created outside the timed
+// loop because its ring is a one-time allocation, not per-run cost.
+// scripts/bench-compare.sh reports the fbt/off ratio and warns when it
+// drifts: on a single-core container the drain goroutine cannot
+// overlap the simulation, so the ratio is dominated by the emission
+// pipeline (event construction, ring push, varint encode), not disk.
+func BenchmarkObsRecordingOverhead(b *testing.B) {
+	const refs = 2000
+	cfg := sim.Homogeneous("moesi", 4)
+	run := func(b *testing.B, rec *obs.Recorder) {
+		b.Helper()
+		c := cfg
+		c.Obs = rec
+		sys, err := sim.New(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := sim.Engine{Sys: sys, Gens: abGens(0.2, 0.3)(sys)}
+		if _, err := eng.Run(refs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, nil)
+		}
+	})
+	b.Run("fbt", func(b *testing.B) {
+		rec := obs.New(obs.NewRecordSink(io.Discard, obs.TraceMeta{Fingerprint: "bench"}))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, rec)
+		}
+		b.StopTimer()
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
 }

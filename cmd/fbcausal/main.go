@@ -1,0 +1,192 @@
+// Command fbcausal analyzes binary .fbt traces recorded by fbsim /
+// fbsweep -record-out: it reconstructs the run's dependency DAG,
+// extracts the critical path with per-phase / per-cause blame, and
+// diffs two recordings for CI regression gating.
+//
+// Usage:
+//
+//	fbcausal analyze [-top N] [-canonical] [-json] run.fbt
+//	fbcausal diff [-rel 0.10] [-abs 1000] [-canonical] [-json] old.fbt new.fbt
+//	fbcausal export [-o out.jsonl] run.fbt
+//
+// diff exits 1 when any metric regressed past both thresholds, so a CI
+// step can gate on it directly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"futurebus/internal/obs"
+	"futurebus/internal/obs/causal"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "analyze":
+		cmdAnalyze(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "export":
+		cmdExport(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fbcausal: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `fbcausal — offline causal critical-path analysis of .fbt traces
+
+  fbcausal analyze [-top N] [-canonical] [-json] run.fbt
+      reconstruct the dependency DAG and print the critical path,
+      cost-by-cause table and per-board blame
+
+  fbcausal diff [-rel frac] [-abs ns] [-canonical] [-json] old.fbt new.fbt
+      compare two recordings per phase and per cause; exits 1 when a
+      metric regressed past BOTH thresholds
+
+  fbcausal export [-o file] run.fbt
+      re-export the raw event stream as JSON Lines
+`)
+	os.Exit(2)
+}
+
+// load replays one .fbt file. With canonical set, the event stream is
+// first rewritten into its scheduler-independent normal form so
+// concurrent-engine recordings of the same logical run compare equal.
+func load(path string, canonical bool) (obs.TraceMeta, *causal.Analysis) {
+	f, err := os.Open(path)
+	fail(err)
+	defer f.Close()
+	tr, err := obs.NewTraceReader(bufio.NewReaderSize(f, 1<<16))
+	fail(err)
+	var events []obs.Event
+	var a causal.Analyzer
+	for {
+		var e obs.Event
+		if err := tr.Next(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+		if canonical {
+			events = append(events, e)
+		} else {
+			a.Consume(&e)
+		}
+	}
+	if canonical {
+		return tr.Meta(), causal.AnalyzeEvents(causal.Canonicalize(events))
+	}
+	return tr.Meta(), a.Analyze()
+}
+
+func cmdAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	top := fs.Int("top", 10, "critical-path segments to list")
+	canonical := fs.Bool("canonical", false, "canonicalize the event stream first (scheduler-independent view)")
+	asJSON := fs.Bool("json", false, "emit the full analysis as JSON")
+	fail(fs.Parse(args))
+	if fs.NArg() != 1 {
+		usage()
+	}
+	meta, an := load(fs.Arg(0), *canonical)
+	if *asJSON {
+		writeJSON(os.Stdout, struct {
+			Fingerprint string `json:"fingerprint,omitempty"`
+			*causal.Analysis
+		}{meta.Fingerprint, an})
+		return
+	}
+	if meta.Fingerprint != "" {
+		fmt.Printf("trace: %s\nconfig: %s\n\n", fs.Arg(0), meta.Fingerprint)
+	}
+	an.Render(os.Stdout, *top)
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	rel := fs.Float64("rel", causal.DefaultThresholds.Rel, "relative regression threshold (fraction)")
+	abs := fs.Int64("abs", causal.DefaultThresholds.Abs, "absolute regression threshold (simulated ns)")
+	canonical := fs.Bool("canonical", false, "canonicalize both event streams first (compare concurrent-engine runs)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	fail(fs.Parse(args))
+	if fs.NArg() != 2 {
+		usage()
+	}
+	oldMeta, oldA := load(fs.Arg(0), *canonical)
+	newMeta, newA := load(fs.Arg(1), *canonical)
+	report := causal.Diff(oldA, newA, causal.Thresholds{Rel: *rel, Abs: *abs})
+	if *asJSON {
+		writeJSON(os.Stdout, struct {
+			OldFingerprint string `json:"old_fingerprint,omitempty"`
+			NewFingerprint string `json:"new_fingerprint,omitempty"`
+			*causal.DiffReport
+		}{oldMeta.Fingerprint, newMeta.Fingerprint, report})
+	} else {
+		fmt.Printf("old: %s (%s)\nnew: %s (%s)\n", fs.Arg(0), orUnknown(oldMeta.Fingerprint), fs.Arg(1), orUnknown(newMeta.Fingerprint))
+		if oldMeta.Fingerprint != newMeta.Fingerprint {
+			fmt.Printf("note: configs differ — deltas compare different runs, not a regression test\n")
+		}
+		report.Render(os.Stdout)
+	}
+	if report.Regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+func cmdExport(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	fail(fs.Parse(args))
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	fail(err)
+	defer f.Close()
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		of, err := os.Create(*out)
+		fail(err)
+		defer func() { fail(of.Close()) }()
+		w = of
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	sink := obs.NewJSONLSink(bw)
+	_, _, err = obs.ReplayTrace(bufio.NewReaderSize(f, 1<<16), sink)
+	fail(err)
+	fail(sink.Flush())
+	fail(bw.Flush())
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown config"
+	}
+	return s
+}
+
+func writeJSON(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	fail(enc.Encode(v))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fbcausal:", err)
+		os.Exit(1)
+	}
+}

@@ -44,10 +44,11 @@ func main() {
 	replay := flag.String("replay", "", "replay reference streams from <prefix>.<board>.trace (overrides -workload)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
 	jsonlOut := flag.String("jsonl-out", "", "write the raw event stream as JSON Lines")
+	recordOut := flag.String("record-out", "", "write the full event stream as a compact binary .fbt trace (analyze offline with fbcausal)")
 	metricsJSON := flag.String("metrics-json", "", "write the run metrics as JSON to this file ('-' = stdout)")
 	hist := flag.Bool("hist", false, "print p50/p95/p99 latency/stall/retry histograms")
 	audit := flag.Uint64("audit", 0, "print the event history of this line address after the run (0 = off)")
-	serveAddr := flag.String("serve", "", "serve live observability on this address (/metrics, /healthz, /events, /slow, /debug/pprof)")
+	serveAddr := flag.String("serve", "", "serve live observability on this address (/metrics, /healthz, /events, /slow, /causal, /debug/pprof)")
 	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the run finishes")
 	flag.Parse()
 
@@ -78,6 +79,17 @@ func main() {
 		fail(err)
 		toClose = append(toClose, f)
 		sinks = append(sinks, obs.NewJSONLSink(f))
+	}
+	if *recordOut != "" {
+		f, err := os.Create(*recordOut)
+		fail(err)
+		toClose = append(toClose, f)
+		// The fingerprint captures everything that shapes the event
+		// stream, so fbcausal diff can warn when two traces are not
+		// comparable runs.
+		fp := fmt.Sprintf("fbsim protocols=%s refs=%d workload=%s engine=%s line=%d sets=%d ways=%d seed=%d pshared=%g pwrite=%g",
+			*protos, *refs, *wl, *engine, *lineSize, *sets, *ways, *seed, *pshared, *pwrite)
+		sinks = append(sinks, obs.NewRecordSink(f, obs.TraceMeta{Fingerprint: fp}))
 	}
 	if *hist {
 		sinks = append(sinks, obs.NewHistogramSink())
@@ -111,13 +123,14 @@ func main() {
 
 	var srv *obshttp.Server
 	if svc != nil {
+		svc.ObserveRecorder(rec)
 		for i, spec := range boards {
 			svc.Attr.SetProcLabel(i, spec.Protocol)
 		}
 		sys.RegisterLiveGauges(svc.Registry, sim.DefaultHitLatency)
 		srv, err = svc.Serve(*serveAddr)
 		fail(err)
-		fmt.Fprintf(os.Stderr, "fbsim: serving observability on %s (/metrics /healthz /events /slow /debug/pprof)\n", srv.URL())
+		fmt.Fprintf(os.Stderr, "fbsim: serving observability on %s (/metrics /healthz /events /slow /causal /debug/pprof)\n", srv.URL())
 	}
 
 	if *watch != 0 {
@@ -244,6 +257,9 @@ func main() {
 		}
 		if *traceOut != "" {
 			fmt.Fprintf(os.Stderr, "fbsim: wrote Chrome trace to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+		}
+		if *recordOut != "" {
+			fmt.Fprintf(os.Stderr, "fbsim: wrote binary trace to %s (fbcausal analyze %s)\n", *recordOut, *recordOut)
 		}
 	}
 	if *metricsJSON != "" {

@@ -28,8 +28,9 @@ func main() {
 	outDir := flag.String("out", "", "also write each report as <dir>/<ID>.csv")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of every system the sweep ran")
 	metricsJSON := flag.String("metrics-json", "", "write the reports as JSON to this file ('-' = stdout)")
+	recordOut := flag.String("record-out", "", "write the sweep's full event stream as a compact binary .fbt trace (analyze offline with fbcausal)")
 	hist := flag.Bool("hist", false, "print sweep-wide p50/p95/p99 latency/stall/retry histograms")
-	serveAddr := flag.String("serve", "", "serve live observability on this address (/metrics, /healthz, /events, /slow, /debug/pprof)")
+	serveAddr := flag.String("serve", "", "serve live observability on this address (/metrics, /healthz, /events, /slow, /causal, /debug/pprof)")
 	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the sweep finishes")
 	flag.Parse()
 
@@ -46,21 +47,33 @@ func main() {
 	if *hist {
 		sinks = append(sinks, obs.NewHistogramSink())
 	}
+	var recordFile *os.File
+	if *recordOut != "" {
+		f, err := os.Create(*recordOut)
+		fail(err)
+		recordFile = f
+		fp := fmt.Sprintf("fbsweep exp=%s refs=%d seed=%d", strings.ToUpper(*exp), *refs, *seed)
+		sinks = append(sinks, obs.NewRecordSink(f, obs.TraceMeta{Fingerprint: fp}))
+	}
 	// -serve instruments the whole sweep: the event-fed registry,
-	// phase summaries, SSE tail and slow-transaction ring cover every
-	// system the experiments build.
+	// phase summaries, SSE tail, slow-transaction ring and causal
+	// analyzer cover every system the experiments build.
+	var svc *obshttp.Service
 	var srv *obshttp.Server
 	if *serveAddr != "" {
-		svc := obshttp.NewService(0)
+		svc = obshttp.NewService(0)
 		sinks = append(sinks, svc.Sinks()...)
 		var err error
 		srv, err = svc.Serve(*serveAddr)
 		fail(err)
-		fmt.Fprintf(os.Stderr, "fbsweep: serving observability on %s (/metrics /healthz /events /slow /debug/pprof)\n", srv.URL())
+		fmt.Fprintf(os.Stderr, "fbsweep: serving observability on %s (/metrics /healthz /events /slow /causal /debug/pprof)\n", srv.URL())
 	}
 	var rec *obs.Recorder
 	if len(sinks) > 0 {
 		rec = obs.New(sinks...)
+	}
+	if svc != nil {
+		svc.ObserveRecorder(rec)
 	}
 
 	opts := sim.ExperimentOpts{RefsPerProc: *refs, Seed: *seed, Obs: rec}
@@ -144,6 +157,10 @@ func main() {
 		if traceFile != nil {
 			fail(traceFile.Close())
 			fmt.Fprintf(os.Stderr, "fbsweep: wrote Chrome trace to %s\n", *traceOut)
+		}
+		if recordFile != nil {
+			fail(recordFile.Close())
+			fmt.Fprintf(os.Stderr, "fbsweep: wrote binary trace to %s (fbcausal analyze %s)\n", *recordOut, *recordOut)
 		}
 	}
 	if *metricsJSON != "" {

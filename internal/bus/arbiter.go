@@ -1,6 +1,9 @@
 package bus
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Arbiter grants bus mastership in FIFO order. A single Arbiter may be
 // shared by several buses (Config.Arbiter): in a multi-bus hierarchy
@@ -9,8 +12,19 @@ import "sync"
 // the global bus, a global invalidation fanning into a cluster —
 // trivially deadlock-free, while each bus still accounts its own
 // occupancy for the timing model.
+//
+// The arbiter is also the home of transaction identity: every executed
+// transaction draws a TxID here, so IDs are unique and monotonic
+// across all buses serialising through the same arbiter — the stable
+// edge labels the causal analyzer (internal/obs/causal) joins grant,
+// abort, recovery and completion events on.
 type Arbiter struct {
 	mu fifoMutex
+	// txSeq allocates transaction ids (first id is 1; 0 = "none").
+	txSeq atomic.Uint64
+	// lastTx is the most recently completed transaction — the one a
+	// newly granted master was blocked behind.
+	lastTx atomic.Uint64
 }
 
 // NewArbiter creates a shareable arbiter.

@@ -177,6 +177,14 @@ type Bus struct {
 	// clock in Acquire/Execute and consumed by the first transaction
 	// executed under the grant. Guarded by the arbiter lock.
 	arbWait int64
+	// arbBlocker is the transaction that completed most recently when
+	// the current mastership was granted — the blocking mastership a
+	// non-zero arbWait is attributed to. Guarded by the arbiter lock.
+	arbBlocker uint64
+	// causeTx, when non-zero, is the aborted transaction a nested BS
+	// recovery push is running for; its id is stamped as CauseID on the
+	// recovery's own transaction events. Guarded by the arbiter lock.
+	causeTx uint64
 }
 
 // New creates a bus with the given memory module.
@@ -261,10 +269,17 @@ func (b *Bus) Acquire() {
 		t0 := rec.Clock()
 		b.arb.mu.Lock()
 		b.arbWait = rec.Clock() - t0
+		b.arbBlocker = b.arb.lastTx.Load()
 		return
 	}
 	b.arb.mu.Lock()
 }
+
+// LastTxID returns the id of the most recently completed transaction
+// on this bus's arbiter (0 before any transaction). The deterministic
+// engine reads it between transactions to attribute its timeline-level
+// bus waits (KindBlocked) to the occupying transaction.
+func (b *Bus) LastTxID() uint64 { return b.arb.lastTx.Load() }
 
 // Release returns bus mastership.
 func (b *Bus) Release() {
@@ -287,10 +302,20 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 	// without re-arbitrating.
 	arbWait := b.arbWait
 	b.arbWait = 0
+	// Every transaction gets a stable id; a non-zero causeTx marks this
+	// as a BS recovery push and names the aborted transaction it is
+	// recovering for.
+	txid := b.arb.txSeq.Add(1)
+	causeID := b.causeTx
 	if rec := b.cfg.Obs; rec != nil {
+		var blocker uint64
+		if arbWait > 0 {
+			blocker = b.arbBlocker
+		}
 		rec.Emit(obs.Event{
 			TS: rec.Clock(), Dur: arbWait, Kind: obs.KindGrant, Bus: b.cfg.ObsID,
 			Proc: tx.MasterID, Addr: uint64(tx.Addr), Col: tx.Event().Column(),
+			TxID: txid, CauseID: blocker,
 		})
 	}
 	var res Result
@@ -348,6 +373,7 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 				rec.Emit(obs.Event{
 					TS: rec.Clock(), Kind: obs.KindAbort, Bus: b.cfg.ObsID,
 					Proc: tx.MasterID, Addr: uint64(tx.Addr), Col: tx.Event().Column(),
+					TxID: txid,
 				})
 			}
 			for i, s := range b.snoopers {
@@ -368,10 +394,14 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 					rec.Emit(obs.Event{
 						TS: rec.Clock(), Kind: obs.KindRecover, Bus: b.cfg.ObsID,
 						Proc: s.SnooperID(), Addr: uint64(tx.Addr),
+						TxID: txid, CauseID: causeID,
 					})
 				}
 				b.depth++
+				prevCause := b.causeTx
+				b.causeTx = txid
 				err := a.Recover(b, tx, responses[i])
+				b.causeTx = prevCause
 				b.depth--
 				if err != nil {
 					return res, fmt.Errorf("bus: BS recovery by snooper %d: %w", s.SnooperID(), err)
@@ -392,6 +422,7 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 		r.Phases.Addr = addrCost
 		r.Phases.Retry = res.Phases.Retry
 		b.stats.record(tx, &r, b.cfg.LineSize)
+		b.arb.lastTx.Store(txid)
 		if rec := b.cfg.Obs; rec != nil {
 			// The recorder's clock is cumulative bus occupancy; this
 			// transaction's slice spans [begin, begin+Cost).
@@ -405,6 +436,7 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 				ArbNS: r.Phases.Arb, AddrNS: r.Phases.Addr,
 				DataNS: r.Phases.Data, IntvNS: r.Phases.Intervention,
 				MemNS: r.Phases.Memory, RetryNS: r.Phases.Retry,
+				TxID: txid, CauseID: causeID,
 			})
 		}
 		if b.trace != nil {

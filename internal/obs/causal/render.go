@@ -1,0 +1,72 @@
+package causal
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Render writes a human-readable report: run totals, the blame table,
+// the top critical-path segments by cost, and the per-board table.
+// topN bounds the segment listing (0 = 10).
+func (an *Analysis) Render(w io.Writer, topN int) {
+	if topN <= 0 {
+		topN = 10
+	}
+	fmt.Fprintf(w, "transactions %d  elapsed %dns  bus occupancy %dns  wait %dns  aborts %d\n",
+		an.Txs, an.Elapsed, an.TotalCost, an.TotalWait, an.Aborts)
+	if an.Truncated > 0 {
+		fmt.Fprintf(w, "WARNING: %d transactions past the analyzer limit were discarded\n", an.Truncated)
+	}
+
+	total := an.ByCause.Total()
+	fmt.Fprintf(w, "\ncost by cause (whole run)\n")
+	for i, name := range Causes {
+		v := an.ByCause[i]
+		if total > 0 {
+			fmt.Fprintf(w, "  %-14s %14dns %6.1f%%\n", name, v, 100*float64(v)/float64(total))
+		} else {
+			fmt.Fprintf(w, "  %-14s %14dns\n", name, v)
+		}
+	}
+
+	fmt.Fprintf(w, "\ncritical path: %d segments, %dns (%.1f%% of elapsed)\n",
+		len(an.Path), an.PathCost, pct(an.PathCost, an.Elapsed))
+	pathTotal := an.PathByCause.Total()
+	for i, name := range Causes {
+		if v := an.PathByCause[i]; v > 0 {
+			fmt.Fprintf(w, "  %-14s %14dns %6.1f%%\n", name, v, pct(v, pathTotal))
+		}
+	}
+
+	// Top segments by cost (occupancy + wait).
+	segs := make([]Segment, len(an.Path))
+	copy(segs, an.Path)
+	sort.SliceStable(segs, func(i, j int) bool {
+		return segs[i].Dur+segs[i].Wait > segs[j].Dur+segs[j].Wait
+	})
+	if len(segs) > topN {
+		segs = segs[:topN]
+	}
+	fmt.Fprintf(w, "\ntop %d critical-path segments\n", len(segs))
+	fmt.Fprintf(w, "  %8s %4s %10s %4s %2s %10s %10s %-12s %s\n",
+		"txid", "proc", "addr", "col", "op", "cost(ns)", "wait(ns)", "dominant", "via")
+	for _, s := range segs {
+		fmt.Fprintf(w, "  %8d %4d %#10x %4d %2s %10d %10d %-12s %s\n",
+			s.TxID, s.Proc, s.Addr, s.Col, s.Op, s.Dur, s.Wait, s.ByCause.Dominant(), s.Via)
+	}
+
+	fmt.Fprintf(w, "\nper-board blame\n")
+	fmt.Fprintf(w, "  %4s %8s %12s %12s %8s %-12s\n", "proc", "txs", "cost(ns)", "wait(ns)", "aborts", "dominant")
+	for _, b := range an.Boards {
+		fmt.Fprintf(w, "  %4d %8d %12d %12d %8d %-12s\n",
+			b.Proc, b.Txs, b.Cost, b.Wait, b.Retries, b.ByCause.Dominant())
+	}
+}
+
+func pct(v, total int64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return 100 * float64(v) / float64(total)
+}

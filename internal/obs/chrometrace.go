@@ -81,6 +81,11 @@ func (s *ChromeTraceSink) convert(e *Event) (traceEvent, bool) {
 		te.Dur = us(e.Dur)
 		te.Name = "stall " + addr
 		te.Args = map[string]any{"addr": addr, "stall_ns": e.Dur}
+	case KindBlocked:
+		te.Ph = "X"
+		te.Dur = us(e.Dur)
+		te.Name = "blocked " + addr
+		te.Args = map[string]any{"addr": addr, "blocked_ns": e.Dur, "behind_tx": e.CauseID}
 	case KindState:
 		te.Ph = "i"
 		te.S = "t"

@@ -47,6 +47,13 @@ const (
 	// KindStall is processor-side: Proc stalled Dur simulated ns on a
 	// bus operation it issued for Addr.
 	KindStall Kind = "stall"
+	// KindBlocked is engine-side: Proc's next bus operation was
+	// deferred Dur simulated ns because the bus was occupied; CauseID
+	// names the occupying transaction. The deterministic engine emits
+	// it (its boards wait on the event timeline, never inside the
+	// arbiter), mirroring the arbitration wait the concurrent engine
+	// measures on KindGrant.
+	KindBlocked Kind = "blocked"
 	// KindMemRead / KindMemWrite are main-memory line accesses.
 	KindMemRead  Kind = "memread"
 	KindMemWrite Kind = "memwrite"
@@ -105,4 +112,16 @@ type Event struct {
 	IntvNS  int64 `json:"intv_ns,omitempty"`
 	MemNS   int64 `json:"mem_ns,omitempty"`
 	RetryNS int64 `json:"retry_ns,omitempty"`
+	// TxID links the grant, abort, recover and tx events of one
+	// mastership (0 = unassigned). IDs are allocated by the arbiter, so
+	// they are unique and monotonic across every bus sharing it.
+	TxID uint64 `json:"txid,omitempty"`
+	// CauseID is a causality edge to another transaction's TxID: on
+	// the KindTx of a BS recovery push it names the aborted transaction
+	// being recovered for (KindRecover marks recovery starting for its
+	// own TxID, and carries the enclosing recovery chain's parent, if
+	// any, like KindTx); on KindGrant with non-zero Dur and on
+	// KindBlocked it names the transaction that held the bus while this
+	// master waited (blocking mastership).
+	CauseID uint64 `json:"cause_id,omitempty"`
 }

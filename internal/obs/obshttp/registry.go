@@ -63,10 +63,11 @@ func (s *SummaryMetric) Summary() obs.Summary {
 
 // series is one labelled time series within a family.
 type series struct {
-	labels string // rendered label set: `phase="arb"` (no braces), "" = unlabelled
-	ctr    *Counter
-	gauge  func() float64
-	sum    *SummaryMetric
+	labels  string // rendered label set: `phase="arb"` (no braces), "" = unlabelled
+	ctr     *Counter
+	ctrFunc func() int64
+	gauge   func() float64
+	sum     *SummaryMetric
 }
 
 // family is one metric name with its TYPE/HELP header and series.
@@ -125,6 +126,17 @@ func (r *Registry) Counter(name, labels, help string) *Counter {
 	return s.ctr
 }
 
+// CounterFunc registers a counter whose value is pulled from fn at
+// exposition time — for monotonic totals another subsystem already
+// tracks (e.g. the Recorder's dropped-event count). fn must be safe to
+// call from the HTTP handler goroutine at any moment.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.familyLocked(name, "counter", help).seriesLocked(labels)
+	s.ctrFunc = fn
+}
+
 // GaugeFunc registers a gauge whose value is pulled from fn at
 // exposition time. fn must be safe to call from the HTTP handler
 // goroutine at any moment.
@@ -172,6 +184,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			switch {
 			case s.ctr != nil:
 				fmt.Fprintf(&b, "%s %d\n", renderName(f.name, s.labels), s.ctr.Value())
+			case s.ctrFunc != nil:
+				fmt.Fprintf(&b, "%s %d\n", renderName(f.name, s.labels), s.ctrFunc())
 			case s.gauge != nil:
 				fmt.Fprintf(&b, "%s %s\n", renderName(f.name, s.labels), formatFloat(s.gauge()))
 			case s.sum != nil:

@@ -21,11 +21,13 @@ import (
 //	/healthz     liveness ("ok\n", 200)
 //	/events      SSE tail of the obs event stream (shed when slow)
 //	/slow        top-K slowest transactions as JSON
+//	/causal      critical-path analysis of the run so far as JSON
 //	/debug/pprof Go runtime profiles
 type Server struct {
 	reg    *Registry
 	stream *EventStream
 	attr   *obs.AttributionSink
+	causal *CausalSink
 
 	http *http.Server
 	ln   net.Listener
@@ -47,6 +49,7 @@ func NewServer(reg *Registry, stream *EventStream, attr *obs.AttributionSink) *S
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/slow", s.handleSlow)
+	mux.HandleFunc("/causal", s.handleCausal)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -124,6 +127,21 @@ func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(s.attr.Slowest())
+}
+
+// handleCausal snapshots the causal analyzer and returns the full
+// analysis — run totals, blame tables, critical path — as JSON. The
+// reconstruction runs per request on the handler goroutine, so the
+// simulation itself never pays for it.
+func (s *Server) handleCausal(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.causal == nil {
+		fmt.Fprintln(w, "{}")
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.causal.Analyze())
 }
 
 // handleEvents streams the event tail as server-sent events: the

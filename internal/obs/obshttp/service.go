@@ -19,6 +19,7 @@ const (
 	MetricStall            = "futurebus_proc_stall_ns"
 	MetricSSEFrames        = "futurebus_sse_frames_total"
 	MetricSSEShed          = "futurebus_sse_shed_total"
+	MetricDropped          = "obs_events_dropped_total"
 )
 
 // Service bundles everything live observability needs: the metrics
@@ -29,6 +30,7 @@ type Service struct {
 	Registry *Registry
 	Stream   *EventStream
 	Attr     *obs.AttributionSink
+	Causal   *CausalSink
 
 	metrics *metricsSink
 }
@@ -40,6 +42,7 @@ func NewService(topK int) *Service {
 		Registry: NewRegistry(),
 		Stream:   NewEventStream(),
 		Attr:     obs.NewAttributionSink(topK),
+		Causal:   &CausalSink{},
 	}
 	s.metrics = newMetricsSink(s.Registry)
 	s.Registry.GaugeFunc(MetricSSEFrames, "", "Event frames marshalled for SSE subscribers.", func() float64 {
@@ -56,13 +59,26 @@ func NewService(topK int) *Service {
 // Sinks returns the obs.Sinks the service needs attached to the
 // Recorder, in the order they should run.
 func (s *Service) Sinks() []obs.Sink {
-	return []obs.Sink{s.metrics, s.Attr, s.Stream}
+	return []obs.Sink{s.metrics, s.Attr, s.Causal, s.Stream}
+}
+
+// ObserveRecorder exposes the recorder's drop telemetry on /metrics:
+// obs_events_dropped_total counts events discarded because they were
+// emitted after the recorder closed — an instrumentation site outlived
+// the recorder (0 on a healthy run; events are never shed while the
+// recorder is open). Safe to call with a nil recorder (the counter
+// then reads 0).
+func (s *Service) ObserveRecorder(rec *obs.Recorder) {
+	s.Registry.CounterFunc(MetricDropped, "",
+		"Events discarded because they were emitted after the recorder closed.",
+		rec.Dropped)
 }
 
 // Serve binds addr and starts the HTTP server over this service's
-// registry, stream and attribution sink.
+// registry, stream, attribution and causal sinks.
 func (s *Service) Serve(addr string) (*Server, error) {
 	srv := NewServer(s.Registry, s.Stream, s.Attr)
+	srv.causal = s.Causal
 	if err := srv.Listen(addr); err != nil {
 		return nil, err
 	}

@@ -27,8 +27,12 @@ func (f SinkFunc) Consume(e *Event) { f(e) }
 // Flush implements Sink.
 func (f SinkFunc) Flush() error { return nil }
 
-// DefaultBuffer is the ring capacity used by New.
-const DefaultBuffer = 1 << 16
+// DefaultBuffer is the ring capacity used by New. Kept small enough
+// that the slot array stays cache-resident: a larger ring makes every
+// push a cold-memory write and evicts the simulator's working set,
+// which costs more wall-clock than the occasional backpressure yield
+// when a burst outruns the drainer.
+const DefaultBuffer = 1 << 10
 
 // Recorder accepts events from any goroutine and moves them through a
 // lock-free ring into its sinks from a background drain goroutine. A
@@ -117,7 +121,15 @@ func (r *Recorder) Emit(e Event) {
 		r.wake()
 		runtime.Gosched()
 	}
-	r.wake()
+	// Wake the drainer only when this event published at the consume
+	// position — the empty→non-empty transition. The drainer always
+	// drains to empty before parking, so any later event is either
+	// covered by this wake or republishes at the head itself once the
+	// drainer catches up; waking on every Emit would just burn a
+	// channel operation per event.
+	if r.ring.head.Load() == e.Seq {
+		r.wake()
+	}
 }
 
 // Dropped returns the number of events discarded because they were
@@ -150,15 +162,21 @@ func (r *Recorder) drainLoop() {
 	}
 }
 
-// drain delivers every currently buffered event to the sinks.
+// drain delivers every currently buffered event to the sinks, straight
+// from the ring slots (the Sink contract already limits the pointee's
+// lifetime to the Consume call, so no defensive copy is needed).
 func (r *Recorder) drain() {
 	r.drainMu.Lock()
 	defer r.drainMu.Unlock()
-	var e Event
-	for r.ring.pop(&e) {
-		for _, s := range r.sinks {
-			s.Consume(&e)
+	for {
+		e := r.ring.peek()
+		if e == nil {
+			return
 		}
+		for _, s := range r.sinks {
+			s.Consume(e)
+		}
+		r.ring.advance()
 	}
 }
 

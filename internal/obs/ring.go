@@ -59,13 +59,32 @@ func (r *ring) push(ev *Event) bool {
 // pop dequeues into out, returning false when the ring is empty. Only
 // one goroutine may call pop at a time.
 func (r *ring) pop(out *Event) bool {
+	e := r.peek()
+	if e == nil {
+		return false
+	}
+	*out = *e
+	r.advance()
+	return true
+}
+
+// peek returns a pointer to the event at the head without freeing its
+// slot, or nil when the ring is empty. The pointee stays valid until
+// advance; producers cannot reuse the slot before then. Only the
+// consumer goroutine may call peek/advance.
+func (r *ring) peek() *Event {
 	pos := r.head.Load()
 	s := &r.slots[pos&r.mask]
 	if int64(s.seq.Load())-int64(pos+1) < 0 {
-		return false
+		return nil
 	}
-	*out = s.ev
+	return &s.ev
+}
+
+// advance frees the slot returned by the preceding peek.
+func (r *ring) advance() {
+	pos := r.head.Load()
+	s := &r.slots[pos&r.mask]
 	s.seq.Store(pos + r.mask + 1)
 	r.head.Store(pos + 1)
-	return true
 }

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"futurebus/internal/obs"
+	"futurebus/internal/obs/causal"
+	"futurebus/internal/workload"
+)
+
+// recordRun executes one engine run with a RecordSink (plus any extra
+// sinks) attached and returns the raw .fbt bytes.
+func recordRun(t *testing.T, protocol string, boards, refs int, engine string,
+	gens func(sys *System) []workload.Generator, extra ...obs.Sink) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sinks := append([]obs.Sink{obs.NewRecordSink(&buf, obs.TraceMeta{Fingerprint: "test"})}, extra...)
+	rec := obs.New(sinks...)
+	cfg := Homogeneous(protocol, boards)
+	cfg.Obs = rec
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch engine {
+	case "det":
+		eng := Engine{Sys: sys, Gens: gens(sys)}
+		_, err = eng.Run(refs)
+	case "conc":
+		_, err = RunConcurrent(sys, gens(sys), refs)
+	default:
+		t.Fatalf("unknown engine %q", engine)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func analyzeTrace(t *testing.T, raw []byte) *causal.Analysis {
+	t.Helper()
+	var a causal.Analyzer
+	if _, _, err := obs.ReplayTrace(bytes.NewReader(raw), &a); err != nil {
+		t.Fatal(err)
+	}
+	return a.Analyze()
+}
+
+// TestRecordReplayAttributionParity: replaying a recorded run through a
+// fresh AttributionSink must reproduce exactly the per-phase histogram
+// totals the live sink saw — the codec loses no attribution-relevant
+// information.
+func TestRecordReplayAttributionParity(t *testing.T) {
+	live := obs.NewAttributionSink(8)
+	raw := recordRun(t, "moesi", 4, 2000, "det",
+		func(sys *System) []workload.Generator { return abGens(sys, 0.3, 0.3, 1986) }, live)
+
+	replayed := obs.NewAttributionSink(8)
+	if _, _, err := obs.ReplayTrace(bytes.NewReader(raw), replayed); err != nil {
+		t.Fatal(err)
+	}
+	liveSum, replaySum := live.PhaseSummaries(), replayed.PhaseSummaries()
+	if !reflect.DeepEqual(liveSum, replaySum) {
+		t.Errorf("phase summaries diverged after replay:\nlive:   %+v\nreplay: %+v", liveSum, replaySum)
+	}
+	la, lt := live.ArbVsTransfer()
+	ra, rt := replayed.ArbVsTransfer()
+	if la != ra || lt != rt {
+		t.Errorf("arb/transfer split diverged: live %d/%d, replay %d/%d", la, lt, ra, rt)
+	}
+}
+
+// TestCausalDiffSameSeedDeterministic: two recordings of the same
+// seeded deterministic run are byte-identical and diff with zero
+// regressions (the CI gate's contract).
+func TestCausalDiffSameSeedDeterministic(t *testing.T) {
+	gens := func(sys *System) []workload.Generator { return abGens(sys, 0.3, 0.3, 1986) }
+	a := recordRun(t, "moesi", 4, 1500, "det", gens)
+	b := recordRun(t, "moesi", 4, 1500, "det", gens)
+	if !bytes.Equal(a, b) {
+		t.Error("same-seed deterministic recordings are not byte-identical")
+	}
+	report := causal.Diff(analyzeTrace(t, a), analyzeTrace(t, b), causal.DefaultThresholds)
+	if report.Regressions != 0 {
+		t.Errorf("self-diff reported %d regressions", report.Regressions)
+	}
+}
+
+// TestCausalBSRetryAttribution: a migratory workload on a BS-adapted
+// protocol (write-once recovers via Busy aborts) must show bs-retry
+// cost that a Berkeley-only run (no BS in its class) does not — the
+// per-cause table discriminates the protocol mixes.
+func TestCausalBSRetryAttribution(t *testing.T) {
+	migratory := func(sys *System) []workload.Generator {
+		return sys.Generators(func(proc int) workload.Generator {
+			return workload.NewMigratory(proc, 4, 16, 24, sys.WordsPerLine(), 1986)
+		})
+	}
+	berkeley := analyzeTrace(t, recordRun(t, "berkeley", 4, 1500, "det", migratory))
+	writeOnce := analyzeTrace(t, recordRun(t, "write-once", 4, 1500, "det", migratory))
+
+	bsIdx := -1
+	for i, name := range causal.Causes {
+		if name == causal.CauseBSRetry {
+			bsIdx = i
+		}
+	}
+	if berkeley.ByCause[bsIdx] != 0 {
+		t.Errorf("berkeley run attributed %dns to bs-retry; its class never asserts BS", berkeley.ByCause[bsIdx])
+	}
+	if writeOnce.ByCause[bsIdx] == 0 {
+		t.Error("write-once migratory run attributed nothing to bs-retry; BS recovery missing")
+	}
+	r := causal.Diff(berkeley, writeOnce, causal.DefaultThresholds)
+	var found bool
+	for _, row := range r.Causes {
+		if row.Name == causal.CauseBSRetry && row.Delta > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("diff shows no positive bs-retry delta between the protocol mixes")
+	}
+}
+
+// TestCausalRecoveryLinkage: every recovery push in a write-once run
+// must carry a causality edge to an existing aborted transaction, and
+// the critical path must include a bs-retry edge when aborts dominate.
+func TestCausalRecoveryLinkage(t *testing.T) {
+	raw := recordRun(t, "write-once", 4, 1500, "det", func(sys *System) []workload.Generator {
+		return sys.Generators(func(proc int) workload.Generator {
+			return workload.NewMigratory(proc, 4, 16, 24, sys.WordsPerLine(), 1986)
+		})
+	})
+	var events []obs.Event
+	collect := obs.SinkFunc(func(e *obs.Event) { events = append(events, *e) })
+	if _, _, err := obs.ReplayTrace(bytes.NewReader(raw), collect); err != nil {
+		t.Fatal(err)
+	}
+	txids := make(map[uint64]bool)
+	for i := range events {
+		if events[i].Kind == obs.KindTx {
+			txids[events[i].TxID] = true
+		}
+	}
+	var pushes, aborts int
+	for i := range events {
+		switch events[i].Kind {
+		case obs.KindAbort:
+			aborts++
+			if events[i].TxID == 0 {
+				t.Error("abort event without TxID")
+			}
+		case obs.KindTx:
+			if cause := events[i].CauseID; cause != 0 {
+				pushes++
+				if !txids[cause] {
+					t.Errorf("recovery push %d references unknown transaction %d", events[i].TxID, cause)
+				}
+			}
+		}
+	}
+	if aborts == 0 || pushes == 0 {
+		t.Fatalf("write-once migratory run produced %d aborts, %d recovery pushes; want both > 0", aborts, pushes)
+	}
+}
+
+// TestCausalConcurrentCanonicalDeterminism: two same-seed concurrent
+// runs interleave differently, but with disjoint per-board working sets
+// (PShared = 0) each board's program is deterministic — after
+// Canonicalize the two recordings must produce identical critical
+// paths. This is the replay-determinism contract for the concurrent
+// engine.
+func TestCausalConcurrentCanonicalDeterminism(t *testing.T) {
+	private := func(sys *System) []workload.Generator {
+		return sys.Generators(func(proc int) workload.Generator {
+			return workload.MustModel(workload.Model{
+				Proc: proc, SharedLines: 8, PrivateLines: 64,
+				WordsPerLine: sys.WordsPerLine(),
+				PShared:      0, PWrite: 0.4, Locality: 0.3,
+			}, 1986)
+		})
+	}
+	canonicalPath := func(raw []byte) []causal.Segment {
+		var events []obs.Event
+		collect := obs.SinkFunc(func(e *obs.Event) { events = append(events, *e) })
+		if _, _, err := obs.ReplayTrace(bytes.NewReader(raw), collect); err != nil {
+			t.Fatal(err)
+		}
+		return causal.AnalyzeEvents(causal.Canonicalize(events)).Path
+	}
+	a := canonicalPath(recordRun(t, "moesi", 4, 1200, "conc", private))
+	b := canonicalPath(recordRun(t, "moesi", 4, 1200, "conc", private))
+	if len(a) == 0 {
+		t.Fatal("empty canonical critical path")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("canonical critical paths differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("canonical critical paths diverge at segment %d:\nA: %+v\nB: %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestDetEngineEmitsBlocked: the deterministic engine reports its
+// timeline-level bus waits as KindBlocked events with a blocking
+// transaction, mirroring the concurrent engine's arbitration waits.
+func TestDetEngineEmitsBlocked(t *testing.T) {
+	raw := recordRun(t, "moesi", 4, 1500, "det",
+		func(sys *System) []workload.Generator { return abGens(sys, 0.5, 0.4, 7) })
+	var blocked, withCause int
+	collect := obs.SinkFunc(func(e *obs.Event) {
+		if e.Kind == obs.KindBlocked {
+			blocked++
+			if e.CauseID != 0 {
+				withCause++
+			}
+			if e.Dur <= 0 {
+				t.Error("KindBlocked event with non-positive Dur")
+			}
+		}
+	})
+	if _, _, err := obs.ReplayTrace(bytes.NewReader(raw), collect); err != nil {
+		t.Fatal(err)
+	}
+	if blocked == 0 {
+		t.Fatal("contended deterministic run emitted no KindBlocked events")
+	}
+	if withCause == 0 {
+		t.Error("no KindBlocked event names a blocking transaction")
+	}
+}

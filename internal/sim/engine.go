@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"futurebus/internal/obs"
 	"futurebus/internal/workload"
 )
 
@@ -60,6 +61,13 @@ func (e *Engine) Run(refsPerProc int) (Metrics, error) {
 		remaining int
 		pending   *workload.Ref
 		time      int64
+		// waited accumulates simulated time this board's next bus access
+		// was deferred because the bus was busy; blocker is the TxID it
+		// was last deferred behind. Reported as one KindBlocked event
+		// when the access finally runs — the deterministic engine's
+		// equivalent of the concurrent engine's arbitration wait.
+		waited  int64
+		blocker uint64
 	}
 	procs := make([]procState, len(e.Sys.Boards))
 	h := make(eventHeap, 0, len(procs))
@@ -90,9 +98,27 @@ func (e *Engine) Run(refsPerProc int) (Metrics, error) {
 		// is still busy with an earlier transaction, this board waits
 		// (other boards with earlier clocks run first).
 		if p.time < busFreeAt && board.UsesBusNext(busAddr(ref.Line), ref.Write) {
+			if e.Sys.Obs != nil {
+				p.waited += busFreeAt - ev.time
+				p.blocker = e.Sys.Bus.LastTxID()
+			}
 			ev.time = busFreeAt
 			h.replaceTop(ev)
 			continue
+		}
+		if p.waited > 0 {
+			if rec := e.Sys.Obs; rec != nil {
+				rec.Emit(obs.Event{
+					TS:      rec.Clock(),
+					Dur:     p.waited,
+					Kind:    obs.KindBlocked,
+					Bus:     e.Sys.Bus.ObsID(),
+					Proc:    ev.proc,
+					Addr:    uint64(busAddr(ref.Line)),
+					CauseID: p.blocker,
+				})
+			}
+			p.waited, p.blocker = 0, 0
 		}
 
 		before := board.Stall()

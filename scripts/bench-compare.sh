@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# Compare a fresh benchmark run against the most recent committed
+# BENCH_<date>.json baseline and warn (exit 0 either way — timing on
+# shared CI hardware is advisory) about per-benchmark ns/op regressions
+# past a threshold. Also reports the observability recording-overhead
+# ratio (BenchmarkObsRecordingOverhead fbt vs off).
+#
+# Usage:
+#   scripts/bench-compare.sh                 # run suite, compare vs latest BENCH_*.json
+#   scripts/bench-compare.sh -n new.json     # compare an existing run instead of re-running
+#   scripts/bench-compare.sh -o old.json     # explicit baseline
+#   scripts/bench-compare.sh -p 25           # regression threshold in percent (default 10)
+#   scripts/bench-compare.sh -t 10x          # -benchtime when re-running (default 5x)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+old=""
+new=""
+pct=10
+benchtime='5x'
+while getopts 'o:n:p:t:' opt; do
+	case "$opt" in
+	o) old=$OPTARG ;;
+	n) new=$OPTARG ;;
+	p) pct=$OPTARG ;;
+	t) benchtime=$OPTARG ;;
+	*) echo "usage: scripts/bench-compare.sh [-o old.json] [-n new.json] [-p pct] [-t benchtime]" >&2; exit 2 ;;
+	esac
+done
+
+if [ -z "$old" ]; then
+	old=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+	[ -n "$old" ] || { echo "bench-compare: no BENCH_*.json baseline committed" >&2; exit 2; }
+fi
+
+cleanup=""
+if [ -z "$new" ]; then
+	new=$(mktemp)
+	cleanup=$new
+	trap 'rm -f "$cleanup"' EXIT
+	scripts/bench.sh -o "$new" -t "$benchtime"
+fi
+
+echo "comparing $new against baseline $old (warn past ${pct}% ns/op growth)"
+
+# Both files are flat {"name": {"ns_per_op": N, ...}} objects; a
+# line-oriented awk join keeps this dependency-free.
+awk -v pct="$pct" '
+function val(line) {
+	if (match(line, /"ns_per_op": *[0-9.eE+-]+/) == 0) return -1
+	v = substr(line, RSTART, RLENGTH)
+	sub(/.*: */, "", v)
+	return v + 0
+}
+function name(line) {
+	if (match(line, /"Benchmark[^"]*"/) == 0) return ""
+	return substr(line, RSTART + 1, RLENGTH - 2)
+}
+FNR == NR {
+	if ((n = name($0)) != "") base[n] = val($0)
+	next
+}
+{
+	n = name($0)
+	if (n == "" || !(n in base)) next
+	nv = val($0); ov = base[n]
+	seen[n] = 1
+	cur[n] = nv
+	if (ov > 0 && nv > ov * (1 + pct / 100)) {
+		warned++
+		printf "WARN  %-45s %12.0f -> %12.0f ns/op (%+.1f%%)\n", n, ov, nv, (nv / ov - 1) * 100
+	}
+}
+END {
+	for (n in base) if (!(n in seen)) missing++
+	off = cur["BenchmarkObsRecordingOverhead/off"]
+	fbt = cur["BenchmarkObsRecordingOverhead/fbt"]
+	if (off > 0 && fbt > 0) {
+		printf "recording overhead: fbt/off = %.2fx (+%.1f%% wall-clock)\n", fbt / off, (fbt / off - 1) * 100
+		if (fbt > off * 1.05)
+			printf "WARN  .fbt recording costs more than 5%% over an unobserved run\n"
+	}
+	if (missing) printf "note: %d baseline benchmark(s) absent from the new run\n", missing
+	if (warned) printf "%d benchmark(s) regressed past %s%% (advisory: shared CI hardware)\n", warned, pct
+	else printf "no ns/op regressions past %s%%\n", pct
+}
+' "$old" "$new"
