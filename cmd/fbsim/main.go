@@ -32,6 +32,7 @@ func main() {
 	pwrite := flag.Float64("pwrite", 0.3, "probability a reference is a write")
 	wl := flag.String("workload", "ab", "workload: ab, migratory, producer-consumer, read-mostly, ping-pong, zipf")
 	engine := flag.String("engine", "det", "engine: det (deterministic) or conc (goroutine per board)")
+	shards := flag.Int("shards", 1, "fabric shards: 1 = single Futurebus, N>1 = address-interleaved multi-bus backplane")
 	lineSize := flag.Int("line", 32, "system line size in bytes")
 	sets := flag.Int("sets", 64, "cache sets")
 	ways := flag.Int("ways", 2, "cache ways")
@@ -87,8 +88,8 @@ func main() {
 		// The fingerprint captures everything that shapes the event
 		// stream, so fbcausal diff can warn when two traces are not
 		// comparable runs.
-		fp := fmt.Sprintf("fbsim protocols=%s refs=%d workload=%s engine=%s line=%d sets=%d ways=%d seed=%d pshared=%g pwrite=%g",
-			*protos, *refs, *wl, *engine, *lineSize, *sets, *ways, *seed, *pshared, *pwrite)
+		fp := fmt.Sprintf("fbsim protocols=%s refs=%d workload=%s engine=%s shards=%d line=%d sets=%d ways=%d seed=%d pshared=%g pwrite=%g",
+			*protos, *refs, *wl, *engine, *shards, *lineSize, *sets, *ways, *seed, *pshared, *pwrite)
 		sinks = append(sinks, obs.NewRecordSink(f, obs.TraceMeta{Fingerprint: fp}))
 	}
 	if *hist {
@@ -117,6 +118,7 @@ func main() {
 		Shadow:    *checkConsistency,
 		Paranoid:  *paranoid,
 		Obs:       rec,
+		Shards:    *shards,
 	}
 	sys, err := sim.New(cfg)
 	fail(err)

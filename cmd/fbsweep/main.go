@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,6 +25,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (P1…P10, F1, or 'all')")
 	refs := flag.Int("refs", 20000, "references per processor")
 	seed := flag.Uint64("seed", 1986, "workload seed")
+	jobs := flag.Int("jobs", 0, "worker pool size for -exp all (0 = one per CPU, forced to 1 when tracing so the event stream stays coherent)")
+	shards := flag.Int("shards", 1, "fabric shards for every system the sweep builds (1 = single Futurebus)")
 	format := flag.String("format", "table", "output format: table or csv")
 	outDir := flag.String("out", "", "also write each report as <dir>/<ID>.csv")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of every system the sweep ran")
@@ -52,7 +55,7 @@ func main() {
 		f, err := os.Create(*recordOut)
 		fail(err)
 		recordFile = f
-		fp := fmt.Sprintf("fbsweep exp=%s refs=%d seed=%d", strings.ToUpper(*exp), *refs, *seed)
+		fp := fmt.Sprintf("fbsweep exp=%s refs=%d seed=%d shards=%d", strings.ToUpper(*exp), *refs, *seed, *shards)
 		sinks = append(sinks, obs.NewRecordSink(f, obs.TraceMeta{Fingerprint: fp}))
 	}
 	// -serve instruments the whole sweep: the event-fed registry,
@@ -76,7 +79,20 @@ func main() {
 		svc.ObserveRecorder(rec)
 	}
 
-	opts := sim.ExperimentOpts{RefsPerProc: *refs, Seed: *seed, Obs: rec}
+	opts := sim.ExperimentOpts{RefsPerProc: *refs, Seed: *seed, Obs: rec, Shards: *shards}
+
+	// Experiments are independent and internally deterministic, so the
+	// full battery fans out over a bounded worker pool; reports come
+	// back in battery order either way. A recorder serialises the run:
+	// interleaving event streams from concurrent systems would make the
+	// trace (and its histograms) unreadable.
+	workers := *jobs
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	if rec != nil {
+		workers = 1
+	}
 
 	runners := map[string]func(sim.ExperimentOpts) (*sim.Report, error){
 		"P2":  sim.UpdateVsInvalidate,
@@ -96,7 +112,7 @@ func main() {
 	var reports []*sim.Report
 	switch key := strings.ToUpper(*exp); key {
 	case "ALL":
-		all, err := sim.AllExperiments(opts)
+		all, err := sim.RunBattery(sim.Battery(), opts, workers)
 		fail(err)
 		reports = all
 	case "P1":

@@ -22,6 +22,12 @@ type Arbiter struct {
 	mu fifoMutex
 	// txSeq allocates transaction ids (first id is 1; 0 = "none").
 	txSeq atomic.Uint64
+	// txBase/txStride namespace the ids this arbiter allocates. A
+	// standalone arbiter uses (0, 1): ids 1, 2, 3, … An interleaved
+	// fabric gives shard i of N the pair (i, N), so ids remain unique
+	// and monotonic across shards without any cross-shard coordination,
+	// and a tx's home shard is recoverable as TxID % N.
+	txBase, txStride uint64
 	// lastTx is the most recently completed transaction — the one a
 	// newly granted master was blocked behind.
 	lastTx atomic.Uint64
@@ -29,6 +35,23 @@ type Arbiter struct {
 
 // NewArbiter creates a shareable arbiter.
 func NewArbiter() *Arbiter { return &Arbiter{} }
+
+// newShardArbiter creates the arbiter for shard i of an n-way
+// interleaved fabric: ids are i + n, i + 2n, i + 3n, … — nonzero,
+// strictly increasing, disjoint between shards.
+func newShardArbiter(i, n int) *Arbiter {
+	return &Arbiter{txBase: uint64(i), txStride: uint64(n)}
+}
+
+// nextTxID allocates the next transaction id in this arbiter's
+// namespace.
+func (a *Arbiter) nextTxID() uint64 {
+	seq := a.txSeq.Add(1)
+	if a.txStride == 0 {
+		return seq
+	}
+	return a.txBase + a.txStride*seq
+}
 
 // fifoMutex is a ticket lock: waiters acquire in strict FIFO order.
 // The Futurebus arbitrates with a priority scheme; for the simulator a

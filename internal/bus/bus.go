@@ -223,6 +223,29 @@ func (b *Bus) Recorder() *obs.Recorder { return b.cfg.Obs }
 // ObsID returns this bus segment's id in emitted events.
 func (b *Bus) ObsID() int { return b.cfg.ObsID }
 
+// Shards reports the number of independent shards: a single Bus is a
+// one-shard fabric.
+func (b *Bus) Shards() int { return 1 }
+
+// Granularity returns the interleave granularity in lines (1 for a
+// single bus: every line is homed here).
+func (b *Bus) Granularity() int { return 1 }
+
+// HomeShard returns the shard serialising the line (always 0 here).
+func (b *Bus) HomeShard(Addr) int { return 0 }
+
+// SegmentID returns the ObsID of the shard owning the line, for event
+// attribution; on a single bus that is the bus's own ObsID.
+func (b *Bus) SegmentID(Addr) int { return b.cfg.ObsID }
+
+// Shard returns the underlying Bus for shard i (itself).
+func (b *Bus) Shard(i int) *Bus {
+	if i != 0 {
+		panic(fmt.Sprintf("bus: shard %d of a single bus", i))
+	}
+	return b
+}
+
 // Attach registers a snooping unit. Units attach at configuration time,
 // before traffic starts; Attach is not safe concurrently with Execute.
 func (b *Bus) Attach(s Snooper) {
@@ -250,8 +273,8 @@ func (b *Bus) Stats() Stats {
 // It blocks until the FIFO arbiter grants the bus. Masters must not
 // call Execute while holding any lock a snooper's Query/Commit needs.
 func (b *Bus) Execute(tx *Transaction) (Result, error) {
-	b.Acquire()
-	defer b.Release()
+	b.Acquire(tx.Addr)
+	defer b.Release(tx.Addr)
 	return b.executeLocked(tx)
 }
 
@@ -261,10 +284,14 @@ func (b *Bus) Execute(tx *Transaction) (Result, error) {
 // then issues transactions with ExecuteHeld — the same
 // look-up-again-after-arbitration a hardware cache controller performs.
 //
+// The address selects which fabric shard to hold; a single Bus is one
+// shard, so it ignores the argument. Every ExecuteHeld issued under
+// the grant must target the same shard (the same home line group).
+//
 // When observability is on, the occupancy-clock advance across the
 // wait is recorded as the arbitration-wait phase of the first
 // transaction executed under this grant.
-func (b *Bus) Acquire() {
+func (b *Bus) Acquire(Addr) {
 	if rec := b.cfg.Obs; rec != nil {
 		t0 := rec.Clock()
 		b.arb.mu.Lock()
@@ -281,8 +308,9 @@ func (b *Bus) Acquire() {
 // bus waits (KindBlocked) to the occupying transaction.
 func (b *Bus) LastTxID() uint64 { return b.arb.lastTx.Load() }
 
-// Release returns bus mastership.
-func (b *Bus) Release() {
+// Release returns bus mastership. The address must be the one passed
+// to the matching Acquire (ignored on a single bus).
+func (b *Bus) Release(Addr) {
 	b.arbWait = 0
 	b.arb.mu.Unlock()
 }
@@ -305,7 +333,7 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 	// Every transaction gets a stable id; a non-zero causeTx marks this
 	// as a BS recovery push and names the aborted transaction it is
 	// recovering for.
-	txid := b.arb.txSeq.Add(1)
+	txid := b.arb.nextTxID()
 	causeID := b.causeTx
 	if rec := b.cfg.Obs; rec != nil {
 		var blocker uint64

@@ -7,10 +7,11 @@ import (
 	"futurebus/internal/core"
 )
 
-// Atomic read-modify-write operations. The Futurebus arbiter is the
-// serialisation point of the whole machine, so an RMW is implemented by
-// holding bus mastership across the read and the write: no other master
-// can slip a transaction (and thus a conflicting write) in between.
+// Atomic read-modify-write operations. The arbiter of a line's home
+// fabric shard is the serialisation point for that line, so an RMW is
+// implemented by holding that shard's mastership across the read and
+// the write: no other master can slip a transaction on the line (and
+// thus a conflicting write) in between.
 // This is the classic bus-locked RMW of the era's multiprocessors and
 // is what makes spinlocks and shared counters implementable on the
 // coherent memory image (see examples/spinlock).
@@ -23,21 +24,22 @@ func (c *Cache) Update(addr bus.Addr, wordIdx int, f func(uint32) uint32) (old, 
 	if err := c.checkWord(wordIdx); err != nil {
 		return 0, 0, err
 	}
-	c.bus.Acquire()
-	defer c.bus.Release()
+	c.bus.Acquire(addr)
+	defer c.bus.Release(addr)
 
 	// Read phase: local copy if present, otherwise a normal read-miss
 	// fill (still under the held bus).
-	c.mu.Lock()
-	c.stats.Reads++
+	sh := c.shard(addr)
+	sh.mu.Lock()
+	sh.stats.Reads++
 	if l := c.lookup(addr); l != nil {
 		old = word(l.data, wordIdx)
-		c.touch(l)
-		c.stats.ReadHits++
-		c.mu.Unlock()
+		c.touch(sh, l)
+		sh.stats.ReadHits++
+		sh.mu.Unlock()
 	} else {
-		c.stats.ReadMisses++
-		c.mu.Unlock()
+		sh.stats.ReadMisses++
+		sh.mu.Unlock()
 		data, _, ferr := c.fillLine(addr, core.LocalRead)
 		if ferr != nil {
 			return 0, 0, ferr
@@ -46,9 +48,9 @@ func (c *Cache) Update(addr bus.Addr, wordIdx int, f func(uint32) uint32) (old, 
 	}
 
 	updated = f(old)
-	c.mu.Lock()
-	c.stats.Writes++
-	c.mu.Unlock()
+	sh.mu.Lock()
+	sh.stats.Writes++
+	sh.mu.Unlock()
 	if err := c.writeHeld(addr, wordIdx, updated); err != nil {
 		return 0, 0, err
 	}
@@ -103,8 +105,8 @@ func (u *Uncached) Update(addr bus.Addr, wordIdx int, f func(uint32) uint32) (ol
 	if wordIdx < 0 || (wordIdx+1)*4 > u.bus.LineSize() {
 		return 0, 0, fmt.Errorf("uncached %d: word %d outside line", u.id, wordIdx)
 	}
-	u.bus.Acquire()
-	defer u.bus.Release()
+	u.bus.Acquire(addr)
+	defer u.bus.Release(addr)
 
 	read := &bus.Transaction{MasterID: u.id, Op: core.BusRead, Addr: addr}
 	res, err := u.bus.ExecuteHeld(read)

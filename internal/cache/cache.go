@@ -6,10 +6,15 @@
 // Write-Once, Illinois, Firefly and write-through protocols.
 //
 // Concurrency contract: each cache serves exactly one processor. The
-// processor side locks the cache's mutex for local work and never holds
-// it while waiting for the bus; the bus side (Query/Commit/Cancel)
-// holds the mutex for the duration of the address cycle, mirroring how
-// a Futurebus address handshake pins every unit's directory (§2.1).
+// directory is guarded per fabric shard: under the interleave layout
+// constraint (Sets divisible by granularity × shards) every set is
+// homed on exactly one shard, so shard s's snoop sweep and shard t's
+// can pin their slices of the directory concurrently. The processor
+// side locks one shard's mutex for local work and never holds it while
+// waiting for the bus; the bus side (Query/Commit/Cancel) holds it for
+// the duration of the address cycle, mirroring how a Futurebus address
+// handshake pins every unit's directory (§2.1). On a single bus this
+// degenerates to the one-mutex contract the package always had.
 package cache
 
 import (
@@ -83,19 +88,31 @@ type line struct {
 	lastUse uint64
 }
 
-// Cache is one snooping cache attached to a bus.
+// Cache is one snooping cache attached to a fabric (a single bus or an
+// interleaved multi-bus backplane; the cache snoops every shard).
 type Cache struct {
 	id     int
-	bus    *bus.Bus
+	bus    bus.Fabric
 	policy core.Policy
 	cfg    Config
-	// obs and busID are inherited from the bus at construction: one
-	// recorder instruments a whole segment. Nil obs = tracing off.
-	obs   *obs.Recorder
-	busID int
+	// obs is inherited from the fabric at construction: one recorder
+	// instruments the whole fabric. Nil obs = tracing off.
+	obs *obs.Recorder
+	// nshards/gran mirror the fabric's interleave parameters so the
+	// hot path maps an address to its shard without an interface call.
+	nshards, gran uint64
 
+	// shards holds the per-fabric-shard mutable state; sets is indexed
+	// by set number, and set s is guarded by shards[(s/gran)%nshards].
+	shards []cacheShard
+	sets   [][]line
+}
+
+// cacheShard is one fabric shard's slice of the cache: the directory
+// lock for the sets homed there, plus the LRU clock and counters those
+// sets use (sharding them keeps shard sweeps write-independent).
+type cacheShard struct {
 	mu    sync.Mutex
-	sets  [][]line
 	clock uint64
 	stats Stats
 }
@@ -156,16 +173,29 @@ func (s *Stats) Add(other Stats) {
 	}
 }
 
+// home maps an address to the fabric shard that serialises it — and
+// therefore to the cacheShard guarding its set.
+func (c *Cache) home(addr bus.Addr) int {
+	if c.nshards == 1 {
+		return 0
+	}
+	return int((uint64(addr) / c.gran) % c.nshards)
+}
+
+// shard returns the cacheShard guarding addr's set.
+func (c *Cache) shard(addr bus.Addr) *cacheShard { return &c.shards[c.home(addr)] }
+
 // setState records a state change on a line, tagging the emitted
-// event with why it happened. Callers hold c.mu.
-func (c *Cache) setState(l *line, next core.State, cause string) {
+// event with why it happened. Callers hold sh.mu, where sh guards
+// l.addr.
+func (c *Cache) setState(sh *cacheShard, l *line, next core.State, cause string) {
 	if l.state == next {
 		return
 	}
-	c.stats.Transitions[l.state][next]++
+	sh.stats.Transitions[l.state][next]++
 	if rec := c.obs; rec != nil {
 		rec.Emit(obs.Event{
-			TS: rec.Clock(), Kind: obs.KindState, Bus: c.busID, Proc: c.id,
+			TS: rec.Clock(), Kind: obs.KindState, Bus: c.bus.SegmentID(l.addr), Proc: c.id,
 			Addr: uint64(l.addr), From: l.state.Letter(), To: next.Letter(), Cause: cause,
 		})
 	}
@@ -174,22 +204,37 @@ func (c *Cache) setState(l *line, next core.State, cause string) {
 
 // noteStall accounts simulated bus time this cache's processor spent
 // on a transaction it issued, and emits the stall span. Callers hold
-// c.mu.
-func (c *Cache) noteStall(addr bus.Addr, cost int64) {
-	c.stats.StallNanos += cost
+// the shard lock guarding addr.
+func (c *Cache) noteStall(sh *cacheShard, addr bus.Addr, cost int64) {
+	sh.stats.StallNanos += cost
 	if rec := c.obs; rec != nil {
 		rec.Emit(obs.Event{
 			TS: rec.Clock() - cost, Dur: cost, Kind: obs.KindStall,
-			Bus: c.busID, Proc: c.id, Addr: uint64(addr),
+			Bus: c.bus.SegmentID(addr), Proc: c.id, Addr: uint64(addr),
 		})
+	}
+}
+
+// lockAll takes every shard lock in shard order (whole-directory
+// operations: Stats, StateCensus, ForEachLine). The matching
+// unlockAll releases them.
+func (c *Cache) lockAll() {
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+}
+
+func (c *Cache) unlockAll() {
+	for i := range c.shards {
+		c.shards[i].mu.Unlock()
 	}
 }
 
 // StateCensus returns the number of valid lines per state — the
 // occupancy distribution the Archibald–Baer style reports use.
 func (c *Cache) StateCensus() map[core.State]int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	census := make(map[core.State]int)
 	for _, set := range c.sets {
 		for i := range set {
@@ -201,13 +246,36 @@ func (c *Cache) StateCensus() map[core.State]int {
 	return census
 }
 
-// New creates a cache and attaches it to the bus as a snooper. The id
-// must be unique among all bus masters.
-func New(id int, b *bus.Bus, policy core.Policy, cfg Config) *Cache {
+// checkLayout validates a cache geometry against a fabric's interleave
+// parameters: every bus-tenure sequence the cache issues (miss fill +
+// victim flush, RMW, recovery push) must stay on one shard, which
+// holds exactly when each set is homed on a single shard — Sets must
+// be a multiple of granularity × shards. The sector cache indexes by
+// tag, so it passes sets = Sets and granularity in tag units.
+func checkLayout(kind string, sets int, f bus.Fabric, granularity int) {
+	n := f.Shards()
+	if n <= 1 {
+		return
+	}
+	if granularity < 1 || sets%(granularity*n) != 0 {
+		panic(fmt.Sprintf(
+			"cache: %s with %d sets cannot interleave over %d shards at granularity %d (sets must be a multiple of granularity × shards so each set is homed on one shard)",
+			kind, sets, n, granularity))
+	}
+}
+
+// New creates a cache and attaches it to the fabric as a snooper (on
+// every shard). The id must be unique among all bus masters.
+func New(id int, b bus.Fabric, policy core.Policy, cfg Config) *Cache {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 {
 		panic(fmt.Sprintf("cache: invalid geometry %d sets × %d ways", cfg.Sets, cfg.Ways))
 	}
-	c := &Cache{id: id, bus: b, policy: policy, cfg: cfg, obs: b.Recorder(), busID: b.ObsID()}
+	checkLayout("cache", cfg.Sets, b, b.Granularity())
+	c := &Cache{
+		id: id, bus: b, policy: policy, cfg: cfg, obs: b.Recorder(),
+		nshards: uint64(b.Shards()), gran: uint64(b.Granularity()),
+	}
+	c.shards = make([]cacheShard, c.nshards)
 	c.sets = make([][]line, cfg.Sets)
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Ways)
@@ -225,11 +293,15 @@ func (c *Cache) LineSize() int { return c.bus.LineSize() }
 // Policy returns the protocol the cache runs.
 func (c *Cache) Policy() core.Policy { return c.policy }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, summed over shards.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	c.lockAll()
+	defer c.unlockAll()
+	var total Stats
+	for i := range c.shards {
+		total.Add(c.shards[i].stats)
+	}
+	return total
 }
 
 // setFor maps a line address to its set index.
@@ -237,7 +309,8 @@ func (c *Cache) setFor(addr bus.Addr) int {
 	return int(uint64(addr) % uint64(c.cfg.Sets))
 }
 
-// lookup returns the way holding addr, or nil. Callers hold c.mu.
+// lookup returns the way holding addr, or nil. Callers hold the shard
+// lock guarding addr.
 func (c *Cache) lookup(addr bus.Addr) *line {
 	set := c.sets[c.setFor(addr)]
 	for i := range set {
@@ -248,14 +321,19 @@ func (c *Cache) lookup(addr bus.Addr) *line {
 	return nil
 }
 
-// touch updates the LRU clock for a line. Callers hold c.mu.
-func (c *Cache) touch(l *line) {
-	c.clock++
-	l.lastUse = c.clock
+// touch updates the LRU clock for a line. Callers hold sh.mu, where sh
+// guards l.addr (LRU only ever compares lines of one set, and a set is
+// homed on one shard, so a per-shard clock orders everything it needs
+// to).
+func (c *Cache) touch(sh *cacheShard, l *line) {
+	sh.clock++
+	l.lastUse = sh.clock
 }
 
 // victim returns the way to fill for addr: an invalid way if one
-// exists, else the least recently used. Callers hold c.mu.
+// exists, else the least recently used. Callers hold addr's shard
+// lock. The victim shares addr's set, hence its home shard — a miss
+// fill and its eviction push stay on the bus tenure already held.
 func (c *Cache) victim(addr bus.Addr) *line {
 	set := c.sets[c.setFor(addr)]
 	var lru *line
@@ -272,8 +350,9 @@ func (c *Cache) victim(addr bus.Addr) *line {
 
 // State returns the cache's state for a line (Invalid if absent).
 func (c *Cache) State(addr bus.Addr) core.State {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if l := c.lookup(addr); l != nil {
 		return l.state
 	}
@@ -286,8 +365,8 @@ func (c *Cache) Contains(addr bus.Addr) bool { return c.State(addr).Valid() }
 // ForEachLine visits every valid line with a copy of its data (used by
 // the consistency checker). The cache is locked for the duration.
 func (c *Cache) ForEachLine(fn func(addr bus.Addr, s core.State, data []byte)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	for _, set := range c.sets {
 		for i := range set {
 			if set[i].state.Valid() {
@@ -300,7 +379,7 @@ func (c *Cache) ForEachLine(fn func(addr bus.Addr, s core.State, data []byte)) {
 // recentlyUsed reports whether l is not the least recently used valid
 // line of its set (the §5.2 notion of "quite recently used": the MRU
 // element of a two-element set is recent, the LRU element is nearing
-// replacement). Callers hold c.mu.
+// replacement). Callers hold l.addr's shard lock.
 func (c *Cache) recentlyUsed(l *line) bool {
 	set := c.sets[c.setFor(l.addr)]
 	for i := range set {
@@ -318,8 +397,9 @@ func (c *Cache) recentlyUsed(l *line) bool {
 // prediction is a heuristic (the policy may pick differently when the
 // access runs).
 func (c *Cache) WouldUseBus(addr bus.Addr, write bool) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	event := core.LocalRead
 	if write {
 		event = core.LocalWrite

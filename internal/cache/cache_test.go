@@ -182,7 +182,8 @@ func TestRecentlyUsed(t *testing.T) {
 	c := cs[0]
 	mustRead(t, c, 0, 0)
 	mustRead(t, c, 4, 0) // line 0 is now LRU in set 0
-	c.mu.Lock()
+	sh := c.shard(0)     // both lines sit in set 0, hence one shard
+	sh.mu.Lock()
 	lru := c.lookup(0)
 	mru := c.lookup(4)
 	if c.recentlyUsed(lru) {
@@ -191,7 +192,7 @@ func TestRecentlyUsed(t *testing.T) {
 	if !c.recentlyUsed(mru) {
 		t.Error("MRU line reported stale")
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // TestStateQueries: State and Contains track the directory.

@@ -11,41 +11,45 @@ import (
 // This file is the processor side of the cache. The locking discipline
 // (see the package comment) is:
 //
-//   - c.mu is never held while waiting for the bus arbiter;
-//   - c.mu is never held across ExecuteHeld either, because a BS abort
-//     can trigger a nested recovery push that snoops *this* cache (we
-//     master the aborted transaction, not the push). While we hold the
-//     bus, only our own transactions and their nested recoveries run,
-//     so the directory state we computed under c.mu cannot be changed
-//     by any other master in the window where c.mu is released.
+//   - a shard's directory lock is never held while waiting for the bus
+//     arbiter;
+//   - nor across ExecuteHeld, because a BS abort can trigger a nested
+//     recovery push that snoops *this* cache (we master the aborted
+//     transaction, not the push). While we hold the bus shard, only
+//     our own transactions on it and their nested recoveries run, so
+//     the directory state we computed under the lock cannot be changed
+//     by any other master in the window where it is released — every
+//     transaction touching this line serialises through the shard we
+//     hold.
 
 // ReadWord performs a processor read of one 32-bit word.
 func (c *Cache) ReadWord(addr bus.Addr, wordIdx int) (uint32, error) {
 	if err := c.checkWord(wordIdx); err != nil {
 		return 0, err
 	}
-	c.mu.Lock()
-	c.stats.Reads++
+	sh := c.shard(addr)
+	sh.mu.Lock()
+	sh.stats.Reads++
 	if l := c.lookup(addr); l != nil {
 		// Read hit: every protocol in the class keeps the state (the
 		// Read column of Table 1 is the identity on valid states).
 		action, ok := c.policyFor(addr).ChooseLocal(l.state, core.LocalRead)
 		if !ok || action.NeedsBus() {
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return 0, fmt.Errorf("cache %d (%s): no local read action for state %s", c.id, c.policyFor(addr).Name(), l.state)
 		}
-		c.setState(l, action.Next.Resolve(false), "read-hit")
-		c.touch(l)
+		c.setState(sh, l, action.Next.Resolve(false), "read-hit")
+		c.touch(sh, l)
 		v := word(l.data, wordIdx)
-		c.stats.ReadHits++
-		c.mu.Unlock()
+		sh.stats.ReadHits++
+		sh.mu.Unlock()
 		return v, nil
 	}
-	c.stats.ReadMisses++
-	c.mu.Unlock()
+	sh.stats.ReadMisses++
+	sh.mu.Unlock()
 
-	c.bus.Acquire()
-	defer c.bus.Release()
+	c.bus.Acquire(addr)
+	defer c.bus.Release(addr)
 	data, _, err := c.fillLine(addr, core.LocalRead)
 	if err != nil {
 		return 0, err
@@ -58,72 +62,75 @@ func (c *Cache) WriteWord(addr bus.Addr, wordIdx int, val uint32) error {
 	if err := c.checkWord(wordIdx); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	c.stats.Writes++
+	sh := c.shard(addr)
+	sh.mu.Lock()
+	sh.stats.Writes++
 	l := c.lookup(addr)
 	if l != nil {
 		action, ok := c.policyFor(addr).ChooseLocal(l.state, core.LocalWrite)
 		if !ok {
 			st := l.state
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return fmt.Errorf("cache %d (%s): no local write action for state %s", c.id, c.policyFor(addr).Name(), st)
 		}
 		if !action.NeedsBus() {
 			// Silent write: M stays M, E goes to M (the M/E pair of
 			// Figure 4 — no other copy can exist).
-			c.setState(l, action.Next.Resolve(false), "silent-write")
+			c.setState(sh, l, action.Next.Resolve(false), "silent-write")
 			putWord(l.data, wordIdx, val)
-			c.touch(l)
-			c.stats.WriteHits++
+			c.touch(sh, l)
+			sh.stats.WriteHits++
 			c.noteWrite(addr, wordIdx, val)
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return nil
 		}
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
-	c.bus.Acquire()
-	defer c.bus.Release()
+	c.bus.Acquire(addr)
+	defer c.bus.Release(addr)
 	return c.writeHeld(addr, wordIdx, val)
 }
 
-// writeHeld performs a write while the caller holds the bus,
+// writeHeld performs a write while the caller holds addr's bus shard,
 // re-examining the directory first: while the caller waited for the
 // arbiter, another master may have invalidated or downgraded the copy.
 func (c *Cache) writeHeld(addr bus.Addr, wordIdx int, val uint32) error {
-	c.mu.Lock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
 	if c.lookup(addr) == nil {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return c.writeMiss(addr, wordIdx, val)
 	}
-	c.stats.WriteHits++
-	return c.writeHitBus(addr, wordIdx, val) // unlocks c.mu
+	sh.stats.WriteHits++
+	return c.writeHitBus(addr, wordIdx, val) // unlocks the shard
 }
 
 // writeHitBus handles a write hit that needs the bus (states S and O:
 // the S/O pair of Figure 4 — other copies may exist, so the change must
 // be broadcast or the other copies invalidated). Called with the bus
-// held and c.mu locked; it unlocks c.mu.
+// held and addr's shard locked; it unlocks the shard.
 func (c *Cache) writeHitBus(addr bus.Addr, wordIdx int, val uint32) error {
+	sh := c.shard(addr)
 	l := c.lookup(addr)
 	action, ok := c.policyFor(addr).ChooseLocal(l.state, core.LocalWrite)
 	if !ok {
 		st := l.state
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("cache %d (%s): no local write action for state %s", c.id, c.policyFor(addr).Name(), st)
 	}
 	if !action.NeedsBus() {
 		// The state improved (e.g. everyone else was invalidated)
 		// while we waited for the bus.
-		c.setState(l, action.Next.Resolve(false), "write-hit")
+		c.setState(sh, l, action.Next.Resolve(false), "write-hit")
 		putWord(l.data, wordIdx, val)
-		c.touch(l)
+		c.touch(sh, l)
 		c.noteWrite(addr, wordIdx, val)
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
-	c.stats.WriteUpgrades++
-	c.mu.Unlock()
+	sh.stats.WriteUpgrades++
+	sh.mu.Unlock()
 
 	tx := &bus.Transaction{
 		MasterID: c.id,
@@ -145,27 +152,28 @@ func (c *Cache) writeHitBus(addr bus.Addr, wordIdx int, val uint32) error {
 		return err
 	}
 
-	c.mu.Lock()
+	sh.mu.Lock()
 	l = c.lookup(addr)
 	if l == nil {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("cache %d: line %#x vanished during its own upgrade", c.id, uint64(addr))
 	}
-	c.setState(l, action.Next.Resolve(res.CH), "write-upgrade")
+	c.setState(sh, l, action.Next.Resolve(res.CH), "write-upgrade")
 	putWord(l.data, wordIdx, val)
-	c.touch(l)
-	c.noteStall(addr, res.Cost)
+	c.touch(sh, l)
+	c.noteStall(sh, addr, res.Cost)
 	c.noteWrite(addr, wordIdx, val)
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	return nil
 }
 
 // writeMiss handles a write to a line the cache does not hold. Called
-// with the bus held and c.mu unlocked.
+// with the bus held and the shard unlocked.
 func (c *Cache) writeMiss(addr bus.Addr, wordIdx int, val uint32) error {
-	c.mu.Lock()
-	c.stats.WriteMisses++
-	c.mu.Unlock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
+	sh.stats.WriteMisses++
+	sh.mu.Unlock()
 	action, ok := c.policyFor(addr).ChooseLocal(core.Invalid, core.LocalWrite)
 	if !ok {
 		return fmt.Errorf("cache %d (%s): no write-miss action", c.id, c.policyFor(addr).Name())
@@ -177,16 +185,16 @@ func (c *Cache) writeMiss(addr bus.Addr, wordIdx int, val uint32) error {
 		if _, _, err := c.fillLineWith(addr, action); err != nil {
 			return err
 		}
-		c.mu.Lock()
+		sh.mu.Lock()
 		l := c.lookup(addr)
 		if l == nil {
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return fmt.Errorf("cache %d: RFO fill of %#x vanished", c.id, uint64(addr))
 		}
 		putWord(l.data, wordIdx, val)
-		c.touch(l)
+		c.touch(sh, l)
 		c.noteWrite(addr, wordIdx, val)
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	case core.BusReadThenWrite:
 		// Two transactions (Table 1 "Read>Write"): a normal read miss,
@@ -194,26 +202,26 @@ func (c *Cache) writeMiss(addr bus.Addr, wordIdx int, val uint32) error {
 		if _, _, err := c.fillLine(addr, core.LocalRead); err != nil {
 			return err
 		}
-		c.mu.Lock()
+		sh.mu.Lock()
 		if l := c.lookup(addr); l == nil {
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return fmt.Errorf("cache %d: Read>Write fill of %#x vanished", c.id, uint64(addr))
 		}
 		action2, ok := c.policyFor(addr).ChooseLocal(c.mustState(addr), core.LocalWrite)
 		if !ok {
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return fmt.Errorf("cache %d (%s): no write action after Read>Write", c.id, c.policyFor(addr).Name())
 		}
 		if !action2.NeedsBus() {
 			l := c.lookup(addr)
-			c.setState(l, action2.Next.Resolve(false), "write-hit")
+			c.setState(sh, l, action2.Next.Resolve(false), "write-hit")
 			putWord(l.data, wordIdx, val)
-			c.touch(l)
+			c.touch(sh, l)
 			c.noteWrite(addr, wordIdx, val)
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return nil
 		}
-		return c.writeHitBus(addr, wordIdx, val) // unlocks c.mu
+		return c.writeHitBus(addr, wordIdx, val) // unlocks the shard
 	case core.BusWrite:
 		// Write past the cache (a write-through or non-allocating
 		// write): a partial word write, no local copy afterwards.
@@ -228,17 +236,17 @@ func (c *Cache) writeMiss(addr bus.Addr, wordIdx int, val uint32) error {
 		if err != nil {
 			return err
 		}
-		c.mu.Lock()
-		c.noteStall(addr, res.Cost)
+		sh.mu.Lock()
+		c.noteStall(sh, addr, res.Cost)
 		c.noteWrite(addr, wordIdx, val)
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	default:
 		return fmt.Errorf("cache %d (%s): unsupported write-miss op %v", c.id, c.policyFor(addr).Name(), action.Op)
 	}
 }
 
-// mustState returns the state of addr; callers hold c.mu.
+// mustState returns the state of addr; callers hold addr's shard lock.
 func (c *Cache) mustState(addr bus.Addr) core.State {
 	if l := c.lookup(addr); l != nil {
 		return l.state
@@ -247,8 +255,8 @@ func (c *Cache) mustState(addr bus.Addr) core.State {
 }
 
 // fillLine performs a read-miss fill using the policy's read-miss
-// action. Called with the bus held and c.mu unlocked. Returns a copy of
-// the line data.
+// action. Called with the bus held and the shard unlocked. Returns a
+// copy of the line data.
 func (c *Cache) fillLine(addr bus.Addr, event core.LocalEvent) ([]byte, int64, error) {
 	action, ok := c.policyFor(addr).ChooseLocal(core.Invalid, event)
 	if !ok {
@@ -258,7 +266,7 @@ func (c *Cache) fillLine(addr bus.Addr, event core.LocalEvent) ([]byte, int64, e
 }
 
 // fillLineWith fetches addr with the given miss action and installs the
-// line. Called with the bus held and c.mu unlocked.
+// line. Called with the bus held and the shard unlocked.
 func (c *Cache) fillLineWith(addr bus.Addr, action core.LocalAction) ([]byte, int64, error) {
 	if action.Op != core.BusRead {
 		return nil, 0, fmt.Errorf("cache %d (%s): miss action %s is not a read", c.id, c.policyFor(addr).Name(), action)
@@ -283,9 +291,10 @@ func (c *Cache) fillLineWith(addr bus.Addr, action core.LocalAction) ([]byte, in
 	}
 	next := action.Next.Resolve(res.CH)
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.noteStall(addr, res.Cost)
+	sh := c.shard(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c.noteStall(sh, addr, res.Cost)
 	if !next.Valid() {
 		// A non-caching read: nothing retained.
 		return res.Data, res.Cost, nil
@@ -293,40 +302,44 @@ func (c *Cache) fillLineWith(addr bus.Addr, action core.LocalAction) ([]byte, in
 	v := c.victim(addr)
 	if v.state.Valid() {
 		// makeRoom freed a way; a valid victim here means the set
-		// filled up again, which is impossible while we hold the bus.
+		// filled up again, which is impossible while we hold the bus
+		// shard every transaction on this set serialises through.
 		return nil, 0, fmt.Errorf("cache %d: no free way for %#x after eviction", c.id, uint64(addr))
 	}
 	v.addr = addr
-	c.setState(v, next, "fill")
+	c.setState(sh, v, next, "fill")
 	v.data = append(v.data[:0], res.Data...)
-	c.touch(v)
+	c.touch(sh, v)
 	return append([]byte(nil), res.Data...), res.Cost, nil
 }
 
 // makeRoom evicts a victim from addr's set if no way is free, pushing
 // dirty (owned) victims to memory with the policy's Flush action.
-// Called with the bus held and c.mu unlocked.
+// Called with the bus held and the shard unlocked. The victim shares
+// addr's set and therefore its home shard, so the push runs on the bus
+// tenure already held.
 func (c *Cache) makeRoom(addr bus.Addr) error {
-	c.mu.Lock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
 	v := c.victim(addr)
 	if !v.state.Valid() {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
-	c.stats.Replacements++
+	sh.stats.Replacements++
 	victimAddr := v.addr
 	victimState := v.state
 	if c.cfg.OnEvict != nil {
 		// Inclusion hook: let a bridge clear its cluster's copies
 		// before the line leaves this directory (bus held).
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		if err := c.cfg.OnEvict(victimAddr); err != nil {
 			return err
 		}
-		c.mu.Lock()
+		sh.mu.Lock()
 		v = c.victim(addr)
 		if !v.state.Valid() {
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return nil
 		}
 		victimAddr = v.addr
@@ -334,17 +347,17 @@ func (c *Cache) makeRoom(addr bus.Addr) error {
 	}
 	action, ok := c.policyFor(victimAddr).ChooseLocal(victimState, core.Flush)
 	if !ok {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("cache %d (%s): no flush action for state %s", c.id, c.policyFor(victimAddr).Name(), victimState)
 	}
 	if !action.NeedsBus() {
 		// Clean victims (E, S) are dropped silently.
-		c.setState(v, core.Invalid, "evict-clean")
-		c.mu.Unlock()
+		c.setState(sh, v, core.Invalid, "evict-clean")
+		sh.mu.Unlock()
 		return nil
 	}
 	data := append([]byte(nil), v.data...)
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
 	// Push the dirty line. The flusher retains nothing, so CA is not
 	// asserted; sharers of an O line observe column 7 and keep their
@@ -360,17 +373,17 @@ func (c *Cache) makeRoom(addr bus.Addr) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	c.stats.DirtyEvictions++
-	c.stats.Flushes++
-	c.noteStall(victimAddr, res.Cost)
+	sh.mu.Lock()
+	sh.stats.DirtyEvictions++
+	sh.stats.Flushes++
+	c.noteStall(sh, victimAddr, res.Cost)
 	if rec := c.obs; rec != nil {
-		rec.Emit(obs.Event{TS: rec.Clock(), Kind: obs.KindEvict, Bus: c.busID, Proc: c.id, Addr: uint64(victimAddr)})
+		rec.Emit(obs.Event{TS: rec.Clock(), Kind: obs.KindEvict, Bus: c.bus.SegmentID(victimAddr), Proc: c.id, Addr: uint64(victimAddr)})
 	}
 	if l := c.lookup(victimAddr); l != nil {
-		c.setState(l, action.Next.Resolve(res.CH), "evict")
+		c.setState(sh, l, action.Next.Resolve(res.CH), "evict")
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -385,45 +398,47 @@ func (c *Cache) Flush(addr bus.Addr) error {
 // note 3): ownership returns to memory, the cache retains the line in
 // an unowned state. It is a no-op on unowned or absent lines.
 func (c *Cache) Pass(addr bus.Addr) error {
-	c.mu.Lock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
 	l := c.lookup(addr)
 	if l == nil || !l.state.OwnedCopy() {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	return c.pushLine(addr, core.Pass)
 }
 
 func (c *Cache) pushLine(addr bus.Addr, event core.LocalEvent) error {
-	c.bus.Acquire()
-	defer c.bus.Release()
-	c.mu.Lock()
+	c.bus.Acquire(addr)
+	defer c.bus.Release(addr)
+	sh := c.shard(addr)
+	sh.mu.Lock()
 	l := c.lookup(addr)
 	if l == nil {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
 	action, ok := c.policyFor(addr).ChooseLocal(l.state, event)
 	if !ok {
 		if event == core.Pass {
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return nil
 		}
 		st := l.state
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("cache %d (%s): no %s action for state %s", c.id, c.policyFor(addr).Name(), event, st)
 	}
 	if !action.NeedsBus() {
-		c.setState(l, action.Next.Resolve(false), "push")
+		c.setState(sh, l, action.Next.Resolve(false), "push")
 		if event == core.Flush {
-			c.stats.Flushes++
+			sh.stats.Flushes++
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
 	data := append([]byte(nil), l.data...)
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
 	tx := &bus.Transaction{
 		MasterID: c.id,
@@ -436,18 +451,18 @@ func (c *Cache) pushLine(addr bus.Addr, event core.LocalEvent) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
+	sh.mu.Lock()
 	if l := c.lookup(addr); l != nil {
-		c.setState(l, action.Next.Resolve(res.CH), "push")
+		c.setState(sh, l, action.Next.Resolve(res.CH), "push")
 	}
 	switch event {
 	case core.Pass:
-		c.stats.Passes++
+		sh.stats.Passes++
 	case core.Flush:
-		c.stats.Flushes++
+		sh.stats.Flushes++
 	}
-	c.noteStall(addr, res.Cost)
-	c.mu.Unlock()
+	c.noteStall(sh, addr, res.Cost)
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -456,7 +471,7 @@ func (c *Cache) pushLine(addr bus.Addr, event core.LocalEvent) error {
 // memory. Afterwards the cache is empty and memory holds the image of
 // everything it owned.
 func (c *Cache) FlushAll() error {
-	c.mu.Lock()
+	c.lockAll()
 	var addrs []bus.Addr
 	for _, set := range c.sets {
 		for i := range set {
@@ -465,7 +480,7 @@ func (c *Cache) FlushAll() error {
 			}
 		}
 	}
-	c.mu.Unlock()
+	c.unlockAll()
 	for _, addr := range addrs {
 		if err := c.Flush(addr); err != nil {
 			return err
@@ -475,7 +490,7 @@ func (c *Cache) FlushAll() error {
 }
 
 // noteWrite reports an applied write to the golden-image observer.
-// Callers hold c.mu or the bus (the point of visibility).
+// Callers hold the shard lock or the bus (the point of visibility).
 func (c *Cache) noteWrite(addr bus.Addr, wordIdx int, val uint32) {
 	if c.cfg.OnWrite != nil {
 		c.cfg.OnWrite(addr, wordIdx, val)

@@ -83,12 +83,29 @@ func expectedAfterLocal(tbl *core.Table, s core.State, e core.LocalEvent, haveB 
 	return resolveWith(wa), true
 }
 
-// conformanceRig builds a fresh bus with the protocol under test (A), a
-// MOESI environment cache (B, optional), and a raw master id.
-func conformanceRig(t *testing.T, name string, withB bool) (*bus.Bus, *memory.Memory, *Cache, *Cache) {
+// memImage is the slice of memory the harness needs for cell setup.
+type memImage interface {
+	WriteLine(addr bus.Addr, data []byte)
+}
+
+// conformanceRig builds a fresh fabric (a single bus, or an interleaved
+// backplane when shards > 1) with the protocol under test (A), a MOESI
+// environment cache (B, optional), and a raw master id.
+func conformanceRig(t *testing.T, name string, withB bool, shards int) (bus.Fabric, memImage, *Cache, *Cache) {
 	t.Helper()
-	mem := memory.New(testLineSize)
-	b := bus.New(mem, bus.Config{LineSize: testLineSize})
+	var b bus.Fabric
+	var mem memImage
+	if shards == 1 {
+		m := memory.New(testLineSize)
+		b = bus.New(m, bus.Config{LineSize: testLineSize})
+		mem = m
+	} else {
+		m := memory.NewSharded(testLineSize, shards, 1)
+		b = bus.NewInterleaved(m.Ports(), bus.InterleavedConfig{
+			Config: bus.Config{LineSize: testLineSize}, Shards: shards, Granularity: 1,
+		})
+		mem = m
+	}
 	p, err := protocols.New(name)
 	if err != nil {
 		t.Fatal(err)
@@ -100,6 +117,12 @@ func conformanceRig(t *testing.T, name string, withB bool) (*bus.Bus, *memory.Me
 	}
 	return b, mem, a, envB
 }
+
+// conformanceShards are the fabric shapes every cell is verified on:
+// the protocol engine must be bit-for-bit table-conformant whether the
+// line's serialisation point is a single bus or one shard of an
+// interleaved backplane.
+var conformanceShards = []int{1, 2, 4}
 
 // conformanceProtocols are the deterministic cached protocols (the
 // dynamic choosers pick a different legal action per draw, so they have
@@ -117,63 +140,65 @@ func TestSnoopConformance(t *testing.T) {
 	lineData := bytes.Repeat([]byte{0x5A}, testLineSize)
 
 	checked := 0
-	for _, name := range conformanceProtocols {
-		p, err := protocols.New(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		tbl := p.Table()
-		for _, s := range tbl.States {
-			if !s.Valid() {
-				continue
+	for _, nsh := range conformanceShards {
+		for _, name := range conformanceProtocols {
+			p, err := protocols.New(name)
+			if err != nil {
+				t.Fatal(err)
 			}
-			for _, col := range tbl.BusEvents {
-				for _, withB := range []bool{false, true} {
-					otherCH := withB && chFromMOESISharer(col)
-					want, ok := expectedAfterSnoop(tbl, s, col, otherCH)
-					if !ok {
-						continue
-					}
-					// An exclusive A alongside a sharing B is not a
-					// reachable configuration; skip the contradictory
-					// setup (the CH value would be meaningless).
-					if withB && s.ExclusiveCopy() {
-						continue
-					}
-					_, mem, a, envB := conformanceRig(t, name, withB)
-					if !s.OwnedCopy() {
-						// Unowned states must match the owner; with no
-						// owner the image is memory.
-						mem.WriteLine(addr, lineData)
-					}
-					a.forceLine(addr, s, lineData)
-					if envB != nil {
-						envB.forceLine(addr, core.Shared, lineData)
-					}
+			tbl := p.Table()
+			for _, s := range tbl.States {
+				if !s.Valid() {
+					continue
+				}
+				for _, col := range tbl.BusEvents {
+					for _, withB := range []bool{false, true} {
+						otherCH := withB && chFromMOESISharer(col)
+						want, ok := expectedAfterSnoop(tbl, s, col, otherCH)
+						if !ok {
+							continue
+						}
+						// An exclusive A alongside a sharing B is not a
+						// reachable configuration; skip the contradictory
+						// setup (the CH value would be meaningless).
+						if withB && s.ExclusiveCopy() {
+							continue
+						}
+						_, mem, a, envB := conformanceRig(t, name, withB, nsh)
+						if !s.OwnedCopy() {
+							// Unowned states must match the owner; with no
+							// owner the image is memory.
+							mem.WriteLine(addr, lineData)
+						}
+						a.forceLine(addr, s, lineData)
+						if envB != nil {
+							envB.forceLine(addr, core.Shared, lineData)
+						}
 
-					tx := &bus.Transaction{MasterID: 9, Signals: col.Signals(), Addr: addr}
-					switch col {
-					case core.BusCacheRead, core.BusPlainRead:
-						tx.Op = core.BusRead
-					case core.BusCacheRFO:
-						tx.Op = core.BusAddrOnly
-					default:
-						tx.Op = core.BusWrite
-						tx.Partial = &bus.PartialWrite{Word: 0, Val: 0x77}
+						tx := &bus.Transaction{MasterID: 9, Signals: col.Signals(), Addr: addr}
+						switch col {
+						case core.BusCacheRead, core.BusPlainRead:
+							tx.Op = core.BusRead
+						case core.BusCacheRFO:
+							tx.Op = core.BusAddrOnly
+						default:
+							tx.Op = core.BusWrite
+							tx.Partial = &bus.PartialWrite{Word: 0, Val: 0x77}
+						}
+						if _, err := a.bus.Execute(tx); err != nil {
+							t.Fatalf("%s state %s col %d (B=%t, shards=%d): %v", name, s.Letter(), col.Column(), withB, nsh, err)
+						}
+						if got := a.State(addr); got != want {
+							t.Errorf("%s: state %s, col %d, B=%t, shards=%d: engine went to %s, table says %s",
+								name, s.Letter(), col.Column(), withB, nsh, got.Letter(), want.Letter())
+						}
+						checked++
 					}
-					if _, err := a.bus.Execute(tx); err != nil {
-						t.Fatalf("%s state %s col %d (B=%t): %v", name, s.Letter(), col.Column(), withB, err)
-					}
-					if got := a.State(addr); got != want {
-						t.Errorf("%s: state %s, col %d, B=%t: engine went to %s, table says %s",
-							name, s.Letter(), col.Column(), withB, got.Letter(), want.Letter())
-					}
-					checked++
 				}
 			}
 		}
 	}
-	if checked < 200 {
+	if checked < 600 {
 		t.Fatalf("only %d snoop cells checked — the harness is skipping too much", checked)
 	}
 	t.Logf("%d snoop cells verified against the engine", checked)
@@ -186,57 +211,59 @@ func TestLocalConformance(t *testing.T) {
 	lineData := bytes.Repeat([]byte{0x6B}, testLineSize)
 
 	checked := 0
-	for _, name := range conformanceProtocols {
-		p, err := protocols.New(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		tbl := p.Table()
-		states := append([]core.State{}, tbl.States...)
-		for _, s := range states {
-			for _, e := range tbl.LocalEvents {
-				for _, withB := range []bool{false, true} {
-					want, ok := expectedAfterLocal(tbl, s, e, withB)
-					if !ok {
-						continue
-					}
-					if withB && s.ExclusiveCopy() {
-						continue
-					}
-					_, mem, a, envB := conformanceRig(t, name, withB)
-					if !s.OwnedCopy() {
-						mem.WriteLine(addr, lineData)
-					}
-					if s.Valid() {
-						a.forceLine(addr, s, lineData)
-					}
-					if envB != nil {
-						envB.forceLine(addr, core.Shared, lineData)
-					}
+	for _, nsh := range conformanceShards {
+		for _, name := range conformanceProtocols {
+			p, err := protocols.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl := p.Table()
+			states := append([]core.State{}, tbl.States...)
+			for _, s := range states {
+				for _, e := range tbl.LocalEvents {
+					for _, withB := range []bool{false, true} {
+						want, ok := expectedAfterLocal(tbl, s, e, withB)
+						if !ok {
+							continue
+						}
+						if withB && s.ExclusiveCopy() {
+							continue
+						}
+						_, mem, a, envB := conformanceRig(t, name, withB, nsh)
+						if !s.OwnedCopy() {
+							mem.WriteLine(addr, lineData)
+						}
+						if s.Valid() {
+							a.forceLine(addr, s, lineData)
+						}
+						if envB != nil {
+							envB.forceLine(addr, core.Shared, lineData)
+						}
 
-					switch e {
-					case core.LocalRead:
-						_, err = a.ReadWord(addr, 0)
-					case core.LocalWrite:
-						err = a.WriteWord(addr, 0, 0x99)
-					case core.Pass:
-						err = a.Pass(addr)
-					case core.Flush:
-						err = a.Flush(addr)
+						switch e {
+						case core.LocalRead:
+							_, err = a.ReadWord(addr, 0)
+						case core.LocalWrite:
+							err = a.WriteWord(addr, 0, 0x99)
+						case core.Pass:
+							err = a.Pass(addr)
+						case core.Flush:
+							err = a.Flush(addr)
+						}
+						if err != nil {
+							t.Fatalf("%s state %s %s (B=%t, shards=%d): %v", name, s.Letter(), e, withB, nsh, err)
+						}
+						if got := a.State(addr); got != want {
+							t.Errorf("%s: state %s, %s, B=%t, shards=%d: engine went to %s, table says %s",
+								name, s.Letter(), e, withB, nsh, got.Letter(), want.Letter())
+						}
+						checked++
 					}
-					if err != nil {
-						t.Fatalf("%s state %s %s (B=%t): %v", name, s.Letter(), e, withB, err)
-					}
-					if got := a.State(addr); got != want {
-						t.Errorf("%s: state %s, %s, B=%t: engine went to %s, table says %s",
-							name, s.Letter(), e, withB, got.Letter(), want.Letter())
-					}
-					checked++
 				}
 			}
 		}
 	}
-	if checked < 100 {
+	if checked < 300 {
 		t.Fatalf("only %d local cells checked — the harness is skipping too much", checked)
 	}
 	t.Logf("%d local cells verified against the engine", checked)

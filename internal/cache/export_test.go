@@ -9,8 +9,9 @@ import (
 // conformance harness uses it to place a cache in an exact MOESI state
 // before firing one event at it.
 func (c *Cache) forceLine(addr bus.Addr, s core.State, data []byte) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if !s.Valid() {
 		if l := c.lookup(addr); l != nil {
 			l.state = core.Invalid
@@ -21,5 +22,5 @@ func (c *Cache) forceLine(addr bus.Addr, s core.State, data []byte) {
 	v.addr = addr
 	v.state = s
 	v.data = append(v.data[:0], data...)
-	c.touch(v)
+	c.touch(sh, v)
 }

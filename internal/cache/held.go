@@ -17,14 +17,15 @@ import (
 // read-miss fill if not) and returns a copy of its data. The bus must
 // be held by the caller.
 func (c *Cache) FetchLineHeld(addr bus.Addr) ([]byte, error) {
-	c.mu.Lock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
 	if l := c.lookup(addr); l != nil {
 		data := append([]byte(nil), l.data...)
-		c.touch(l)
-		c.mu.Unlock()
+		c.touch(sh, l)
+		sh.mu.Unlock()
 		return data, nil
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	data, _, err := c.fillLine(addr, core.LocalRead)
 	return data, err
 }
@@ -40,13 +41,14 @@ func (c *Cache) AbsorbLineHeld(addr bus.Addr, data []byte) error {
 	if len(data) != c.bus.LineSize() {
 		return fmt.Errorf("cache %d: absorb of %d bytes, line size %d", c.id, len(data), c.bus.LineSize())
 	}
-	c.mu.Lock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
 	l := c.lookup(addr)
 	if l != nil && l.state.MayModifySilently() {
 		copy(l.data, data)
-		c.setState(l, core.Modified, "absorb")
-		c.touch(l)
-		c.mu.Unlock()
+		c.setState(sh, l, core.Modified, "absorb")
+		c.touch(sh, l)
+		sh.mu.Unlock()
 		return nil
 	}
 	var upgrade *bus.Transaction
@@ -59,7 +61,7 @@ func (c *Cache) AbsorbLineHeld(addr bus.Addr, data []byte) error {
 			Addr:     addr,
 		}
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
 	if upgrade != nil {
 		if _, err := c.bus.ExecuteHeld(upgrade); err != nil {
@@ -76,15 +78,15 @@ func (c *Cache) AbsorbLineHeld(addr bus.Addr, data []byte) error {
 		}
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	l = c.lookup(addr)
 	if l == nil {
 		return fmt.Errorf("cache %d: absorbed line %#x vanished", c.id, uint64(addr))
 	}
 	copy(l.data, data)
-	c.setState(l, core.Modified, "absorb")
-	c.touch(l)
+	c.setState(sh, l, core.Modified, "absorb")
+	c.touch(sh, l)
 	return nil
 }
 
@@ -93,9 +95,10 @@ func (c *Cache) AbsorbLineHeld(addr bus.Addr, data []byte) error {
 // foreign transaction has already superseded the line globally. The
 // caller must hold the bus.
 func (c *Cache) InvalidateHeld(addr bus.Addr) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if l := c.lookup(addr); l != nil {
-		c.setState(l, core.Invalid, "invalidate-held")
+		c.setState(sh, l, core.Invalid, "invalidate-held")
 	}
 }

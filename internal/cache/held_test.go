@@ -17,9 +17,9 @@ func TestFetchLineHeld(t *testing.T) {
 	c0, c1 := cs[0], cs[1]
 	mustWrite(t, c1, 4, 0, 0x42) // dirty elsewhere
 
-	b.Acquire()
+	b.Acquire(4)
 	data, err := c0.FetchLineHeld(4)
-	b.Release()
+	b.Release(4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,11 +36,11 @@ func TestFetchLineHeld(t *testing.T) {
 	}
 	// A second fetch is served locally (no new transaction).
 	before := b.Stats().Transactions
-	b.Acquire()
+	b.Acquire(4)
 	if _, err := c0.FetchLineHeld(4); err != nil {
 		t.Fatal(err)
 	}
-	b.Release()
+	b.Release(4)
 	if b.Stats().Transactions != before {
 		t.Error("present-line fetch used the bus")
 	}
@@ -55,11 +55,11 @@ func TestAbsorbLineHeld(t *testing.T) {
 	line := bytes.Repeat([]byte{0xAB}, testLineSize)
 
 	// Miss path (RFO fill then overwrite).
-	b.Acquire()
+	b.Acquire(7)
 	if err := c0.AbsorbLineHeld(7, line); err != nil {
 		t.Fatal(err)
 	}
-	b.Release()
+	b.Release(7)
 	if c0.State(7) != core.Modified {
 		t.Fatalf("after miss absorb: %s", c0.State(7))
 	}
@@ -69,11 +69,11 @@ func TestAbsorbLineHeld(t *testing.T) {
 	mustRead(t, c1, 7, 0) // c0: M→O, c1: S
 	mustRead(t, c0, 7, 0)
 	line2 := bytes.Repeat([]byte{0xCD}, testLineSize)
-	b.Acquire()
+	b.Acquire(7)
 	if err := c0.AbsorbLineHeld(7, line2); err != nil {
 		t.Fatal(err)
 	}
-	b.Release()
+	b.Release(7)
 	if c0.State(7) != core.Modified {
 		t.Fatalf("after hit absorb: %s", c0.State(7))
 	}
@@ -87,19 +87,19 @@ func TestAbsorbLineHeld(t *testing.T) {
 	// Silent path (already M).
 	line3 := bytes.Repeat([]byte{0xEF}, testLineSize)
 	before := b.Stats().Transactions
-	b.Acquire()
+	b.Acquire(7)
 	if err := c0.AbsorbLineHeld(7, line3); err != nil {
 		t.Fatal(err)
 	}
-	b.Release()
+	b.Release(7)
 	if b.Stats().Transactions != before {
 		t.Error("silent absorb used the bus")
 	}
 
 	// Wrong-size payload is rejected.
-	b.Acquire()
+	b.Acquire(7)
 	err := c0.AbsorbLineHeld(7, []byte{1})
-	b.Release()
+	b.Release(7)
 	if err == nil {
 		t.Error("short absorb accepted")
 	}
@@ -111,10 +111,10 @@ func TestInvalidateHeld(t *testing.T) {
 	c := cs[0]
 	mustRead(t, c, 3, 0)
 	before := b.Stats().Transactions
-	b.Acquire()
+	b.Acquire(3)
 	c.InvalidateHeld(3)
-	c.InvalidateHeld(99) // absent: no-op
-	b.Release()
+	c.InvalidateHeld(99) // absent: no-op (same single bus regardless of address)
+	b.Release(3)
 	if c.Contains(3) {
 		t.Error("line survived InvalidateHeld")
 	}

@@ -18,7 +18,7 @@ import (
 // coherent memory image without participating in the protocol.
 type Uncached struct {
 	id  int
-	bus *bus.Bus
+	bus bus.Fabric
 	// broadcast selects column 10 writes (holders may update
 	// themselves) over column 9 writes (holders must invalidate).
 	broadcast bool
@@ -36,7 +36,7 @@ type UncachedStats struct {
 
 // NewUncached creates a non-caching bus master. The id must be unique
 // among all masters on the bus.
-func NewUncached(id int, b *bus.Bus, broadcast bool, onWrite func(addr bus.Addr, wordIdx int, val uint32)) *Uncached {
+func NewUncached(id int, b bus.Fabric, broadcast bool, onWrite func(addr bus.Addr, wordIdx int, val uint32)) *Uncached {
 	return &Uncached{id: id, bus: b, broadcast: broadcast, onWrite: onWrite}
 }
 
@@ -86,12 +86,12 @@ func (u *Uncached) WriteWord(addr bus.Addr, wordIdx int, val uint32) error {
 		Op:       core.BusWrite,
 		Partial:  &bus.PartialWrite{Word: wordIdx, Val: val},
 	}
-	u.bus.Acquire()
+	u.bus.Acquire(addr)
 	res, err := u.bus.ExecuteHeld(tx)
 	if err == nil && u.onWrite != nil {
 		u.onWrite(addr, wordIdx, val)
 	}
-	u.bus.Release()
+	u.bus.Release(addr)
 	if err != nil {
 		return err
 	}

@@ -18,17 +18,32 @@ import (
 // is indistinguishable from a plain cache; what changes is allocation
 // (tags are per sector, so a sector miss evicts a whole resident
 // sector) and tag economy (a quarter of the tags for 4 sub-sectors).
+//
+// On an interleaved fabric the directory is guarded per shard, like
+// Cache: the fabric's granularity must be a multiple of SubSectors so
+// a whole sector (and hence a whole set of the sector directory) is
+// homed on one shard.
 type SectorCache struct {
 	id     int
-	bus    *bus.Bus
+	bus    bus.Fabric
 	policy core.Policy
 	cfg    SectorConfig
-	// obs and busID are inherited from the bus (see Cache).
-	obs   *obs.Recorder
-	busID int
+	// obs is inherited from the fabric (see Cache).
+	obs *obs.Recorder
+	// nshards/gran mirror the fabric's interleave parameters (gran in
+	// lines, as the fabric counts).
+	nshards, gran uint64
 
+	// shards holds per-fabric-shard state; sets[tag%Sets] is guarded by
+	// the shard homing that set's sectors.
+	shards []sectorShard
+	sets   [][]sectorEntry
+}
+
+// sectorShard is one fabric shard's slice of the sector cache (see
+// cacheShard).
+type sectorShard struct {
 	mu    sync.Mutex
-	sets  [][]sectorEntry
 	clock uint64
 	stats SectorStats
 }
@@ -58,6 +73,23 @@ type SectorStats struct {
 	UpdatesReceived       int64
 	InterventionsSupplied int64
 	StallNanos            int64
+}
+
+// Add accumulates other into s (per-shard merge).
+func (s *SectorStats) Add(other SectorStats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.ReadHits += other.ReadHits
+	s.WriteHits += other.WriteHits
+	s.SubMisses += other.SubMisses
+	s.SectorMisses += other.SectorMisses
+	s.SectorEvictions += other.SectorEvictions
+	s.DirtySubEvictions += other.DirtySubEvictions
+	s.SnoopHits += other.SnoopHits
+	s.InvalidationsReceived += other.InvalidationsReceived
+	s.UpdatesReceived += other.UpdatesReceived
+	s.InterventionsSupplied += other.InterventionsSupplied
+	s.StallNanos += other.StallNanos
 }
 
 // AsStats converts sector counters to the comparable plain-cache view:
@@ -95,12 +127,25 @@ type sectorEntry struct {
 	lastUse uint64
 }
 
-// NewSector creates a sector cache and attaches it as a snooper.
-func NewSector(id int, b *bus.Bus, policy core.Policy, cfg SectorConfig) *SectorCache {
+// NewSector creates a sector cache and attaches it as a snooper on
+// every fabric shard.
+func NewSector(id int, b bus.Fabric, policy core.Policy, cfg SectorConfig) *SectorCache {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.SubSectors <= 0 {
 		panic(fmt.Sprintf("cache: invalid sector geometry %d×%d×%d", cfg.Sets, cfg.Ways, cfg.SubSectors))
 	}
-	c := &SectorCache{id: id, bus: b, policy: policy, cfg: cfg, obs: b.Recorder(), busID: b.ObsID()}
+	if b.Shards() > 1 && b.Granularity()%cfg.SubSectors != 0 {
+		panic(fmt.Sprintf(
+			"cache: sector size %d does not divide interleave granularity %d (a sector would span shards)",
+			cfg.SubSectors, b.Granularity()))
+	}
+	// The sector directory indexes by tag, so the layout constraint is
+	// in tag units: granularity/SubSectors tags per interleave run.
+	checkLayout("sector cache", cfg.Sets, b, b.Granularity()/cfg.SubSectors)
+	c := &SectorCache{
+		id: id, bus: b, policy: policy, cfg: cfg, obs: b.Recorder(),
+		nshards: uint64(b.Shards()), gran: uint64(b.Granularity()),
+	}
+	c.shards = make([]sectorShard, c.nshards)
 	c.sets = make([][]sectorEntry, cfg.Sets)
 	for i := range c.sets {
 		ways := make([]sectorEntry, cfg.Ways)
@@ -116,21 +161,49 @@ func NewSector(id int, b *bus.Bus, policy core.Policy, cfg SectorConfig) *Sector
 // ID returns the bus master id.
 func (c *SectorCache) ID() int { return c.id }
 
-// Stats returns a snapshot of the counters.
+// home maps a line address to its fabric shard (see Cache.home).
+func (c *SectorCache) home(addr bus.Addr) int {
+	if c.nshards == 1 {
+		return 0
+	}
+	return int((uint64(addr) / c.gran) % c.nshards)
+}
+
+// shard returns the sectorShard guarding addr's set.
+func (c *SectorCache) shard(addr bus.Addr) *sectorShard { return &c.shards[c.home(addr)] }
+
+func (c *SectorCache) lockAll() {
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+	}
+}
+
+func (c *SectorCache) unlockAll() {
+	for i := range c.shards {
+		c.shards[i].mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the counters, summed over shards.
 func (c *SectorCache) Stats() SectorStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	c.lockAll()
+	defer c.unlockAll()
+	var total SectorStats
+	for i := range c.shards {
+		total.Add(c.shards[i].stats)
+	}
+	return total
 }
 
 // noteStall accounts simulated bus time spent on a transaction this
-// cache issued, and emits the stall span. Callers hold c.mu.
-func (c *SectorCache) noteStall(addr bus.Addr, cost int64) {
-	c.stats.StallNanos += cost
+// cache issued, and emits the stall span. Callers hold the shard lock
+// guarding addr.
+func (c *SectorCache) noteStall(sh *sectorShard, addr bus.Addr, cost int64) {
+	sh.stats.StallNanos += cost
 	if rec := c.obs; rec != nil {
 		rec.Emit(obs.Event{
 			TS: rec.Clock() - cost, Dur: cost, Kind: obs.KindStall,
-			Bus: c.busID, Proc: c.id, Addr: uint64(addr),
+			Bus: c.bus.SegmentID(addr), Proc: c.id, Addr: uint64(addr),
 		})
 	}
 }
@@ -142,7 +215,7 @@ func (c *SectorCache) sectorOf(addr bus.Addr) (uint64, int) {
 }
 
 // lookup finds the resident sector entry for a line address (nil if the
-// sector is absent). Callers hold c.mu.
+// sector is absent). Callers hold addr's shard lock.
 func (c *SectorCache) lookup(addr bus.Addr) (*sectorEntry, int) {
 	tag, subIdx := c.sectorOf(addr)
 	set := c.sets[tag%uint64(c.cfg.Sets)]
@@ -155,7 +228,7 @@ func (c *SectorCache) lookup(addr bus.Addr) (*sectorEntry, int) {
 }
 
 // subState returns the consistency state of a line (Invalid when the
-// sector or sub-sector is absent).
+// sector or sub-sector is absent). Callers hold addr's shard lock.
 func (c *SectorCache) subState(addr bus.Addr) core.State {
 	if e, si := c.lookup(addr); e != nil {
 		return e.subs[si].state
@@ -165,16 +238,17 @@ func (c *SectorCache) subState(addr bus.Addr) core.State {
 
 // State reports the line's state (exported for tests and checkers).
 func (c *SectorCache) State(addr bus.Addr) core.State {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	return c.subState(addr)
 }
 
 // ForEachLine visits every valid sub-sector as a line (so the standard
 // consistency checker invariants apply unchanged).
 func (c *SectorCache) ForEachLine(fn func(addr bus.Addr, s core.State, data []byte)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	for _, set := range c.sets {
 		for i := range set {
 			if !set[i].valid {
@@ -191,17 +265,20 @@ func (c *SectorCache) ForEachLine(fn func(addr bus.Addr, s core.State, data []by
 	}
 }
 
-// touch refreshes the sector's LRU position. Callers hold c.mu.
-func (c *SectorCache) touch(e *sectorEntry) {
-	c.clock++
-	e.lastUse = c.clock
+// touch refreshes the sector's LRU position. Callers hold the shard
+// lock guarding the sector (per-shard clocks order within a set, and a
+// set is homed on one shard).
+func (c *SectorCache) touch(sh *sectorShard, e *sectorEntry) {
+	sh.clock++
+	e.lastUse = sh.clock
 }
 
 // WouldUseBus predicts whether an access would issue a bus transaction
 // (see Cache.WouldUseBus).
 func (c *SectorCache) WouldUseBus(addr bus.Addr, write bool) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	e, si := c.lookup(addr)
 	if e == nil || !e.subs[si].state.Valid() {
 		return true
@@ -219,19 +296,20 @@ func (c *SectorCache) ReadWord(addr bus.Addr, wordIdx int) (uint32, error) {
 	if err := c.checkWord(wordIdx); err != nil {
 		return 0, err
 	}
-	c.mu.Lock()
-	c.stats.Reads++
+	sh := c.shard(addr)
+	sh.mu.Lock()
+	sh.stats.Reads++
 	if e, si := c.lookup(addr); e != nil && e.subs[si].state.Valid() {
-		c.stats.ReadHits++
-		c.touch(e)
+		sh.stats.ReadHits++
+		c.touch(sh, e)
 		v := word(e.subs[si].data, wordIdx)
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return v, nil
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
-	c.bus.Acquire()
-	defer c.bus.Release()
+	c.bus.Acquire(addr)
+	defer c.bus.Release(addr)
 	data, err := c.fillSub(addr, core.LocalRead)
 	if err != nil {
 		return 0, err
@@ -244,56 +322,58 @@ func (c *SectorCache) WriteWord(addr bus.Addr, wordIdx int, val uint32) error {
 	if err := c.checkWord(wordIdx); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	c.stats.Writes++
+	sh := c.shard(addr)
+	sh.mu.Lock()
+	sh.stats.Writes++
 	if e, si := c.lookup(addr); e != nil && e.subs[si].state.Valid() {
 		action, ok := c.policy.ChooseLocal(e.subs[si].state, core.LocalWrite)
 		if !ok {
 			st := e.subs[si].state
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return fmt.Errorf("sector cache %d: no write action for state %s", c.id, st)
 		}
 		if !action.NeedsBus() {
 			e.subs[si].state = action.Next.Resolve(false)
 			putWord(e.subs[si].data, wordIdx, val)
-			c.touch(e)
-			c.stats.WriteHits++
+			c.touch(sh, e)
+			sh.stats.WriteHits++
 			c.note(addr, wordIdx, val)
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return nil
 		}
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
-	c.bus.Acquire()
-	defer c.bus.Release()
+	c.bus.Acquire(addr)
+	defer c.bus.Release(addr)
 	return c.writeHeld(addr, wordIdx, val)
 }
 
 // writeHeld re-examines and writes with the bus held.
 func (c *SectorCache) writeHeld(addr bus.Addr, wordIdx int, val uint32) error {
-	c.mu.Lock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
 	e, si := c.lookup(addr)
 	if e == nil || !e.subs[si].state.Valid() {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return c.writeMissHeld(addr, wordIdx, val)
 	}
 	state := e.subs[si].state
 	action, ok := c.policy.ChooseLocal(state, core.LocalWrite)
 	if !ok {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("sector cache %d: no write action for state %s", c.id, state)
 	}
-	c.stats.WriteHits++
+	sh.stats.WriteHits++
 	if !action.NeedsBus() {
 		e.subs[si].state = action.Next.Resolve(false)
 		putWord(e.subs[si].data, wordIdx, val)
-		c.touch(e)
+		c.touch(sh, e)
 		c.note(addr, wordIdx, val)
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
 	tx := &bus.Transaction{MasterID: c.id, Signals: action.Assert, Addr: addr, Op: action.Op}
 	if action.Op == core.BusWrite {
@@ -303,16 +383,16 @@ func (c *SectorCache) writeHeld(addr bus.Addr, wordIdx int, val uint32) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	e, si = c.lookup(addr)
 	if e == nil {
 		return fmt.Errorf("sector cache %d: sector of %#x vanished during upgrade", c.id, uint64(addr))
 	}
 	e.subs[si].state = action.Next.Resolve(res.CH)
 	putWord(e.subs[si].data, wordIdx, val)
-	c.touch(e)
-	c.noteStall(addr, res.Cost)
+	c.touch(sh, e)
+	c.noteStall(sh, addr, res.Cost)
 	c.note(addr, wordIdx, val)
 	return nil
 }
@@ -323,19 +403,20 @@ func (c *SectorCache) writeMissHeld(addr bus.Addr, wordIdx int, val uint32) erro
 	if !ok {
 		return fmt.Errorf("sector cache %d: no write-miss action", c.id)
 	}
+	sh := c.shard(addr)
 	switch action.Op {
 	case core.BusRead: // read-for-modify
 		if _, err := c.fillSubWith(addr, action); err != nil {
 			return err
 		}
-		c.mu.Lock()
-		defer c.mu.Unlock()
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
 		e, si := c.lookup(addr)
 		if e == nil {
 			return fmt.Errorf("sector cache %d: RFO fill of %#x vanished", c.id, uint64(addr))
 		}
 		putWord(e.subs[si].data, wordIdx, val)
-		c.touch(e)
+		c.touch(sh, e)
 		c.note(addr, wordIdx, val)
 		return nil
 	case core.BusReadThenWrite:
@@ -356,9 +437,9 @@ func (c *SectorCache) writeMissHeld(addr bus.Addr, wordIdx int, val uint32) erro
 		if err != nil {
 			return err
 		}
-		c.mu.Lock()
-		c.noteStall(addr, res.Cost)
-		c.mu.Unlock()
+		sh.mu.Lock()
+		c.noteStall(sh, addr, res.Cost)
+		sh.mu.Unlock()
 		c.note(addr, wordIdx, val)
 		return nil
 	default:
@@ -382,17 +463,18 @@ func (c *SectorCache) fillSubWith(addr bus.Addr, action core.LocalAction) ([]byt
 	if action.Op != core.BusRead {
 		return nil, fmt.Errorf("sector cache %d: miss action %s is not a read", c.id, action)
 	}
-	c.mu.Lock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
 	e, _ := c.lookup(addr)
 	if e == nil {
-		c.stats.SectorMisses++
-		c.mu.Unlock()
+		sh.stats.SectorMisses++
+		sh.mu.Unlock()
 		if err := c.allocateSector(addr); err != nil {
 			return nil, err
 		}
 	} else {
-		c.stats.SubMisses++
-		c.mu.Unlock()
+		sh.stats.SubMisses++
+		sh.mu.Unlock()
 	}
 
 	tx := &bus.Transaction{MasterID: c.id, Signals: action.Assert, Addr: addr, Op: core.BusRead}
@@ -402,16 +484,16 @@ func (c *SectorCache) fillSubWith(addr bus.Addr, action core.LocalAction) ([]byt
 	}
 	next := action.Next.Resolve(res.CH)
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.noteStall(addr, res.Cost)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c.noteStall(sh, addr, res.Cost)
 	e, si := c.lookup(addr)
 	if e == nil {
 		return nil, fmt.Errorf("sector cache %d: allocated sector of %#x vanished", c.id, uint64(addr))
 	}
 	e.subs[si].state = next
 	e.subs[si].data = append(e.subs[si].data[:0], res.Data...)
-	c.touch(e)
+	c.touch(sh, e)
 	return append([]byte(nil), res.Data...), nil
 }
 
@@ -419,10 +501,13 @@ func (c *SectorCache) fillSubWith(addr bus.Addr, action core.LocalAction) ([]byt
 // LRU sector of the set if necessary — pushing every owned sub-sector
 // back to memory first (this is the sector organisation's cost: one
 // conflict can write back several lines). Called with the bus held and
-// c.mu unlocked.
+// the shard unlocked. The victim shares addr's set and so its home
+// shard (the fabric interleaves at whole-sector granularity), keeping
+// every push on the bus tenure already held.
 func (c *SectorCache) allocateSector(addr bus.Addr) error {
 	tag, _ := c.sectorOf(addr)
-	c.mu.Lock()
+	sh := c.shard(addr)
+	sh.mu.Lock()
 	set := c.sets[tag%uint64(c.cfg.Sets)]
 	var victim *sectorEntry
 	for i := range set {
@@ -436,16 +521,16 @@ func (c *SectorCache) allocateSector(addr bus.Addr) error {
 	}
 	var pushes []bus.Transaction
 	if victim.valid {
-		c.stats.SectorEvictions++
+		sh.stats.SectorEvictions++
 		for si := range victim.subs {
 			s := &victim.subs[si]
 			if s.state.OwnedCopy() {
 				flush, ok := c.policy.ChooseLocal(s.state, core.Flush)
 				if !ok {
-					c.mu.Unlock()
+					sh.mu.Unlock()
 					return fmt.Errorf("sector cache %d: no flush action for state %s", c.id, s.state)
 				}
-				c.stats.DirtySubEvictions++
+				sh.stats.DirtySubEvictions++
 				pushes = append(pushes, bus.Transaction{
 					MasterID: c.id,
 					Signals:  flush.Assert,
@@ -465,17 +550,17 @@ func (c *SectorCache) allocateSector(addr bus.Addr) error {
 			victim.subs[si].data = make([]byte, c.bus.LineSize())
 		}
 	}
-	c.touch(victim)
-	c.mu.Unlock()
+	c.touch(sh, victim)
+	sh.mu.Unlock()
 
 	for i := range pushes {
 		res, err := c.bus.ExecuteHeld(&pushes[i])
 		if err != nil {
 			return err
 		}
-		c.mu.Lock()
-		c.noteStall(bus.Addr(pushes[i].Addr), res.Cost)
-		c.mu.Unlock()
+		sh.mu.Lock()
+		c.noteStall(sh, pushes[i].Addr, res.Cost)
+		sh.mu.Unlock()
 	}
 	return nil
 }

@@ -7,23 +7,24 @@ import (
 
 // Update is the sector cache's bus-locked read-modify-write (see
 // Cache.Update): the whole operation is one critical section on the
-// bus arbiter.
+// line's home shard.
 func (c *SectorCache) Update(addr bus.Addr, wordIdx int, f func(uint32) uint32) (old, updated uint32, err error) {
 	if err := c.checkWord(wordIdx); err != nil {
 		return 0, 0, err
 	}
-	c.bus.Acquire()
-	defer c.bus.Release()
+	c.bus.Acquire(addr)
+	defer c.bus.Release(addr)
 
-	c.mu.Lock()
-	c.stats.Reads++
+	sh := c.shard(addr)
+	sh.mu.Lock()
+	sh.stats.Reads++
 	if e, si := c.lookup(addr); e != nil && e.subs[si].state.Valid() {
 		old = word(e.subs[si].data, wordIdx)
-		c.stats.ReadHits++
-		c.touch(e)
-		c.mu.Unlock()
+		sh.stats.ReadHits++
+		c.touch(sh, e)
+		sh.mu.Unlock()
 	} else {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		data, ferr := c.fillSub(addr, core.LocalRead)
 		if ferr != nil {
 			return 0, 0, ferr
@@ -32,9 +33,9 @@ func (c *SectorCache) Update(addr bus.Addr, wordIdx int, f func(uint32) uint32) 
 	}
 
 	updated = f(old)
-	c.mu.Lock()
-	c.stats.Writes++
-	c.mu.Unlock()
+	sh.mu.Lock()
+	sh.stats.Writes++
+	sh.mu.Unlock()
 	if err := c.writeHeld(addr, wordIdx, updated); err != nil {
 		return 0, 0, err
 	}

@@ -10,15 +10,18 @@ import (
 // The bus side of the sector cache. Consistency state lives on the
 // transfer sub-sector (§5.1), so snooping is line-granular and the
 // policy tables apply unchanged; only the directory lookup differs.
+// Locking follows the plain cache: Query takes the shard lock guarding
+// the transaction's address, Commit/Cancel release it.
 
 var _ bus.Aborter = (*SectorCache)(nil)
 
 // SnooperID implements bus.Snooper.
 func (c *SectorCache) SnooperID() int { return c.id }
 
-// Query implements bus.Snooper (leaves c.mu held; see bus.Snooper).
+// Query implements bus.Snooper (leaves the addressed shard's lock held;
+// see bus.Snooper).
 func (c *SectorCache) Query(tx *bus.Transaction) bus.SnoopResponse {
-	c.mu.Lock() // released by Commit or Cancel
+	c.shard(tx.Addr).mu.Lock() // released by Commit or Cancel
 	e, si := c.lookup(tx.Addr)
 	if e == nil || !e.subs[si].state.Valid() {
 		return bus.SnoopResponse{}
@@ -51,7 +54,8 @@ func (c *SectorCache) Query(tx *bus.Transaction) bus.SnoopResponse {
 
 // Commit implements bus.Snooper.
 func (c *SectorCache) Commit(tx *bus.Transaction, resp bus.SnoopResponse, otherCH bool) {
-	defer c.mu.Unlock()
+	sh := c.shard(tx.Addr)
+	defer sh.mu.Unlock()
 	if !resp.Hit {
 		return
 	}
@@ -61,7 +65,7 @@ func (c *SectorCache) Commit(tx *bus.Transaction, resp bus.SnoopResponse, otherC
 	}
 	s := &e.subs[si]
 	action := resp.Action
-	c.stats.SnoopHits++
+	sh.stats.SnoopHits++
 
 	if tx.Op == core.BusWrite && (action.AssertDI || action.AssertSL) {
 		if tx.Partial != nil {
@@ -70,17 +74,17 @@ func (c *SectorCache) Commit(tx *bus.Transaction, resp bus.SnoopResponse, otherC
 			copy(s.data, tx.Data)
 		}
 		if !action.AssertDI {
-			c.stats.UpdatesReceived++
+			sh.stats.UpdatesReceived++
 		}
 	}
 	if tx.Op == core.BusRead && action.AssertDI {
-		c.stats.InterventionsSupplied++
+		sh.stats.InterventionsSupplied++
 	}
 
 	next := action.Next.Resolve(otherCH)
 	if !next.Valid() {
 		s.state = core.Invalid
-		c.stats.InvalidationsReceived++
+		sh.stats.InvalidationsReceived++
 		return
 	}
 	s.state = next
@@ -88,17 +92,21 @@ func (c *SectorCache) Commit(tx *bus.Transaction, resp bus.SnoopResponse, otherC
 
 // Cancel implements bus.Snooper.
 func (c *SectorCache) Cancel(tx *bus.Transaction, resp bus.SnoopResponse) {
-	c.mu.Unlock()
+	c.shard(tx.Addr).mu.Unlock()
 }
 
-// Recover implements bus.Aborter (BS push of one sub-sector).
+// Recover implements bus.Aborter (BS push of one sub-sector). The push
+// targets the aborted transaction's address, so it stays on the shard
+// whose sweep invoked us — holding that shard's lock across the nested
+// ExecuteHeld cannot deadlock (see Cache.Recover).
 func (c *SectorCache) Recover(b *bus.Bus, aborted *bus.Transaction, resp bus.SnoopResponse) error {
 	rec := resp.Action.Abort
 	if rec == nil {
 		return fmt.Errorf("sector cache %d: Recover without an abort action", c.id)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shard(aborted.Addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	e, si := c.lookup(aborted.Addr)
 	if e == nil || !e.subs[si].state.OwnedCopy() {
 		return fmt.Errorf("sector cache %d: BS recovery for %#x but sub-sector is not owned", c.id, uint64(aborted.Addr))
@@ -113,7 +121,7 @@ func (c *SectorCache) Recover(b *bus.Bus, aborted *bus.Transaction, resp bus.Sno
 	if err != nil {
 		return err
 	}
-	c.noteStall(aborted.Addr, res.Cost)
+	c.noteStall(sh, aborted.Addr, res.Cost)
 	e.subs[si].state = rec.Next
 	if !e.subs[si].state.Valid() {
 		e.subs[si].state = core.Invalid

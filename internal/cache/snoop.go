@@ -11,9 +11,11 @@ import (
 // This file is the bus side of the cache: participation in every
 // broadcast address cycle (§2.1 — "the cache must check the address for
 // a hit in its directory before allowing the address cycle to
-// complete"). Query locks the cache and leaves it locked; Commit or
-// Cancel unlocks it, mirroring the directory hold of a real address
-// handshake (see the bus.Snooper contract).
+// complete"). Query locks the shard guarding the snooped line and
+// leaves it locked; Commit or Cancel unlocks it, mirroring the
+// directory hold of a real address handshake (see the bus.Snooper
+// contract). Sweeps on different fabric shards lock different
+// cacheShards, so they proceed concurrently without ever contending.
 
 var _ bus.Aborter = (*Cache)(nil)
 
@@ -21,9 +23,10 @@ var _ bus.Aborter = (*Cache)(nil)
 func (c *Cache) SnooperID() int { return c.id }
 
 // Query implements bus.Snooper: consult the directory and the policy
-// for the snooped transaction, leaving c.mu held until Commit/Cancel.
+// for the snooped transaction, leaving the line's shard lock held until
+// Commit/Cancel.
 func (c *Cache) Query(tx *bus.Transaction) bus.SnoopResponse {
-	c.mu.Lock() // released by Commit or Cancel
+	c.shard(tx.Addr).mu.Lock() // released by Commit or Cancel
 	l := c.lookup(tx.Addr)
 	if l == nil {
 		// Not in the directory: Invalid row of Table 2, all columns I.
@@ -61,7 +64,8 @@ func (c *Cache) Query(tx *bus.Transaction) bus.SnoopResponse {
 // queryClean answers a CmdClean command cycle (§6 extension): an owner
 // aborts, pushes the line, and keeps an unowned shareable copy; any
 // other holder simply keeps its copy (it already matches the owner, and
-// will match memory once the owner has pushed). Callers hold c.mu.
+// will match memory once the owner has pushed). Callers hold the
+// line's shard lock.
 func (c *Cache) queryClean(l *line) bus.SnoopResponse {
 	if l.state.OwnedCopy() {
 		return bus.SnoopResponse{
@@ -82,7 +86,8 @@ func (c *Cache) queryClean(l *line) bus.SnoopResponse {
 // Commit implements bus.Snooper: apply the action chosen in Query and
 // release the directory.
 func (c *Cache) Commit(tx *bus.Transaction, resp bus.SnoopResponse, otherCH bool) {
-	defer c.mu.Unlock()
+	sh := c.shard(tx.Addr)
+	defer sh.mu.Unlock()
 	if !resp.Hit {
 		return
 	}
@@ -91,7 +96,7 @@ func (c *Cache) Commit(tx *bus.Transaction, resp bus.SnoopResponse, otherCH bool
 		panic(fmt.Sprintf("cache %d: line %#x vanished during snoop", c.id, uint64(tx.Addr)))
 	}
 	action := resp.Action
-	c.stats.SnoopHits++
+	sh.stats.SnoopHits++
 	from := l.state
 	dataChanged := false
 
@@ -104,24 +109,24 @@ func (c *Cache) Commit(tx *bus.Transaction, resp bus.SnoopResponse, otherCH bool
 			copy(l.data, tx.Data)
 		}
 		if action.AssertDI {
-			c.stats.WritesCaptured++
+			sh.stats.WritesCaptured++
 			c.emitSnoop(obs.KindCapture, tx)
 		} else {
-			c.stats.UpdatesReceived++
+			sh.stats.UpdatesReceived++
 			c.emitSnoop(obs.KindUpdate, tx)
 		}
 	}
 	if tx.Op == core.BusRead && action.AssertDI {
-		c.stats.InterventionsSupplied++
+		sh.stats.InterventionsSupplied++
 		c.emitSnoop(obs.KindIntervene, tx)
 	}
 
 	next := action.Next.Resolve(otherCH)
 	if !next.Valid() {
 		next = core.Invalid
-		c.stats.InvalidationsReceived++
+		sh.stats.InvalidationsReceived++
 	}
-	c.setState(l, next, "snoop")
+	c.setState(sh, l, next, "snoop")
 	if c.cfg.OnSnoopChange != nil && (from != next || dataChanged) {
 		c.cfg.OnSnoopChange(tx.Addr, from, next, dataChanged)
 	}
@@ -130,27 +135,29 @@ func (c *Cache) Commit(tx *bus.Transaction, resp bus.SnoopResponse, otherCH bool
 // Cancel implements bus.Snooper: the transaction was aborted by BS;
 // release the directory without applying anything.
 func (c *Cache) Cancel(tx *bus.Transaction, resp bus.SnoopResponse) {
-	c.mu.Unlock()
+	c.shard(tx.Addr).mu.Unlock()
 }
 
 // Recover implements bus.Aborter: after this cache asserted BS, push
 // the owned line to memory and enter the recovery state, so that the
-// aborted master's retry finds memory up to date (§4.3–4.5). The bus is
-// held by the aborted transaction; c.mu is held across the push — the
-// nested push cannot snoop this cache (it masters it) and cannot itself
-// be aborted (no other owner of the line can exist).
+// aborted master's retry finds memory up to date (§4.3–4.5). The bus
+// shard is held by the aborted transaction; the line's shard lock is
+// held across the push — the nested push cannot snoop this slice of
+// the cache (it masters it, and the push targets the same shard) and
+// cannot itself be aborted (no other owner of the line can exist).
 func (c *Cache) Recover(b *bus.Bus, aborted *bus.Transaction, resp bus.SnoopResponse) error {
 	rec := resp.Action.Abort
 	if rec == nil {
 		return fmt.Errorf("cache %d: Recover called without an abort action", c.id)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shard(aborted.Addr)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	l := c.lookup(aborted.Addr)
 	if l == nil || !l.state.OwnedCopy() {
 		return fmt.Errorf("cache %d: BS recovery for %#x but line is not owned", c.id, uint64(aborted.Addr))
 	}
-	c.stats.AbortsIssued++
+	sh.stats.AbortsIssued++
 	tx := &bus.Transaction{
 		MasterID: c.id,
 		Signals:  rec.Assert,
@@ -162,16 +169,16 @@ func (c *Cache) Recover(b *bus.Bus, aborted *bus.Transaction, resp bus.SnoopResp
 	if err != nil {
 		return err
 	}
-	c.noteStall(aborted.Addr, res.Cost)
-	c.setState(l, rec.Next, "bs-recovery")
+	c.noteStall(sh, aborted.Addr, res.Cost)
+	c.setState(sh, l, rec.Next, "bs-recovery")
 	return nil
 }
 
 // emitSnoop emits an instant event for a data movement this cache
 // performed as a snooper (intervention supplied, update received, write
-// captured). Callers hold c.mu.
+// captured). Callers hold the line's shard lock.
 func (c *Cache) emitSnoop(kind obs.Kind, tx *bus.Transaction) {
 	if rec := c.obs; rec != nil {
-		rec.Emit(obs.Event{TS: rec.Clock(), Kind: kind, Bus: c.busID, Proc: c.id, Addr: uint64(tx.Addr)})
+		rec.Emit(obs.Event{TS: rec.Clock(), Kind: kind, Bus: c.bus.SegmentID(tx.Addr), Proc: c.id, Addr: uint64(tx.Addr)})
 	}
 }

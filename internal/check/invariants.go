@@ -7,7 +7,6 @@ import (
 
 	"futurebus/internal/bus"
 	"futurebus/internal/core"
-	"futurebus/internal/memory"
 )
 
 // LineSource is any directory the checker can inspect: a plain cache, a
@@ -34,12 +33,20 @@ type copyInfo struct {
 	data    []byte
 }
 
+// MemoryImage is the checker's view of main memory: any store that can
+// produce the current image of a line — a single module
+// (*memory.Memory) or an interleaved set of shards (*memory.Sharded),
+// which routes the Peek to the line's home module.
+type MemoryImage interface {
+	Peek(addr bus.Addr) []byte
+}
+
 // Checker verifies the MOESI invariants over a quiesced system — no
 // transactions may be in flight while Check runs (run it at barriers or
 // after all processors stop).
 type Checker struct {
 	Caches []LineSource
-	Memory *memory.Memory
+	Memory MemoryImage
 	// Shadow, when non-nil, additionally checks the image against the
 	// golden record of every store performed.
 	Shadow *Shadow

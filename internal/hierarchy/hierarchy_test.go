@@ -244,9 +244,9 @@ func TestClusterCheckerDetectsStaleCopy(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Absorb a divergent line into the bridge directly.
-	sys.Global.Acquire()
+	sys.Global.Acquire(3)
 	err := sys.Clusters[0].Bridge.Store().AbsorbLineHeld(3, make([]byte, sys.Global.LineSize()))
-	sys.Global.Release()
+	sys.Global.Release(3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -147,6 +147,10 @@ type Test struct {
 	Assertions []Assertion
 	// LineSize in bytes (default 32).
 	LineSize int
+	// Shards runs the test on an N-shard interleaved fabric (0/1 =
+	// single bus). Litmus outcomes must not depend on it: the fabric
+	// serialises per line, which is all the assertions ever observe.
+	Shards int
 }
 
 // registers returns every register name a test assigns.

@@ -192,6 +192,44 @@ func TestShippedLitmusFiles(t *testing.T) {
 	}
 }
 
+// TestShippedLitmusFilesSharded: the shipped suite again, on a 2-shard
+// interleaved backplane. Outcomes must match the single-bus runs —
+// every assertion observes per-line order only, and the fabric
+// serialises each line on its home shard.
+func TestShippedLitmusFilesSharded(t *testing.T) {
+	files, err := filepath.Glob("../../litmus/*.litmus")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("glob: %v %v", files, err)
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			tst, err := Parse(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tst.Shards = 2
+			// Same cap as the single-bus run: "sometimes" assertions
+			// need the same schedule pool to be satisfiable.
+			if tst.Schedules > 24 {
+				tst.Schedules = 24
+			}
+			res, err := Run(tst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Ok() {
+				t.Fatalf("%s", res)
+			}
+		})
+	}
+}
+
 // TestFetchAddAtomicity: the canonical increment test inline, with
 // sector boards mixed in.
 func TestFetchAddAtomicity(t *testing.T) {

@@ -101,6 +101,7 @@ func runOnce(t *Test, sched int) (map[string]uint32, map[string]map[int]uint32, 
 		Boards:   boards,
 		Shadow:   true,
 		Paranoid: true,
+		Shards:   t.Shards,
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -310,7 +311,7 @@ func runParallelOnce(t *Test, round int) (map[string]uint32, map[string]map[int]
 	for i, name := range t.Boards {
 		boards[i] = sim.BoardSpec{Protocol: name, SectorSubs: t.Sector[i]}
 	}
-	sys, err := sim.New(sim.Config{LineSize: t.LineSize, Boards: boards, Shadow: true})
+	sys, err := sim.New(sim.Config{LineSize: t.LineSize, Boards: boards, Shadow: true, Shards: t.Shards})
 	if err != nil {
 		return nil, nil, nil, err
 	}

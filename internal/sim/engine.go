@@ -79,7 +79,11 @@ func (e *Engine) Run(refsPerProc int) (Metrics, error) {
 	}
 	heap.Init(&h)
 
-	var busFreeAt int64
+	// Each fabric shard has its own occupancy clock: a board only
+	// waits when the home shard of its next access is busy, which is
+	// how the deterministic engine models the backplane's parallelism
+	// while keeping one merged virtual timeline.
+	busFreeAt := make([]int64, e.Sys.Bus.Shards())
 	var elapsed int64
 	var refs int64
 
@@ -93,16 +97,17 @@ func (e *Engine) Run(refsPerProc int) (Metrics, error) {
 		}
 		ref := *p.pending
 		board := e.Sys.Boards[ev.proc]
+		si := e.Sys.Bus.HomeShard(busAddr(ref.Line))
 
-		// Bus accesses are executed in global time order: if the bus
-		// is still busy with an earlier transaction, this board waits
-		// (other boards with earlier clocks run first).
-		if p.time < busFreeAt && board.UsesBusNext(busAddr(ref.Line), ref.Write) {
+		// Bus accesses are executed in global time order: if the home
+		// shard is still busy with an earlier transaction, this board
+		// waits (other boards with earlier clocks run first).
+		if p.time < busFreeAt[si] && board.UsesBusNext(busAddr(ref.Line), ref.Write) {
 			if e.Sys.Obs != nil {
-				p.waited += busFreeAt - ev.time
-				p.blocker = e.Sys.Bus.LastTxID()
+				p.waited += busFreeAt[si] - ev.time
+				p.blocker = e.Sys.Bus.Shard(si).LastTxID()
 			}
-			ev.time = busFreeAt
+			ev.time = busFreeAt[si]
 			h.replaceTop(ev)
 			continue
 		}
@@ -112,7 +117,7 @@ func (e *Engine) Run(refsPerProc int) (Metrics, error) {
 					TS:      rec.Clock(),
 					Dur:     p.waited,
 					Kind:    obs.KindBlocked,
-					Bus:     e.Sys.Bus.ObsID(),
+					Bus:     e.Sys.Bus.SegmentID(busAddr(ref.Line)),
 					Proc:    ev.proc,
 					Addr:    uint64(busAddr(ref.Line)),
 					CauseID: p.blocker,
@@ -139,7 +144,7 @@ func (e *Engine) Run(refsPerProc int) (Metrics, error) {
 
 		p.time += hit + busCost
 		if busCost > 0 {
-			busFreeAt = p.time
+			busFreeAt[si] = p.time
 		}
 		if p.time > elapsed {
 			elapsed = p.time

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"futurebus/internal/bus"
 	"futurebus/internal/obs"
@@ -24,6 +26,9 @@ type ExperimentOpts struct {
 	// (latency histograms, traces). Metrics.Hist is filled when the
 	// recorder carries a HistogramSink.
 	Obs *obs.Recorder
+	// Shards builds every system on an N-shard interleaved fabric
+	// instead of a single bus (0/1 = single bus).
+	Shards int
 }
 
 // DefaultOpts is used by the commands; tests use smaller runs.
@@ -50,7 +55,7 @@ func abWorkload(sys *System, pShared, pWrite float64, seed uint64) []workload.Ge
 // model, and returns the metrics.
 func runHomogeneous(protocol string, n int, pShared, pWrite float64, opts ExperimentOpts) (Metrics, error) {
 	cfg := Homogeneous(protocol, n)
-	cfg.Obs = opts.Obs
+	cfg.Obs, cfg.Shards = opts.Obs, opts.Shards
 	sys, err := New(cfg)
 	if err != nil {
 		return Metrics{}, err
@@ -131,7 +136,7 @@ func UpdateVsInvalidate(opts ExperimentOpts) (*Report, error) {
 	for _, pat := range patterns {
 		for _, name := range protos {
 			cfg := Homogeneous(name, 4)
-			cfg.Obs = opts.Obs
+			cfg.Obs, cfg.Shards = opts.Obs, opts.Shards
 			sys, err := New(cfg)
 			if err != nil {
 				return nil, err
@@ -284,7 +289,7 @@ func LineSizeSweep(opts ExperimentOpts) (*Report, error) {
 		// Keep capacity constant at 4 KiB per cache.
 		cfg.CacheSets = 4096 / lineSize / 2
 		cfg.CacheWays = 2
-		cfg.Obs = opts.Obs
+		cfg.Obs, cfg.Shards = opts.Obs, opts.Shards
 		sys, err := New(cfg)
 		if err != nil {
 			return nil, err
@@ -323,7 +328,7 @@ func AbortRetryOverhead(opts ExperimentOpts) (*Report, error) {
 	}
 	for _, name := range []string{"moesi-invalidate", "berkeley", "illinois", "synapse", "write-once", "firefly"} {
 		cfg := Homogeneous(name, 4)
-		cfg.Obs = opts.Obs
+		cfg.Obs, cfg.Shards = opts.Obs, opts.Shards
 		sys, err := New(cfg)
 		if err != nil {
 			return nil, err
@@ -358,7 +363,7 @@ func HandshakePenalty(opts ExperimentOpts) (*Report, error) {
 		cfg := Homogeneous("moesi", 4)
 		cfg.Timing = bus.DefaultTiming()
 		cfg.Timing.WiredORPenalty = penalty
-		cfg.Obs = opts.Obs
+		cfg.Obs, cfg.Shards = opts.Obs, opts.Shards
 		sys, err := New(cfg)
 		if err != nil {
 			return nil, err
@@ -374,29 +379,99 @@ func HandshakePenalty(opts ExperimentOpts) (*Report, error) {
 	return rep, nil
 }
 
-// AllExperiments runs the full battery in DESIGN.md order.
-func AllExperiments(opts ExperimentOpts) ([]*Report, error) {
-	var out []*Report
-	p1, err := ProtocolComparison([]string{
-		"moesi", "moesi-invalidate", "moesi-update", "berkeley", "dragon",
-		"illinois", "write-once", "firefly", "synapse", "write-through",
-	}, []int{1, 2, 4, 8, 16}, opts)
-	if err != nil {
-		return nil, err
+// NamedExperiment pairs an experiment ID with its runner, so callers
+// can schedule the battery themselves.
+type NamedExperiment struct {
+	ID  string
+	Run func(ExperimentOpts) (*Report, error)
+}
+
+// Battery returns the full experiment battery in DESIGN.md order.
+func Battery() []NamedExperiment {
+	p1 := func(opts ExperimentOpts) (*Report, error) {
+		return ProtocolComparison([]string{
+			"moesi", "moesi-invalidate", "moesi-update", "berkeley", "dragon",
+			"illinois", "write-once", "firefly", "synapse", "write-through",
+		}, []int{1, 2, 4, 8, 16}, opts)
 	}
-	out = append(out, p1)
-	for _, run := range []func(ExperimentOpts) (*Report, error){
-		UpdateVsInvalidate, MixedBus, RandomChoice, CopyBackVsWriteThrough,
-		ReplacementStatusRefinement, LineSizeSweep, AbortRetryOverhead,
-		MultiBusScaling, SectorVsPlain, HandshakePenalty, SlowBoardTax,
-	} {
-		rep, err := run(opts)
+	return []NamedExperiment{
+		{"P1", p1},
+		{"P2", UpdateVsInvalidate},
+		{"P3", MixedBus},
+		{"P4", RandomChoice},
+		{"P5", CopyBackVsWriteThrough},
+		{"P6", ReplacementStatusRefinement},
+		{"P7", LineSizeSweep},
+		{"P8", AbortRetryOverhead},
+		{"P9", MultiBusScaling},
+		{"P10", SectorVsPlain},
+		{"F1/F2", HandshakePenalty},
+		{"F2B", SlowBoardTax},
+	}
+}
+
+// RunBattery executes the experiments on a bounded pool of jobs worker
+// goroutines (jobs ≤ 1 runs sequentially) and returns the reports in
+// battery order regardless of completion order. Every experiment is
+// internally deterministic — each builds its own systems and drives
+// them with the deterministic engine — so the reports are identical at
+// any worker count; only wall-clock time changes. The first error wins;
+// remaining queued experiments are skipped.
+func RunBattery(list []NamedExperiment, opts ExperimentOpts, jobs int) ([]*Report, error) {
+	out := make([]*Report, len(list))
+	if jobs <= 1 {
+		for i, ne := range list {
+			rep, err := ne.Run(opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", ne.ID, err)
+			}
+			out[i] = rep
+		}
+		return out, nil
+	}
+	type job struct {
+		idx int
+		ne  NamedExperiment
+	}
+	work := make(chan job)
+	errs := make([]error, len(list))
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				if failed.Load() {
+					continue // drain the queue after a failure
+				}
+				rep, err := j.ne.Run(opts)
+				if err != nil {
+					errs[j.idx] = fmt.Errorf("%s: %w", j.ne.ID, err)
+					failed.Store(true)
+					continue
+				}
+				out[j.idx] = rep
+			}
+		}()
+	}
+	for i, ne := range list {
+		work <- job{idx: i, ne: ne}
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, rep)
 	}
 	return out, nil
+}
+
+// AllExperiments runs the full battery in DESIGN.md order,
+// sequentially (fbsweep schedules RunBattery with a worker pool).
+func AllExperiments(opts ExperimentOpts) ([]*Report, error) {
+	return RunBattery(Battery(), opts, 1)
 }
 
 // SlowBoardTax quantifies the other half of §2.2: a broadcast bus runs
@@ -417,7 +492,7 @@ func SlowBoardTax(opts ExperimentOpts) (*Report, error) {
 		cfg := Homogeneous("moesi", 4)
 		cfg.Timing = bus.DefaultTiming()
 		cfg.Timing.AddressCycle = tr.Complete - cfg.Timing.WiredORPenalty
-		cfg.Obs = opts.Obs
+		cfg.Obs, cfg.Shards = opts.Obs, opts.Shards
 		sys, err := New(cfg)
 		if err != nil {
 			return nil, err

@@ -67,14 +67,22 @@ type Config struct {
 	// off (the fast path).
 	Obs *obs.Recorder
 	// ObsID tags the bus segment in emitted events (0 for a single-bus
-	// system; hierarchies number clusters 1..N).
+	// system; hierarchies number clusters 1..N). An interleaved fabric
+	// numbers its shards ObsID..ObsID+Shards-1.
 	ObsID int
+	// Shards selects the fabric: 1 (or 0) builds the classic single
+	// Futurebus; N>1 builds an address-interleaved backplane of N
+	// independent buses, each with its own arbiter and memory module.
+	// The interleave granularity is the largest SectorSubs among the
+	// boards (1 if none), so a whole sector is always homed on one
+	// shard; every board's SectorSubs must divide it.
+	Shards int
 }
 
 // System is an assembled machine.
 type System struct {
-	Bus    *bus.Bus
-	Memory *memory.Memory
+	Bus    bus.Fabric
+	Memory *memory.Sharded
 	Boards []Board
 	// Caches lists the plain cached boards (subset of Boards) for the
 	// checker and reports; SectorCaches the sector-organised ones.
@@ -153,14 +161,46 @@ func New(cfg Config) (*System, error) {
 	if cfg.CacheWays == 0 {
 		cfg.CacheWays = 2
 	}
-	mem := memory.New(lineSize)
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("sim: invalid shard count %d", cfg.Shards)
+	}
+	// The interleave granularity is the largest sector size on any
+	// board, so every sector (and its write-backs) is homed on one
+	// shard; smaller sector sizes must divide it.
+	gran := 1
+	for _, spec := range cfg.Boards {
+		if spec.SectorSubs > gran {
+			gran = spec.SectorSubs
+		}
+	}
+	if shards > 1 {
+		for i, spec := range cfg.Boards {
+			if spec.SectorSubs > 0 && gran%spec.SectorSubs != 0 {
+				return nil, fmt.Errorf("sim: board %d sector size %d does not divide interleave granularity %d",
+					i, spec.SectorSubs, gran)
+			}
+		}
+	}
+	mem := memory.NewSharded(lineSize, shards, gran)
 	if cfg.Obs != nil {
 		mem.SetObs(cfg.Obs)
 	}
-	b := bus.New(mem, bus.Config{
+	busCfg := bus.Config{
 		LineSize: lineSize, Timing: cfg.Timing, Paranoid: cfg.Paranoid,
 		Obs: cfg.Obs, ObsID: cfg.ObsID,
-	})
+	}
+	var b bus.Fabric
+	if shards == 1 {
+		b = bus.New(mem.Shard(0), busCfg)
+	} else {
+		b = bus.NewInterleaved(mem.Ports(), bus.InterleavedConfig{
+			Config: busCfg, Shards: shards, Granularity: gran,
+		})
+	}
 	sys := &System{Bus: b, Memory: mem, Obs: cfg.Obs}
 	if cfg.Shadow {
 		sys.Shadow = check.NewShadow(lineSize)

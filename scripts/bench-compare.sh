@@ -57,12 +57,19 @@ function name(line) {
 	if (match(line, /"Benchmark[^"]*"/) == 0) return ""
 	return substr(line, RSTART + 1, RLENGTH - 2)
 }
+function simms(line) {
+	if (match(line, /"refs_per_simms": *[0-9.eE+-]+/) == 0) return -1
+	v = substr(line, RSTART, RLENGTH)
+	sub(/.*: */, "", v)
+	return v + 0
+}
 FNR == NR {
 	if ((n = name($0)) != "") base[n] = val($0)
 	next
 }
 {
 	n = name($0)
+	if (n != "") thru[n] = simms($0)
 	if (n == "" || !(n in base)) next
 	nv = val($0); ov = base[n]
 	seen[n] = 1
@@ -80,6 +87,13 @@ END {
 		printf "recording overhead: fbt/off = %.2fx (+%.1f%% wall-clock)\n", fbt / off, (fbt / off - 1) * 100
 		if (fbt > off * 1.05)
 			printf "WARN  .fbt recording costs more than 5%% over an unobserved run\n"
+	}
+	s1 = thru["BenchmarkShardedFabric/shards1"]
+	s8 = thru["BenchmarkShardedFabric/shards8"]
+	if (s1 > 0 && s8 > 0) {
+		printf "shard scaling: 8-shard/1-shard simulated throughput = %.2fx\n", s8 / s1
+		if (s8 < s1 * 2)
+			printf "WARN  interleaved backplane no longer scales (8 shards < 2x one bus)\n"
 	}
 	if (missing) printf "note: %d baseline benchmark(s) absent from the new run\n", missing
 	if (warned) printf "%d benchmark(s) regressed past %s%% (advisory: shared CI hardware)\n", warned, pct

@@ -37,15 +37,26 @@ go test -run '^$' -bench "$bench" -benchtime "$benchtime" ./... | tee "$raw" >&2
 
 # `go test -bench` lines look like:
 #   BenchmarkCacheReadHit-8   5   123.4 ns/op
-# Normalise them into a JSON object; awk keeps this dependency-free.
+# possibly followed by custom metric pairs reported via b.ReportMetric:
+#   BenchmarkShardedFabric/shards4-8   5   1234 ns/op   56.7 refs/simms
+# Normalise them into a JSON object, keeping every metric (the custom
+# ones carry e.g. the shard-scaling points); awk keeps this
+# dependency-free. Units are sanitised into JSON keys ("ns/op" ->
+# "ns_per_op", "refs/simms" -> "refs_per_simms").
 awk '
 /^Benchmark/ && /ns\/op/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	runs = $2
-	ns = $3
 	if (n++) printf ",\n"
-	printf "  \"%s\": {\"ns_per_op\": %s, \"runs\": %s}", name, ns, runs
+	printf "  \"%s\": {\"runs\": %s", name, runs
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		gsub(/[^A-Za-z0-9_]/, "_", unit)
+		printf ", \"%s\": %s", unit, $i
+	}
+	printf "}"
 }
 BEGIN { printf "{\n" }
 END   { printf "\n}\n" }
