@@ -20,6 +20,7 @@ import (
 	"futurebus/internal/litmus"
 	"futurebus/internal/memory"
 	"futurebus/internal/obs"
+	"futurebus/internal/obs/obshttp"
 	"futurebus/internal/protocols"
 	"futurebus/internal/sim"
 	"futurebus/internal/tablegen"
@@ -546,6 +547,57 @@ func BenchmarkObsRecordingOverhead(b *testing.B) {
 		b.StopTimer()
 		if err := rec.Close(); err != nil {
 			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkCoherenceSinkOverhead measures what live coherence
+// analytics add on top of recording: "record" is the
+// BenchmarkObsRecordingOverhead/fbt configuration, "record+coherence"
+// attaches an obshttp.CoherenceSink beside the RecordSink the way
+// fbsim -serve does. The delta between the two sub-benchmarks is the
+// per-run telemetry cost the /coherence endpoint pays for; BENCH json
+// tracks both so drift is visible.
+func BenchmarkCoherenceSinkOverhead(b *testing.B) {
+	const refs = 2000
+	cfg := sim.Homogeneous("moesi", 4)
+	run := func(b *testing.B, rec *obs.Recorder) {
+		b.Helper()
+		c := cfg
+		c.Obs = rec
+		sys, err := sim.New(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := sim.Engine{Sys: sys, Gens: abGens(0.2, 0.3)(sys)}
+		if _, err := eng.Run(refs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("record", func(b *testing.B) {
+		rec := obs.New(obs.NewRecordSink(io.Discard, obs.TraceMeta{Fingerprint: "bench"}))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, rec)
+		}
+		b.StopTimer()
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("record+coherence", func(b *testing.B) {
+		sink := &obshttp.CoherenceSink{}
+		rec := obs.New(obs.NewRecordSink(io.Discard, obs.TraceMeta{Fingerprint: "bench"}), sink)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, rec)
+		}
+		b.StopTimer()
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if sink.Totals().StateEvents == 0 {
+			b.Fatal("coherence sink saw no state events")
 		}
 	})
 }

@@ -1,0 +1,166 @@
+// Command fblens analyzes the coherence behaviour captured in binary
+// .fbt traces recorded by fbsim / fbsweep -record-out: per-protocol
+// MOESI transition matrices split by cause, state-residency shares,
+// per-line ownership chains, write invalidation/update fan-out, and
+// cache-to-cache vs memory read sourcing.
+//
+// Usage:
+//
+//	fblens analyze [-top N] [-json] [-html out.html] run.fbt
+//	fblens diff [-rel 0.05] [-abs 0.001] [-json] old.fbt new.fbt
+//
+// diff exits 1 when a coherence rate regressed past both thresholds,
+// so a CI step can gate on it directly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"futurebus/internal/obs"
+	"futurebus/internal/obs/coherence"
+)
+
+// Default diff thresholds. The compared metrics are rates (per
+// transition, shares, fan-out means), so the absolute gate is a small
+// rate delta, not nanoseconds.
+const (
+	defaultRel = 0.05
+	defaultAbs = 0.001
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "analyze":
+		cmdAnalyze(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fblens: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `fblens — coherence-state analytics over .fbt traces
+
+  fblens analyze [-top N] [-json] [-html file] run.fbt
+      reconstruct per-line MOESI lifetimes and print per-protocol
+      transition matrices, residency, ownership chains and write
+      fan-out; -html additionally writes a self-contained report
+
+  fblens diff [-rel frac] [-abs rate] [-json] old.fbt new.fbt
+      compare two recordings' coherence rates per protocol; exits 1
+      when a rate regressed past BOTH thresholds
+`)
+	os.Exit(2)
+}
+
+// load replays one .fbt file through a fresh analyzer.
+func load(path string, topN int) (obs.TraceMeta, *coherence.Analysis) {
+	f, err := os.Open(path)
+	fail(err)
+	defer f.Close()
+	tr, err := obs.NewTraceReader(bufio.NewReaderSize(f, 1<<16))
+	fail(err)
+	var a coherence.Analyzer
+	for {
+		var e obs.Event
+		if err := tr.Next(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+		a.Consume(&e)
+	}
+	return tr.Meta(), a.Analyze(topN)
+}
+
+func cmdAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	top := fs.Int("top", coherence.DefaultTopLines, "busiest lines to list")
+	asJSON := fs.Bool("json", false, "emit the full analysis as JSON")
+	htmlOut := fs.String("html", "", "also write a self-contained HTML report to this file")
+	fail(fs.Parse(args))
+	if fs.NArg() != 1 {
+		usage()
+	}
+	meta, an := load(fs.Arg(0), *top)
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		fail(err)
+		fail(an.RenderHTML(f))
+		fail(f.Close())
+	}
+	if *asJSON {
+		writeJSON(os.Stdout, struct {
+			Fingerprint string `json:"fingerprint,omitempty"`
+			*coherence.Analysis
+		}{meta.Fingerprint, an})
+		return
+	}
+	if meta.Fingerprint != "" {
+		fmt.Printf("trace: %s\nconfig: %s\n\n", fs.Arg(0), meta.Fingerprint)
+	}
+	an.Render(os.Stdout)
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	rel := fs.Float64("rel", defaultRel, "relative regression threshold (fraction)")
+	abs := fs.Float64("abs", defaultAbs, "absolute regression threshold (rate delta)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	fail(fs.Parse(args))
+	if fs.NArg() != 2 {
+		usage()
+	}
+	oldMeta, oldA := load(fs.Arg(0), -1)
+	newMeta, newA := load(fs.Arg(1), -1)
+	report := coherence.Diff(oldA, newA, *rel, *abs)
+	if *asJSON {
+		writeJSON(os.Stdout, struct {
+			OldFingerprint string `json:"old_fingerprint,omitempty"`
+			NewFingerprint string `json:"new_fingerprint,omitempty"`
+			*coherence.DiffReport
+		}{oldMeta.Fingerprint, newMeta.Fingerprint, report})
+	} else {
+		fmt.Printf("old: %s (%s)\nnew: %s (%s)\n", fs.Arg(0), orUnknown(oldMeta.Fingerprint), fs.Arg(1), orUnknown(newMeta.Fingerprint))
+		if oldMeta.Fingerprint != newMeta.Fingerprint {
+			fmt.Printf("note: configs differ — deltas compare different runs, not a regression test\n")
+		}
+		report.Render(os.Stdout)
+	}
+	if report.Regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown config"
+	}
+	return s
+}
+
+func writeJSON(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	fail(enc.Encode(v))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fblens:", err)
+		os.Exit(1)
+	}
+}

@@ -49,7 +49,7 @@ func main() {
 	metricsJSON := flag.String("metrics-json", "", "write the run metrics as JSON to this file ('-' = stdout)")
 	hist := flag.Bool("hist", false, "print p50/p95/p99 latency/stall/retry histograms")
 	audit := flag.Uint64("audit", 0, "print the event history of this line address after the run (0 = off)")
-	serveAddr := flag.String("serve", "", "serve live observability on this address (/metrics, /healthz, /events, /slow, /causal, /debug/pprof)")
+	serveAddr := flag.String("serve", "", "serve live observability on this address (/metrics, /healthz, /events, /slow, /causal, /coherence, /debug/pprof)")
 	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the run finishes")
 	flag.Parse()
 
@@ -132,7 +132,7 @@ func main() {
 		sys.RegisterLiveGauges(svc.Registry, sim.DefaultHitLatency)
 		srv, err = svc.Serve(*serveAddr)
 		fail(err)
-		fmt.Fprintf(os.Stderr, "fbsim: serving observability on %s (/metrics /healthz /events /slow /causal /debug/pprof)\n", srv.URL())
+		fmt.Fprintf(os.Stderr, "fbsim: serving observability on %s (/metrics /healthz /events /slow /causal /coherence /debug/pprof)\n", srv.URL())
 	}
 
 	if *watch != 0 {

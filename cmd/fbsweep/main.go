@@ -33,7 +33,7 @@ func main() {
 	metricsJSON := flag.String("metrics-json", "", "write the reports as JSON to this file ('-' = stdout)")
 	recordOut := flag.String("record-out", "", "write the sweep's full event stream as a compact binary .fbt trace (analyze offline with fbcausal)")
 	hist := flag.Bool("hist", false, "print sweep-wide p50/p95/p99 latency/stall/retry histograms")
-	serveAddr := flag.String("serve", "", "serve live observability on this address (/metrics, /healthz, /events, /slow, /causal, /debug/pprof)")
+	serveAddr := flag.String("serve", "", "serve live observability on this address (/metrics, /healthz, /events, /slow, /causal, /coherence, /debug/pprof)")
 	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the sweep finishes")
 	flag.Parse()
 
@@ -69,7 +69,7 @@ func main() {
 		var err error
 		srv, err = svc.Serve(*serveAddr)
 		fail(err)
-		fmt.Fprintf(os.Stderr, "fbsweep: serving observability on %s (/metrics /healthz /events /slow /causal /debug/pprof)\n", srv.URL())
+		fmt.Fprintf(os.Stderr, "fbsweep: serving observability on %s (/metrics /healthz /events /slow /causal /coherence /debug/pprof)\n", srv.URL())
 	}
 	var rec *obs.Recorder
 	if len(sinks) > 0 {
@@ -86,12 +86,9 @@ func main() {
 	// back in battery order either way. A recorder serialises the run:
 	// interleaving event streams from concurrent systems would make the
 	// trace (and its histograms) unreadable.
-	workers := *jobs
-	if workers == 0 {
-		workers = runtime.NumCPU()
-	}
-	if rec != nil {
-		workers = 1
+	workers, forced := effectiveWorkers(*jobs, runtime.NumCPU(), rec != nil)
+	if forced {
+		fmt.Fprintf(os.Stderr, "fbsweep: -jobs %d ignored — tracing (-record-out/-trace-out/-hist/-serve) forces a serial sweep so the event stream stays coherent\n", *jobs)
 	}
 
 	runners := map[string]func(sim.ExperimentOpts) (*sim.Report, error){
@@ -190,6 +187,23 @@ func main() {
 		}
 		fail(err)
 	}
+}
+
+// effectiveWorkers resolves the -jobs flag: 0 means one worker per
+// CPU, and an attached recorder forces a serial sweep (interleaving
+// event streams from concurrent systems would make the trace and its
+// histograms unreadable). forced reports that an explicit parallel
+// request was overridden, so main can say so instead of silently
+// running slower than asked.
+func effectiveWorkers(jobs, numCPU int, tracing bool) (workers int, forced bool) {
+	workers = jobs
+	if workers == 0 {
+		workers = numCPU
+	}
+	if tracing && workers != 1 {
+		return 1, jobs > 1
+	}
+	return workers, false
 }
 
 func fail(err error) {

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// TestEffectiveWorkers pins the -jobs resolution, in particular that a
+// recorder forces the sweep serial and that the override is only
+// reported when the user explicitly asked for parallelism (forcing a
+// defaulted or already-serial request is not worth a notice).
+func TestEffectiveWorkers(t *testing.T) {
+	cases := []struct {
+		name        string
+		jobs, cpus  int
+		tracing     bool
+		wantWorkers int
+		wantForced  bool
+	}{
+		{"default no tracing", 0, 8, false, 8, false},
+		{"explicit no tracing", 4, 8, false, 4, false},
+		{"default with tracing", 0, 8, true, 1, false},
+		{"explicit serial with tracing", 1, 8, true, 1, false},
+		{"explicit parallel with tracing", 4, 8, true, 1, true},
+		{"single cpu default", 0, 1, false, 1, false},
+	}
+	for _, tc := range cases {
+		workers, forced := effectiveWorkers(tc.jobs, tc.cpus, tc.tracing)
+		if workers != tc.wantWorkers || forced != tc.wantForced {
+			t.Errorf("%s: effectiveWorkers(%d, %d, %v) = (%d, %v), want (%d, %v)",
+				tc.name, tc.jobs, tc.cpus, tc.tracing, workers, forced, tc.wantWorkers, tc.wantForced)
+		}
+	}
+}

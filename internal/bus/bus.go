@@ -115,6 +115,10 @@ type Result struct {
 	// Phases.Occupancy() == Cost, and Phases.Arb carries the simulated
 	// arbitration wait before the grant (not part of Cost).
 	Phases PhaseCosts
+	// TxID is the arbiter-allocated id of the transaction, matching the
+	// TxID on its grant/abort/tx events, so the master can tag its own
+	// follow-on state changes with the cause.
+	TxID uint64
 }
 
 // ErrTooManyRetries is returned when BS aborts do not quiesce; a correct
@@ -332,8 +336,10 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 	b.arbWait = 0
 	// Every transaction gets a stable id; a non-zero causeTx marks this
 	// as a BS recovery push and names the aborted transaction it is
-	// recovering for.
+	// recovering for. The id is stamped on the transaction itself so
+	// snoopers see it in Query/Commit/Recover.
 	txid := b.arb.nextTxID()
+	tx.txid = txid
 	causeID := b.causeTx
 	if rec := b.cfg.Obs; rec != nil {
 		var blocker uint64
@@ -444,6 +450,7 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 		}
 		r.Retries = res.Retries
 		r.Cost += res.Cost
+		r.TxID = txid
 		// completeAttempt filled the data-phase breakdown; graft the
 		// attempt-loop phases (arbitration, address, retry) onto it.
 		r.Phases.Arb = res.Phases.Arb

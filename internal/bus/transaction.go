@@ -52,7 +52,17 @@ type Transaction struct {
 	// uncached store. Participants (memory, a capturing owner,
 	// connecting SL slaves) merge the word into their own copies.
 	Partial *PartialWrite
+
+	// txid is the arbiter-allocated transaction id, stamped by the bus
+	// at the start of execution so snoopers can tag the events their
+	// Commit/Recover emits with the causing transaction.
+	txid uint64
 }
+
+// TxID returns the arbiter-allocated transaction id (0 before the bus
+// has begun executing the transaction). Snoopers read it during the
+// address cycle to attribute their state changes.
+func (tx *Transaction) TxID() uint64 { return tx.txid }
 
 // PartialWrite is a single 32-bit store within a line.
 type PartialWrite struct {

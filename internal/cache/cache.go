@@ -189,6 +189,14 @@ func (c *Cache) shard(addr bus.Addr) *cacheShard { return &c.shards[c.home(addr)
 // event with why it happened. Callers hold sh.mu, where sh guards
 // l.addr.
 func (c *Cache) setState(sh *cacheShard, l *line, next core.State, cause string) {
+	c.setStateTx(sh, l, next, cause, 0)
+}
+
+// setStateTx is setState with the causing bus transaction's id, so the
+// coherence analyzer can group a write with the fan-out of state
+// changes it triggered (txid 0 = no bus transaction: a silent local
+// transition).
+func (c *Cache) setStateTx(sh *cacheShard, l *line, next core.State, cause string, txid uint64) {
 	if l.state == next {
 		return
 	}
@@ -197,9 +205,35 @@ func (c *Cache) setState(sh *cacheShard, l *line, next core.State, cause string)
 		rec.Emit(obs.Event{
 			TS: rec.Clock(), Kind: obs.KindState, Bus: c.bus.SegmentID(l.addr), Proc: c.id,
 			Addr: uint64(l.addr), From: l.state.Letter(), To: next.Letter(), Cause: cause,
+			Proto: c.policyFor(l.addr).Name(), TxID: txid,
 		})
 	}
 	l.state = next
+}
+
+// snoopCause names the Table 2 column a snooped transaction presented,
+// for the Cause of the resulting state event — distinguishing an
+// invalidation received from a read-for-ownership (CA+IM) from one
+// received from a plain write (IM) or a broadcast write (IM+BC).
+func snoopCause(tx *bus.Transaction) string {
+	if tx.Cmd == bus.CmdClean {
+		return "snoop-clean"
+	}
+	switch tx.Event() {
+	case core.BusCacheRead:
+		return "snoop-cache-read"
+	case core.BusCacheRFO:
+		return "snoop-cache-rfo"
+	case core.BusPlainRead:
+		return "snoop-read"
+	case core.BusCacheBroadcastWrite:
+		return "snoop-cache-bcast-write"
+	case core.BusPlainWrite:
+		return "snoop-write"
+	case core.BusPlainBroadcastWrite:
+		return "snoop-bcast-write"
+	}
+	return "snoop"
 }
 
 // noteStall accounts simulated bus time this cache's processor spent

@@ -158,7 +158,7 @@ func (c *Cache) writeHitBus(addr bus.Addr, wordIdx int, val uint32) error {
 		sh.mu.Unlock()
 		return fmt.Errorf("cache %d: line %#x vanished during its own upgrade", c.id, uint64(addr))
 	}
-	c.setState(sh, l, action.Next.Resolve(res.CH), "write-upgrade")
+	c.setStateTx(sh, l, action.Next.Resolve(res.CH), "write-upgrade", res.TxID)
 	putWord(l.data, wordIdx, val)
 	c.touch(sh, l)
 	c.noteStall(sh, addr, res.Cost)
@@ -307,7 +307,7 @@ func (c *Cache) fillLineWith(addr bus.Addr, action core.LocalAction) ([]byte, in
 		return nil, 0, fmt.Errorf("cache %d: no free way for %#x after eviction", c.id, uint64(addr))
 	}
 	v.addr = addr
-	c.setState(sh, v, next, "fill")
+	c.setStateTx(sh, v, next, "fill", res.TxID)
 	v.data = append(v.data[:0], res.Data...)
 	c.touch(sh, v)
 	return append([]byte(nil), res.Data...), res.Cost, nil
@@ -378,10 +378,10 @@ func (c *Cache) makeRoom(addr bus.Addr) error {
 	sh.stats.Flushes++
 	c.noteStall(sh, victimAddr, res.Cost)
 	if rec := c.obs; rec != nil {
-		rec.Emit(obs.Event{TS: rec.Clock(), Kind: obs.KindEvict, Bus: c.bus.SegmentID(victimAddr), Proc: c.id, Addr: uint64(victimAddr)})
+		rec.Emit(obs.Event{TS: rec.Clock(), Kind: obs.KindEvict, Bus: c.bus.SegmentID(victimAddr), Proc: c.id, Addr: uint64(victimAddr), TxID: res.TxID})
 	}
 	if l := c.lookup(victimAddr); l != nil {
-		c.setState(sh, l, action.Next.Resolve(res.CH), "evict")
+		c.setStateTx(sh, l, action.Next.Resolve(res.CH), "evict", res.TxID)
 	}
 	sh.mu.Unlock()
 	return nil
@@ -453,7 +453,7 @@ func (c *Cache) pushLine(addr bus.Addr, event core.LocalEvent) error {
 	}
 	sh.mu.Lock()
 	if l := c.lookup(addr); l != nil {
-		c.setState(sh, l, action.Next.Resolve(res.CH), "push")
+		c.setStateTx(sh, l, action.Next.Resolve(res.CH), "push", res.TxID)
 	}
 	switch event {
 	case core.Pass:

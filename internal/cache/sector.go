@@ -73,6 +73,9 @@ type SectorStats struct {
 	UpdatesReceived       int64
 	InterventionsSupplied int64
 	StallNanos            int64
+	// Transitions counts sub-sector state changes, indexed [from][to]
+	// in core.State order (see Stats.Transitions).
+	Transitions [5][5]int64
 }
 
 // Add accumulates other into s (per-shard merge).
@@ -90,6 +93,11 @@ func (s *SectorStats) Add(other SectorStats) {
 	s.UpdatesReceived += other.UpdatesReceived
 	s.InterventionsSupplied += other.InterventionsSupplied
 	s.StallNanos += other.StallNanos
+	for from := range s.Transitions {
+		for to := range s.Transitions[from] {
+			s.Transitions[from][to] += other.Transitions[from][to]
+		}
+	}
 }
 
 // AsStats converts sector counters to the comparable plain-cache view:
@@ -112,6 +120,7 @@ func (s SectorStats) AsStats() Stats {
 		UpdatesReceived:       s.UpdatesReceived,
 		InterventionsSupplied: s.InterventionsSupplied,
 		StallNanos:            s.StallNanos,
+		Transitions:           s.Transitions,
 	}
 }
 
@@ -206,6 +215,25 @@ func (c *SectorCache) noteStall(sh *sectorShard, addr bus.Addr, cost int64) {
 			Bus: c.bus.SegmentID(addr), Proc: c.id, Addr: uint64(addr),
 		})
 	}
+}
+
+// setSubState records a sub-sector state change, mirroring
+// Cache.setStateTx: the transition matrix counts it and, when tracing
+// is on, a KindState event carries the cause, protocol and causing
+// transaction. Callers hold the shard lock guarding addr.
+func (c *SectorCache) setSubState(sh *sectorShard, addr bus.Addr, s *sub, next core.State, cause string, txid uint64) {
+	if s.state == next {
+		return
+	}
+	sh.stats.Transitions[s.state][next]++
+	if rec := c.obs; rec != nil {
+		rec.Emit(obs.Event{
+			TS: rec.Clock(), Kind: obs.KindState, Bus: c.bus.SegmentID(addr), Proc: c.id,
+			Addr: uint64(addr), From: s.state.Letter(), To: next.Letter(), Cause: cause,
+			Proto: c.policy.Name(), TxID: txid,
+		})
+	}
+	s.state = next
 }
 
 // sectorOf splits a line address into sector number and sub index.
@@ -333,7 +361,7 @@ func (c *SectorCache) WriteWord(addr bus.Addr, wordIdx int, val uint32) error {
 			return fmt.Errorf("sector cache %d: no write action for state %s", c.id, st)
 		}
 		if !action.NeedsBus() {
-			e.subs[si].state = action.Next.Resolve(false)
+			c.setSubState(sh, addr, &e.subs[si], action.Next.Resolve(false), "silent-write", 0)
 			putWord(e.subs[si].data, wordIdx, val)
 			c.touch(sh, e)
 			sh.stats.WriteHits++
@@ -366,7 +394,7 @@ func (c *SectorCache) writeHeld(addr bus.Addr, wordIdx int, val uint32) error {
 	}
 	sh.stats.WriteHits++
 	if !action.NeedsBus() {
-		e.subs[si].state = action.Next.Resolve(false)
+		c.setSubState(sh, addr, &e.subs[si], action.Next.Resolve(false), "write-hit", 0)
 		putWord(e.subs[si].data, wordIdx, val)
 		c.touch(sh, e)
 		c.note(addr, wordIdx, val)
@@ -389,7 +417,7 @@ func (c *SectorCache) writeHeld(addr bus.Addr, wordIdx int, val uint32) error {
 	if e == nil {
 		return fmt.Errorf("sector cache %d: sector of %#x vanished during upgrade", c.id, uint64(addr))
 	}
-	e.subs[si].state = action.Next.Resolve(res.CH)
+	c.setSubState(sh, addr, &e.subs[si], action.Next.Resolve(res.CH), "write-upgrade", res.TxID)
 	putWord(e.subs[si].data, wordIdx, val)
 	c.touch(sh, e)
 	c.noteStall(sh, addr, res.Cost)
@@ -491,7 +519,7 @@ func (c *SectorCache) fillSubWith(addr bus.Addr, action core.LocalAction) ([]byt
 	if e == nil {
 		return nil, fmt.Errorf("sector cache %d: allocated sector of %#x vanished", c.id, uint64(addr))
 	}
-	e.subs[si].state = next
+	c.setSubState(sh, addr, &e.subs[si], next, "fill", res.TxID)
 	e.subs[si].data = append(e.subs[si].data[:0], res.Data...)
 	c.touch(sh, e)
 	return append([]byte(nil), res.Data...), nil
@@ -524,6 +552,8 @@ func (c *SectorCache) allocateSector(addr bus.Addr) error {
 		sh.stats.SectorEvictions++
 		for si := range victim.subs {
 			s := &victim.subs[si]
+			subAddr := bus.Addr(victim.tag*uint64(c.cfg.SubSectors) + uint64(si))
+			cause := "evict-clean"
 			if s.state.OwnedCopy() {
 				flush, ok := c.policy.ChooseLocal(s.state, core.Flush)
 				if !ok {
@@ -531,15 +561,16 @@ func (c *SectorCache) allocateSector(addr bus.Addr) error {
 					return fmt.Errorf("sector cache %d: no flush action for state %s", c.id, s.state)
 				}
 				sh.stats.DirtySubEvictions++
+				cause = "evict"
 				pushes = append(pushes, bus.Transaction{
 					MasterID: c.id,
 					Signals:  flush.Assert,
-					Addr:     bus.Addr(victim.tag*uint64(c.cfg.SubSectors) + uint64(si)),
+					Addr:     subAddr,
 					Op:       core.BusWrite,
 					Data:     append([]byte(nil), s.data...),
 				})
 			}
-			s.state = core.Invalid
+			c.setSubState(sh, subAddr, s, core.Invalid, cause, 0)
 		}
 	}
 	victim.valid = true

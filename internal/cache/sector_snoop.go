@@ -5,6 +5,7 @@ import (
 
 	"futurebus/internal/bus"
 	"futurebus/internal/core"
+	"futurebus/internal/obs"
 )
 
 // The bus side of the sector cache. Consistency state lives on the
@@ -73,21 +74,24 @@ func (c *SectorCache) Commit(tx *bus.Transaction, resp bus.SnoopResponse, otherC
 		} else {
 			copy(s.data, tx.Data)
 		}
-		if !action.AssertDI {
+		if action.AssertDI {
+			c.emitSnoop(obs.KindCapture, tx)
+		} else {
 			sh.stats.UpdatesReceived++
+			c.emitSnoop(obs.KindUpdate, tx)
 		}
 	}
 	if tx.Op == core.BusRead && action.AssertDI {
 		sh.stats.InterventionsSupplied++
+		c.emitSnoop(obs.KindIntervene, tx)
 	}
 
 	next := action.Next.Resolve(otherCH)
 	if !next.Valid() {
-		s.state = core.Invalid
+		next = core.Invalid
 		sh.stats.InvalidationsReceived++
-		return
 	}
-	s.state = next
+	c.setSubState(sh, tx.Addr, s, next, snoopCause(tx), tx.TxID())
 }
 
 // Cancel implements bus.Snooper.
@@ -122,9 +126,18 @@ func (c *SectorCache) Recover(b *bus.Bus, aborted *bus.Transaction, resp bus.Sno
 		return err
 	}
 	c.noteStall(sh, aborted.Addr, res.Cost)
-	e.subs[si].state = rec.Next
-	if !e.subs[si].state.Valid() {
-		e.subs[si].state = core.Invalid
+	next := rec.Next
+	if !next.Valid() {
+		next = core.Invalid
 	}
+	c.setSubState(sh, aborted.Addr, &e.subs[si], next, "bs-recovery", res.TxID)
 	return nil
+}
+
+// emitSnoop mirrors Cache.emitSnoop for the sector cache's data
+// movements as a snooper. Callers hold the addressed shard's lock.
+func (c *SectorCache) emitSnoop(kind obs.Kind, tx *bus.Transaction) {
+	if rec := c.obs; rec != nil {
+		rec.Emit(obs.Event{TS: rec.Clock(), Kind: kind, Bus: c.bus.SegmentID(tx.Addr), Proc: c.id, Addr: uint64(tx.Addr), TxID: tx.TxID()})
+	}
 }

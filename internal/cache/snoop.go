@@ -126,7 +126,7 @@ func (c *Cache) Commit(tx *bus.Transaction, resp bus.SnoopResponse, otherCH bool
 		next = core.Invalid
 		sh.stats.InvalidationsReceived++
 	}
-	c.setState(sh, l, next, "snoop")
+	c.setStateTx(sh, l, next, snoopCause(tx), tx.TxID())
 	if c.cfg.OnSnoopChange != nil && (from != next || dataChanged) {
 		c.cfg.OnSnoopChange(tx.Addr, from, next, dataChanged)
 	}
@@ -170,7 +170,7 @@ func (c *Cache) Recover(b *bus.Bus, aborted *bus.Transaction, resp bus.SnoopResp
 		return err
 	}
 	c.noteStall(sh, aborted.Addr, res.Cost)
-	c.setState(sh, l, rec.Next, "bs-recovery")
+	c.setStateTx(sh, l, rec.Next, "bs-recovery", res.TxID)
 	return nil
 }
 
@@ -179,6 +179,6 @@ func (c *Cache) Recover(b *bus.Bus, aborted *bus.Transaction, resp bus.SnoopResp
 // captured). Callers hold the line's shard lock.
 func (c *Cache) emitSnoop(kind obs.Kind, tx *bus.Transaction) {
 	if rec := c.obs; rec != nil {
-		rec.Emit(obs.Event{TS: rec.Clock(), Kind: kind, Bus: c.bus.SegmentID(tx.Addr), Proc: c.id, Addr: uint64(tx.Addr)})
+		rec.Emit(obs.Event{TS: rec.Clock(), Kind: kind, Bus: c.bus.SegmentID(tx.Addr), Proc: c.id, Addr: uint64(tx.Addr), TxID: tx.TxID()})
 	}
 }

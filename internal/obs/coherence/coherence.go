@@ -1,0 +1,714 @@
+// Package coherence reconstructs per-line MOESI lifetimes from the obs
+// event stream. Caches emit one compact KindState event per real state
+// change (line address, from→to, cause, governing protocol, causing
+// bus TxID); this package folds that stream — plus the KindTx /
+// KindUpdate events that anchor bus transactions — into per-protocol
+// transition matrices, state-residency totals, per-line ownership
+// chains, and write invalidation/update fan-out distributions.
+//
+// The Analyzer is an obs.Sink, so the same aggregation runs three
+// ways: offline over a .fbt recording (cmd/fblens), live behind the
+// obshttp service's /coherence endpoint, and inside tests. It is not
+// itself goroutine-safe; the Recorder's single drain goroutine (or a
+// locking wrapper such as obshttp.CoherenceSink) provides exclusion.
+package coherence
+
+import (
+	"sort"
+	"strings"
+
+	"futurebus/internal/obs"
+)
+
+// NumStates is the size of the MOESI state alphabet.
+const NumStates = 5
+
+// StateLetters orders the states the way the paper's tables do:
+// Modified, Owned, Exclusive, Shared, Invalid. Every [NumStates] array
+// in this package is indexed in this order.
+var StateLetters = [NumStates]string{"M", "O", "E", "S", "I"}
+
+// StateIndex maps a state letter to its StateLetters index (-1 if the
+// letter is not one of M/O/E/S/I).
+func StateIndex(letter string) int {
+	switch letter {
+	case "M":
+		return 0
+	case "O":
+		return 1
+	case "E":
+		return 2
+	case "S":
+		return 3
+	case "I":
+		return 4
+	}
+	return -1
+}
+
+// Matrix is a from×to transition count table in StateLetters order:
+// Matrix[StateIndex("M")][StateIndex("I")] counts M→I transitions.
+type Matrix [NumStates][NumStates]int64
+
+// Total sums every cell.
+func (m *Matrix) Total() int64 {
+	var t int64
+	for _, row := range m {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// Add accumulates o into m.
+func (m *Matrix) Add(o *Matrix) {
+	for f := range m {
+		for t := range m[f] {
+			m[f][t] += o[f][t]
+		}
+	}
+}
+
+// OwnerSeg is one link of a line's ownership chain: proc acquired
+// ownership (entered M or O) at TS. Proc -1 means ownership returned
+// to memory (the owner pushed or invalidated its copy without another
+// cache taking over).
+type OwnerSeg struct {
+	Proc  int    `json:"proc"`
+	State string `json:"state"`
+	TS    int64  `json:"ts"`
+}
+
+// LineSummary describes one cache line's reconstructed lifetime.
+type LineSummary struct {
+	Addr   uint64 `json:"addr"`
+	Events int64  `json:"events"`
+	// Owners counts distinct ownership acquisitions (chain links with
+	// Proc >= 0), including ones dropped past the chain cap.
+	Owners int64 `json:"owners"`
+	// Chain is the ownership chain in event order, capped at
+	// MaxChainLen links (Truncated reports the overflow).
+	Chain     []OwnerSeg `json:"chain,omitempty"`
+	Truncated bool       `json:"truncated,omitempty"`
+}
+
+// ProtoAnalysis aggregates everything observed for one protocol.
+type ProtoAnalysis struct {
+	// Transitions is the total number of state transitions.
+	Transitions int64 `json:"transitions"`
+	// Matrix is the 5×5 from→to transition count table.
+	Matrix Matrix `json:"matrix"`
+	// ByCause splits the matrix by the Cause field of the state
+	// events ("fill", "snoop-cache-rfo", ...).
+	ByCause map[string]*Matrix `json:"by_cause,omitempty"`
+	// ResidencyNS is the total simulated time lines spent in each
+	// state across every (proc, line) pair, in StateLetters order.
+	// Invalid residency is only accumulated between an invalidation
+	// and a refill — lines never observed are not charged.
+	ResidencyNS [NumStates]int64 `json:"residency_ns"`
+	// Invalidations counts snoop-caused transitions to Invalid.
+	Invalidations int64 `json:"invalidations"`
+	// InvFanout histograms, per invalidating bus write, how many
+	// remote copies it invalidated (key = fan-out, value = writes).
+	InvFanout map[int]int64 `json:"inv_fanout,omitempty"`
+	// UpdFanout histograms, per broadcast write, how many remote
+	// copies it updated in place.
+	UpdFanout map[int]int64 `json:"upd_fanout,omitempty"`
+	// CacheSourced / MemSourced split this protocol's completed bus
+	// reads by who supplied the line (DI intervention vs. memory).
+	CacheSourced int64 `json:"cache_sourced"`
+	MemSourced   int64 `json:"mem_sourced"`
+	// OwnershipMoves counts a line's ownership migrating directly
+	// from one cache to another (attributed to the new owner's
+	// protocol).
+	OwnershipMoves int64 `json:"ownership_moves"`
+}
+
+// Analysis is the aggregation result, stable under JSON.
+type Analysis struct {
+	// Events is every event consumed; StateEvents only the KindState
+	// subset.
+	Events      int64 `json:"events"`
+	StateEvents int64 `json:"state_events"`
+	// Lines is the number of distinct line addresses observed.
+	Lines int `json:"lines"`
+	// SpanNS is the largest timestamp (+duration) observed — the
+	// horizon residency intervals are closed against.
+	SpanNS int64 `json:"span_ns"`
+	// Protocols maps protocol name → its aggregate. State events
+	// without a protocol tag land under "unknown".
+	Protocols map[string]*ProtoAnalysis `json:"protocols"`
+	// TopLines are the busiest lines by state-event count.
+	TopLines []LineSummary `json:"top_lines,omitempty"`
+	// TruncatedLines counts line addresses beyond the tracking cap:
+	// their transitions still count in the matrices, but residency
+	// and ownership chains were not reconstructed for them.
+	TruncatedLines int64 `json:"truncated_lines,omitempty"`
+}
+
+// Bounds on per-line reconstruction state, so a live sink attached to
+// an unbounded run cannot grow without limit. Matrices and fan-out
+// histograms are intrinsically bounded; only per-line state needs caps.
+const (
+	// MaxChainLen caps one line's stored ownership chain.
+	MaxChainLen = 64
+	// MaxLines caps the number of distinct lines tracked per-line.
+	MaxLines = 1 << 20
+	// maxPending caps in-flight per-transaction fan-out trackers
+	// (only reachable if a trace lost KindTx events).
+	maxPending = 1 << 16
+)
+
+// Analyzer folds obs events into the aggregates above. The zero value
+// is ready to use.
+type Analyzer struct {
+	events      int64
+	stateEvents int64
+	maxTS       int64
+	protos      map[string]*ProtoAnalysis
+	lines       map[uint64]*lineAgg
+	pending     map[uint64]*pendingTx
+	procProto   []string // indexed by proc id
+	txByProc    []*txAgg // indexed by proc id
+	truncLines  int64
+
+	// One-entry caches for the per-event hot path: protocol and cause
+	// strings are constants re-emitted verbatim, so an identity-equal
+	// string comparison usually short-circuits the map lookups.
+	lastProtoName string
+	lastProto     *ProtoAnalysis
+	lastCause     string
+	lastCauseP    *ProtoAnalysis
+	lastCauseM    *Matrix
+	lastAddr      uint64
+	lastLine      *lineAgg
+}
+
+// txAgg accumulates per-master transaction statistics. They are keyed
+// by proc (not protocol) because a master's first transactions arrive
+// before its first state event reveals its protocol — Analyze merges
+// them under the final proc→protocol mapping. The fan-out histograms
+// are dense slices (fan-out is bounded by the snooper count), bumped
+// without map hashing on the hot path.
+type txAgg struct {
+	cacheSourced int64
+	memSourced   int64
+	invFanout    []int64
+	updFanout    []int64
+}
+
+func bumpFanout(h *[]int64, k int) {
+	for len(*h) <= k {
+		*h = append(*h, 0)
+	}
+	(*h)[k]++
+}
+
+// lineAgg is per-line reconstruction state.
+type lineAgg struct {
+	events    int64
+	owner     int // proc currently owning the line, -1 = memory
+	owners    int64
+	chain     []OwnerSeg
+	truncated bool
+	procs     []procLine // indexed by proc id; live marks real entries
+	// relTx is the bus transaction that snooped the last owner out. A
+	// following acquisition under the same transaction is one direct
+	// cache-to-cache ownership move (the invalidation reaches the
+	// stream before the new owner's fill, so without the link every
+	// RFO migration would look like a round-trip through memory).
+	relTx uint64
+}
+
+// procLine is one cache's copy of one line.
+type procLine struct {
+	live  bool
+	state int8 // StateLetters index
+	since int64
+	proto string
+}
+
+// pendingTx accumulates the snoop fan-out of a bus transaction until
+// its KindTx event arrives (snoop commits are emitted before the tx
+// event, so by stream order the counts are complete by then).
+type pendingTx struct {
+	inv int
+	upd int
+}
+
+// Compact kinds.
+const (
+	CompactState = iota
+	CompactTx
+	CompactUpdate
+)
+
+// Compact is the pre-digested payload of one coherence-relevant event:
+// state letters resolved to indices, Table 2 column and op decoded to
+// flags, irrelevant fields dropped. It is half the size of an
+// obs.Event, so batching wrappers (obshttp.CoherenceSink) buffer these
+// instead of whole events.
+type Compact struct {
+	TS    int64
+	Addr  uint64
+	TxID  uint64
+	Cause string
+	Proto string
+	Proc  int
+	Kind  uint8
+	// State events: From/To as StateLetters indices, Snoop when the
+	// cause is a snoop-side one.
+	From, To int8
+	Snoop    bool
+	// Tx events: data phase was a read, data intervention happened,
+	// column carried the IM / BC attention signals.
+	Read, DI, IM, BC bool
+}
+
+// Digest extracts the coherence-relevant payload of e. ok is false for
+// events the analyzer ignores (other kinds, malformed state letters);
+// callers that drop those must still account their count and time
+// horizon via AddSpan.
+func Digest(e *obs.Event) (Compact, bool) {
+	switch e.Kind {
+	case obs.KindState:
+		from, to := StateIndex(e.From), StateIndex(e.To)
+		if from < 0 || to < 0 || e.Proc < 0 {
+			return Compact{}, false
+		}
+		return Compact{
+			Kind: CompactState, TS: e.TS, Proc: e.Proc, Addr: e.Addr,
+			TxID: e.TxID, Cause: e.Cause, Proto: e.Proto,
+			From: int8(from), To: int8(to),
+			Snoop: strings.HasPrefix(e.Cause, "snoop-"),
+		}, true
+	case obs.KindTx:
+		if e.Proc < 0 {
+			return Compact{}, false
+		}
+		return Compact{
+			Kind: CompactTx, TS: e.TS, Proc: e.Proc, Addr: e.Addr,
+			TxID: e.TxID,
+			Read: e.Op == "R", DI: e.DI, IM: colIM(e.Col), BC: colBC(e.Col),
+		}, true
+	case obs.KindUpdate:
+		if e.TxID == 0 {
+			return Compact{}, false
+		}
+		return Compact{Kind: CompactUpdate, TxID: e.TxID}, true
+	}
+	return Compact{}, false
+}
+
+func (a *Analyzer) init() {
+	if a.protos == nil {
+		a.protos = make(map[string]*ProtoAnalysis)
+		a.lines = make(map[uint64]*lineAgg)
+		a.pending = make(map[uint64]*pendingTx)
+	}
+}
+
+func (a *Analyzer) proto(name string) *ProtoAnalysis {
+	if name == a.lastProtoName && a.lastProto != nil {
+		return a.lastProto
+	}
+	key := name
+	if key == "" {
+		key = "unknown"
+	}
+	p, ok := a.protos[key]
+	if !ok {
+		p = &ProtoAnalysis{
+			ByCause:   make(map[string]*Matrix),
+			InvFanout: make(map[int]int64),
+			UpdFanout: make(map[int]int64),
+		}
+		a.protos[key] = p
+	}
+	a.lastProtoName, a.lastProto = name, p
+	return p
+}
+
+func (a *Analyzer) line(addr uint64) *lineAgg {
+	if addr == a.lastAddr && a.lastLine != nil {
+		return a.lastLine
+	}
+	l, ok := a.lines[addr]
+	if !ok {
+		if len(a.lines) >= MaxLines {
+			a.truncLines++
+			return nil
+		}
+		l = &lineAgg{owner: -1}
+		a.lines[addr] = l
+	}
+	a.lastAddr, a.lastLine = addr, l
+	return l
+}
+
+// Consume implements obs.Sink.
+func (a *Analyzer) Consume(e *obs.Event) {
+	a.init()
+	a.events++
+	if ts := e.TS + e.Dur; ts > a.maxTS {
+		a.maxTS = ts
+	}
+	if c, ok := Digest(e); ok {
+		a.consume(&c)
+	}
+}
+
+// ConsumeCompact folds one digested event. Unlike Consume it does no
+// span accounting — a caller that digests and filters the raw stream
+// itself pairs it with AddSpan.
+func (a *Analyzer) ConsumeCompact(c *Compact) {
+	a.init()
+	a.consume(c)
+}
+
+func (a *Analyzer) consume(c *Compact) {
+	switch c.Kind {
+	case CompactState:
+		a.consumeState(c)
+	case CompactTx:
+		a.consumeTx(c)
+	case CompactUpdate:
+		a.pendingFor(c.TxID).upd++
+	}
+}
+
+func (a *Analyzer) pendingFor(txid uint64) *pendingTx {
+	p, ok := a.pending[txid]
+	if !ok {
+		if len(a.pending) >= maxPending {
+			// Only reachable when KindTx events were lost. Evict the
+			// oldest txid (smallest — arbiter ids are monotonic) so
+			// the result stays deterministic for a given stream.
+			oldest := txid
+			for id := range a.pending {
+				if id < oldest {
+					oldest = id
+				}
+			}
+			delete(a.pending, oldest)
+		}
+		p = &pendingTx{}
+		a.pending[txid] = p
+	}
+	return p
+}
+
+// StateLetters indices used by the hot path: M and O confer ownership,
+// I is the invalidation target.
+const (
+	idxM = 0
+	idxO = 1
+	idxI = 4
+)
+
+func (a *Analyzer) consumeState(c *Compact) {
+	a.stateEvents++
+	for len(a.procProto) <= c.Proc {
+		a.procProto = append(a.procProto, "")
+	}
+	a.procProto[c.Proc] = c.Proto
+
+	ps := a.proto(c.Proto)
+	ps.Transitions++
+	ps.Matrix[c.From][c.To]++
+	cm := a.lastCauseM
+	if c.Cause != a.lastCause || ps != a.lastCauseP {
+		var ok bool
+		cm, ok = ps.ByCause[c.Cause]
+		if !ok {
+			cm = &Matrix{}
+			ps.ByCause[c.Cause] = cm
+		}
+		a.lastCause, a.lastCauseP, a.lastCauseM = c.Cause, ps, cm
+	}
+	cm[c.From][c.To]++
+
+	if c.To == idxI && c.Snoop {
+		ps.Invalidations++
+		if c.TxID != 0 {
+			a.pendingFor(c.TxID).inv++
+		}
+	}
+
+	l := a.line(c.Addr)
+	if l == nil {
+		return
+	}
+	l.events++
+
+	// Residency: close the copy's previous interval against this
+	// event's timestamp.
+	for len(l.procs) <= c.Proc {
+		l.procs = append(l.procs, procLine{})
+	}
+	pl := &l.procs[c.Proc]
+	if !pl.live {
+		*pl = procLine{live: true, state: c.From, since: c.TS, proto: c.Proto}
+	}
+	if c.TS > pl.since {
+		a.proto(pl.proto).ResidencyNS[pl.state] += c.TS - pl.since
+	}
+	pl.state, pl.since, pl.proto = c.To, c.TS, c.Proto
+
+	// Ownership: entering M or O makes c.Proc the line's owner;
+	// leaving ownership with no successor returns it to memory.
+	owned := c.To == idxM || c.To == idxO
+	switch {
+	case owned && l.owner != c.Proc:
+		if l.owner >= 0 {
+			ps.OwnershipMoves++
+		} else if c.TxID != 0 && c.TxID == l.relTx {
+			// The same bus transaction that removed the previous
+			// owner installed this one: a direct migration, not a
+			// round-trip through memory — collapse the mem link.
+			ps.OwnershipMoves++
+			if n := len(l.chain); !l.truncated && n > 0 && l.chain[n-1].Proc == -1 {
+				l.chain = l.chain[:n-1]
+			}
+		}
+		l.owner = c.Proc
+		l.owners++
+		l.relTx = 0
+		l.appendChain(OwnerSeg{Proc: c.Proc, State: StateLetters[c.To], TS: c.TS})
+	case !owned && l.owner == c.Proc && (c.From == idxM || c.From == idxO):
+		l.owner = -1
+		l.relTx = c.TxID
+		l.appendChain(OwnerSeg{Proc: -1, State: StateLetters[c.To], TS: c.TS})
+	}
+}
+
+func (l *lineAgg) appendChain(seg OwnerSeg) {
+	if len(l.chain) >= MaxChainLen {
+		l.truncated = true
+		return
+	}
+	l.chain = append(l.chain, seg)
+}
+
+// Table 2 column sets: which bus-transaction columns carry the IM
+// (invalidate) and BC (broadcast) attention signals.
+func colIM(col int) bool { return col == 6 || col == 8 || col == 9 || col == 10 }
+func colBC(col int) bool { return col == 8 || col == 10 }
+
+func (a *Analyzer) consumeTx(c *Compact) {
+	for len(a.txByProc) <= c.Proc {
+		a.txByProc = append(a.txByProc, nil)
+	}
+	t := a.txByProc[c.Proc]
+	if t == nil {
+		t = &txAgg{}
+		a.txByProc[c.Proc] = t
+	}
+	if c.Read {
+		if c.DI {
+			t.cacheSourced++
+		} else {
+			t.memSourced++
+		}
+	}
+	inv, upd := 0, 0
+	if len(a.pending) > 0 {
+		if p := a.pending[c.TxID]; p != nil {
+			inv, upd = p.inv, p.upd
+			delete(a.pending, c.TxID)
+		}
+	}
+	if c.IM {
+		bumpFanout(&t.invFanout, inv)
+	}
+	if c.BC {
+		bumpFanout(&t.updFanout, upd)
+	}
+}
+
+// Flush implements obs.Sink.
+func (a *Analyzer) Flush() error { return nil }
+
+// AddSpan accounts events that a caller filtered out before the
+// analyzer saw them: they extend the total event count and the time
+// horizon (which closes residency intervals) but carry no coherence
+// payload. Wrappers like obshttp.CoherenceSink use it to skip copying
+// irrelevant event kinds on the hot path.
+func (a *Analyzer) AddSpan(events, maxTS int64) {
+	a.events += events
+	if maxTS > a.maxTS {
+		a.maxTS = maxTS
+	}
+}
+
+// DefaultTopLines is how many per-line summaries Analyze keeps.
+const DefaultTopLines = 32
+
+// Analyze snapshots the aggregates into an Analysis. topN bounds
+// TopLines (0 = DefaultTopLines; negative = none). The analyzer keeps
+// consuming afterwards; open residency intervals are closed against
+// the current horizon without disturbing future accounting.
+func (a *Analyzer) Analyze(topN int) *Analysis {
+	a.init()
+	if topN == 0 {
+		topN = DefaultTopLines
+	}
+	res := &Analysis{
+		Events:         a.events,
+		StateEvents:    a.stateEvents,
+		Lines:          len(a.lines),
+		SpanNS:         a.maxTS,
+		Protocols:      make(map[string]*ProtoAnalysis, len(a.protos)),
+		TruncatedLines: a.truncLines,
+	}
+	for name, ps := range a.protos {
+		res.Protocols[name] = ps.clone()
+	}
+	// Merge per-master transaction stats under the final proc→protocol
+	// mapping (a master's first transactions precede its first state
+	// event; by now the mapping is as complete as it will get).
+	for proc, t := range a.txByProc {
+		if t == nil {
+			continue
+		}
+		var pn string
+		if proc < len(a.procProto) {
+			pn = a.procProto[proc]
+		}
+		name := protoName(pn)
+		ps, ok := res.Protocols[name]
+		if !ok {
+			ps = (&ProtoAnalysis{}).clone()
+			res.Protocols[name] = ps
+		}
+		ps.CacheSourced += t.cacheSourced
+		ps.MemSourced += t.memSourced
+		for k, v := range t.invFanout {
+			if v != 0 {
+				ps.InvFanout[k] += v
+			}
+		}
+		for k, v := range t.updFanout {
+			if v != 0 {
+				ps.UpdFanout[k] += v
+			}
+		}
+	}
+	// Close open residency intervals at the horizon, into the copies.
+	for _, l := range a.lines {
+		for i := range l.procs {
+			pl := &l.procs[i]
+			if pl.live && a.maxTS > pl.since {
+				if ps := res.Protocols[protoName(pl.proto)]; ps != nil {
+					ps.ResidencyNS[pl.state] += a.maxTS - pl.since
+				}
+			}
+		}
+	}
+	if topN > 0 {
+		res.TopLines = a.topLines(topN)
+	}
+	return res
+}
+
+func protoName(name string) string {
+	if name == "" {
+		return "unknown"
+	}
+	return name
+}
+
+func (p *ProtoAnalysis) clone() *ProtoAnalysis {
+	c := *p
+	c.ByCause = make(map[string]*Matrix, len(p.ByCause))
+	for cause, m := range p.ByCause {
+		cm := *m
+		c.ByCause[cause] = &cm
+	}
+	c.InvFanout = cloneHist(p.InvFanout)
+	c.UpdFanout = cloneHist(p.UpdFanout)
+	return &c
+}
+
+func cloneHist(h map[int]int64) map[int]int64 {
+	c := make(map[int]int64, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (a *Analyzer) topLines(topN int) []LineSummary {
+	all := make([]LineSummary, 0, len(a.lines))
+	for addr, l := range a.lines {
+		all = append(all, LineSummary{
+			Addr:      addr,
+			Events:    l.events,
+			Owners:    l.owners,
+			Chain:     append([]OwnerSeg(nil), l.chain...),
+			Truncated: l.truncated,
+		})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Events != all[j].Events {
+			return all[i].Events > all[j].Events
+		}
+		return all[i].Addr < all[j].Addr
+	})
+	if len(all) > topN {
+		all = all[:topN]
+	}
+	return all
+}
+
+// Totals are cheap cross-protocol running sums, suitable for pulling
+// on every metrics scrape (no per-line or per-cause traversal).
+type Totals struct {
+	StateEvents    int64
+	Invalidations  int64
+	OwnershipMoves int64
+	CacheSourced   int64
+	MemSourced     int64
+}
+
+// Totals sums the per-protocol counters.
+func (a *Analyzer) Totals() Totals {
+	t := Totals{StateEvents: a.stateEvents}
+	for _, ps := range a.protos {
+		t.Invalidations += ps.Invalidations
+		t.OwnershipMoves += ps.OwnershipMoves
+	}
+	for _, tx := range a.txByProc {
+		if tx == nil {
+			continue
+		}
+		t.CacheSourced += tx.cacheSourced
+		t.MemSourced += tx.memSourced
+	}
+	return t
+}
+
+// FanoutMean returns the weighted mean of a fan-out histogram (0 when
+// empty).
+func FanoutMean(h map[int]int64) float64 {
+	var n, sum int64
+	for k, v := range h {
+		n += v
+		sum += int64(k) * v
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// ProtocolNames returns the analysis' protocol names, sorted.
+func (an *Analysis) ProtocolNames() []string {
+	names := make([]string, 0, len(an.Protocols))
+	for n := range an.Protocols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -88,9 +88,17 @@ type Event struct {
 	// From and To are state letters for KindState.
 	From string `json:"from,omitempty"`
 	To   string `json:"to,omitempty"`
-	// Cause says why a state transition happened ("snoop", "fill",
-	// "evict", "write-upgrade", ...).
+	// Cause says why a state transition happened. Processor-side causes
+	// ("read-hit", "silent-write", "write-hit", "write-upgrade", "fill",
+	// "evict-clean", "evict", "push", "bs-recovery") name the local
+	// action; snoop-side causes name the Table 2 column that was snooped
+	// ("snoop-cache-read" col 5, "snoop-cache-rfo" col 6, "snoop-read"
+	// col 7, "snoop-cache-bcast-write" col 8, "snoop-write" col 9,
+	// "snoop-bcast-write" col 10, plus "snoop-clean" for CmdClean).
 	Cause string `json:"cause,omitempty"`
+	// Proto names the protocol governing the line on KindState events,
+	// so per-protocol transition matrices survive mixed-protocol runs.
+	Proto string `json:"proto,omitempty"`
 	// CH, DI, SL are the resolved wired-OR response lines of a tx.
 	CH bool `json:"ch,omitempty"`
 	DI bool `json:"di,omitempty"`
@@ -114,7 +122,12 @@ type Event struct {
 	RetryNS int64 `json:"retry_ns,omitempty"`
 	// TxID links the grant, abort, recover and tx events of one
 	// mastership (0 = unassigned). IDs are allocated by the arbiter, so
-	// they are unique and monotonic across every bus sharing it.
+	// they are unique and monotonic across every bus sharing it. Cache
+	// events caused by a bus transaction — KindState from a snoop or a
+	// master's own fill/upgrade/push, KindIntervene, KindUpdate,
+	// KindCapture, KindEvict — carry the causing transaction's TxID, so
+	// coherence analysis can group a write with its invalidation/update
+	// fan-out (processor-side silent transitions keep TxID 0).
 	TxID uint64 `json:"txid,omitempty"`
 	// CauseID is a causality edge to another transaction's TxID: on
 	// the KindTx of a BS recovery push it names the aborted transaction

@@ -52,6 +52,13 @@ const (
 
 // Event field presence bits (flags bitmap). CH/DI/SL are valueless:
 // the bit is the value.
+//
+// APPEND-ONLY: the bit positions here and the seedKinds order below are
+// wire format. A new field gets the next free bit and its value is
+// encoded/decoded AFTER every existing field; a new kind is appended to
+// seedKinds. Reordering or removing either breaks every .fbt trace
+// already on disk without a TraceVersion bump — TestFbtSchemaAppendOnly
+// pins both.
 const (
 	fbtDur = 1 << iota
 	fbtCol
@@ -72,11 +79,13 @@ const (
 	fbtRetryNS
 	fbtTxID
 	fbtCauseID
+	fbtProto
 )
 
 // seedKinds is the kind dictionary written into the header, in a fixed
 // order so identical runs encode byte-identically. Unknown kinds are
-// appended to the stream dictionary on first use.
+// appended to the stream dictionary on first use. APPEND-ONLY (see the
+// flag-bit comment above).
 var seedKinds = []Kind{
 	KindTx, KindGrant, KindAbort, KindRecover, KindState, KindIntervene,
 	KindUpdate, KindCapture, KindEvict, KindStall, KindBlocked,
@@ -205,6 +214,9 @@ func (s *RecordSink) Consume(e *Event) {
 	if e.CauseID != 0 {
 		flags |= fbtCauseID
 	}
+	if e.Proto != "" {
+		flags |= fbtProto
+	}
 
 	b := s.scratch[:0]
 	kindIdx, ok := s.kinds[e.Kind]
@@ -265,6 +277,9 @@ func (s *RecordSink) Consume(e *Event) {
 	}
 	if flags&fbtCauseID != 0 {
 		b = binary.AppendUvarint(b, e.CauseID)
+	}
+	if flags&fbtProto != 0 {
+		b = s.appendRef(b, e.Proto)
 	}
 	_, s.err = s.bw.Write(b)
 	s.scratch = b[:0]
@@ -516,6 +531,11 @@ func (t *TraceReader) Next(e *Event) error {
 	if flags&fbtCauseID != 0 {
 		if e.CauseID, err = t.uvarint(); err != nil {
 			return fail("cause_id", err)
+		}
+	}
+	if flags&fbtProto != 0 {
+		if e.Proto, err = t.ref(); err != nil {
+			return fail("proto", err)
 		}
 	}
 	t.n++

@@ -1,0 +1,71 @@
+package obs
+
+import "testing"
+
+// TestFbtSchemaAppendOnly pins the .fbt wire schema: the flag-bit
+// positions and the seed-dictionary kind order are APPEND-ONLY (see
+// the comment above the flag constants in fbt.go). Reordering or
+// removing an entry silently re-keys every existing recording — old
+// traces would decode into the wrong fields without any codec error.
+// If this test fails, the only acceptable fix is restoring the old
+// positions and appending the new entry at the end (bumping
+// TraceVersion if the format genuinely must break).
+func TestFbtSchemaAppendOnly(t *testing.T) {
+	wantFlags := []struct {
+		name string
+		got  uint32
+		want uint32
+	}{
+		{"fbtDur", fbtDur, 1 << 0},
+		{"fbtCol", fbtCol, 1 << 1},
+		{"fbtOp", fbtOp, 1 << 2},
+		{"fbtFrom", fbtFrom, 1 << 3},
+		{"fbtTo", fbtTo, 1 << 4},
+		{"fbtCause", fbtCause, 1 << 5},
+		{"fbtCH", fbtCH, 1 << 6},
+		{"fbtDI", fbtDI, 1 << 7},
+		{"fbtSL", fbtSL, 1 << 8},
+		{"fbtRetries", fbtRetries, 1 << 9},
+		{"fbtBytes", fbtBytes, 1 << 10},
+		{"fbtArbNS", fbtArbNS, 1 << 11},
+		{"fbtAddrNS", fbtAddrNS, 1 << 12},
+		{"fbtDataNS", fbtDataNS, 1 << 13},
+		{"fbtIntvNS", fbtIntvNS, 1 << 14},
+		{"fbtMemNS", fbtMemNS, 1 << 15},
+		{"fbtRetryNS", fbtRetryNS, 1 << 16},
+		{"fbtTxID", fbtTxID, 1 << 17},
+		{"fbtCauseID", fbtCauseID, 1 << 18},
+		{"fbtProto", fbtProto, 1 << 19},
+	}
+	for _, f := range wantFlags {
+		if f.got != f.want {
+			t.Errorf("%s = 1<<%d, want 1<<%d — flag bits are append-only",
+				f.name, bitPos(f.got), bitPos(f.want))
+		}
+	}
+
+	wantKinds := []Kind{
+		KindTx, KindGrant, KindAbort, KindRecover, KindState,
+		KindIntervene, KindUpdate, KindCapture, KindEvict, KindStall,
+		KindBlocked, KindMemRead, KindMemWrite,
+	}
+	if len(seedKinds) < len(wantKinds) {
+		t.Fatalf("seedKinds shrank to %d entries (want at least %d) — seed dictionary is append-only",
+			len(seedKinds), len(wantKinds))
+	}
+	for i, want := range wantKinds {
+		if seedKinds[i] != want {
+			t.Errorf("seedKinds[%d] = %q, want %q — existing entries must keep their positions",
+				i, seedKinds[i], want)
+		}
+	}
+}
+
+func bitPos(v uint32) int {
+	for i := 0; i < 32; i++ {
+		if v == 1<<i {
+			return i
+		}
+	}
+	return -1
+}

@@ -22,12 +22,14 @@ import (
 //	/events      SSE tail of the obs event stream (shed when slow)
 //	/slow        top-K slowest transactions as JSON
 //	/causal      critical-path analysis of the run so far as JSON
+//	/coherence   per-protocol MOESI transition analytics as JSON
 //	/debug/pprof Go runtime profiles
 type Server struct {
-	reg    *Registry
-	stream *EventStream
-	attr   *obs.AttributionSink
-	causal *CausalSink
+	reg       *Registry
+	stream    *EventStream
+	attr      *obs.AttributionSink
+	causal    *CausalSink
+	coherence *CoherenceSink
 
 	http *http.Server
 	ln   net.Listener
@@ -50,6 +52,7 @@ func NewServer(reg *Registry, stream *EventStream, attr *obs.AttributionSink) *S
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/slow", s.handleSlow)
 	mux.HandleFunc("/causal", s.handleCausal)
+	mux.HandleFunc("/coherence", s.handleCoherence)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -142,6 +145,21 @@ func (s *Server) handleCausal(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(s.causal.Analyze())
+}
+
+// handleCoherence snapshots the coherence analyzer and returns the
+// per-protocol transition matrices, residency, ownership chains and
+// fan-out distributions as JSON. Like /causal, the snapshot is built
+// per request on the handler goroutine.
+func (s *Server) handleCoherence(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.coherence == nil {
+		fmt.Fprintln(w, "{}")
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.coherence.Analyze())
 }
 
 // handleEvents streams the event tail as server-sent events: the

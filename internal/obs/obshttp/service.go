@@ -2,6 +2,7 @@ package obshttp
 
 import (
 	"fmt"
+	"strings"
 
 	"futurebus/internal/obs"
 )
@@ -20,6 +21,13 @@ const (
 	MetricSSEFrames        = "futurebus_sse_frames_total"
 	MetricSSEShed          = "futurebus_sse_shed_total"
 	MetricDropped          = "obs_events_dropped_total"
+
+	// Coherence analytics (see internal/obs/coherence and the
+	// /coherence endpoint).
+	MetricCoherenceTransitions    = "futurebus_coherence_transitions_total"
+	MetricCoherenceInvalidations  = "futurebus_coherence_invalidations_total"
+	MetricCoherenceOwnershipMoves = "futurebus_coherence_ownership_moves_total"
+	MetricCoherenceReadSource     = "futurebus_coherence_read_source_total"
 )
 
 // Service bundles everything live observability needs: the metrics
@@ -27,10 +35,11 @@ const (
 // registry-feeding event sink. Attach Sinks() to the Recorder at
 // construction time, then Serve to expose it all over HTTP.
 type Service struct {
-	Registry *Registry
-	Stream   *EventStream
-	Attr     *obs.AttributionSink
-	Causal   *CausalSink
+	Registry  *Registry
+	Stream    *EventStream
+	Attr      *obs.AttributionSink
+	Causal    *CausalSink
+	Coherence *CoherenceSink
 
 	metrics *metricsSink
 }
@@ -39,12 +48,25 @@ type Service struct {
 // transactions (0 = obs.DefaultTopK).
 func NewService(topK int) *Service {
 	s := &Service{
-		Registry: NewRegistry(),
-		Stream:   NewEventStream(),
-		Attr:     obs.NewAttributionSink(topK),
-		Causal:   &CausalSink{},
+		Registry:  NewRegistry(),
+		Stream:    NewEventStream(),
+		Attr:      obs.NewAttributionSink(topK),
+		Causal:    &CausalSink{},
+		Coherence: &CoherenceSink{},
 	}
 	s.metrics = newMetricsSink(s.Registry)
+	s.Registry.CounterFunc(MetricCoherenceOwnershipMoves, "",
+		"Line ownership migrating directly from one cache to another.", func() int64 {
+			return s.Coherence.Totals().OwnershipMoves
+		})
+	s.Registry.CounterFunc(MetricCoherenceReadSource, `source="cache"`,
+		"Completed bus reads by who supplied the line.", func() int64 {
+			return s.Coherence.Totals().CacheSourced
+		})
+	s.Registry.CounterFunc(MetricCoherenceReadSource, `source="memory"`,
+		"Completed bus reads by who supplied the line.", func() int64 {
+			return s.Coherence.Totals().MemSourced
+		})
 	s.Registry.GaugeFunc(MetricSSEFrames, "", "Event frames marshalled for SSE subscribers.", func() float64 {
 		frames, _ := s.Stream.Stats()
 		return float64(frames)
@@ -59,7 +81,7 @@ func NewService(topK int) *Service {
 // Sinks returns the obs.Sinks the service needs attached to the
 // Recorder, in the order they should run.
 func (s *Service) Sinks() []obs.Sink {
-	return []obs.Sink{s.metrics, s.Attr, s.Causal, s.Stream}
+	return []obs.Sink{s.metrics, s.Attr, s.Causal, s.Coherence, s.Stream}
 }
 
 // ObserveRecorder exposes the recorder's drop telemetry on /metrics:
@@ -79,6 +101,7 @@ func (s *Service) ObserveRecorder(rec *obs.Recorder) {
 func (s *Service) Serve(addr string) (*Server, error) {
 	srv := NewServer(s.Registry, s.Stream, s.Attr)
 	srv.causal = s.Causal
+	srv.coherence = s.Coherence
 	if err := srv.Listen(addr); err != nil {
 		return nil, err
 	}
@@ -93,6 +116,8 @@ type metricsSink struct {
 	events map[obs.Kind]*Counter
 	txOps  map[string]*Counter
 	trans  map[[2]string]*Counter
+	ctrans map[[3]string]*Counter
+	cinv   map[string]*Counter
 	aborts *Counter
 	retry  *Counter
 	phases [obs.NumPhases]*SummaryMetric
@@ -106,6 +131,8 @@ func newMetricsSink(reg *Registry) *metricsSink {
 		events: make(map[obs.Kind]*Counter),
 		txOps:  make(map[string]*Counter),
 		trans:  make(map[[2]string]*Counter),
+		ctrans: make(map[[3]string]*Counter),
+		cinv:   make(map[string]*Counter),
 		aborts: reg.Counter(MetricAborts, "", "BS aborts of bus transaction attempts."),
 		retry:  reg.Counter(MetricRetries, "", "BS abort/retry rounds across all transactions."),
 		txLat:  reg.Summary(MetricTxLatency, "", "Per-transaction bus occupancy in simulated ns."),
@@ -164,6 +191,29 @@ func (m *metricsSink) Consume(e *obs.Event) {
 			m.trans[key] = tc
 		}
 		tc.Inc()
+		proto := e.Proto
+		if proto == "" {
+			proto = "unknown"
+		}
+		ckey := [3]string{proto, e.From, e.To}
+		cc, ok := m.ctrans[ckey]
+		if !ok {
+			cc = m.reg.Counter(MetricCoherenceTransitions,
+				fmt.Sprintf("proto=%q,from=%q,to=%q", proto, e.From, e.To),
+				"Cache-line state transitions by governing protocol.")
+			m.ctrans[ckey] = cc
+		}
+		cc.Inc()
+		if e.To == "I" && strings.HasPrefix(e.Cause, "snoop-") {
+			ic, ok := m.cinv[proto]
+			if !ok {
+				ic = m.reg.Counter(MetricCoherenceInvalidations,
+					fmt.Sprintf("proto=%q", proto),
+					"Snoop-caused transitions to Invalid by protocol.")
+				m.cinv[proto] = ic
+			}
+			ic.Inc()
+		}
 	case obs.KindStall:
 		m.stall.Observe(e.Dur)
 	}

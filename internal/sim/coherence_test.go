@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"futurebus/internal/core"
+	"futurebus/internal/obs"
+	"futurebus/internal/obs/coherence"
+	"futurebus/internal/workload"
+)
+
+func coherenceAnalyze(t *testing.T, raw []byte) *coherence.Analysis {
+	t.Helper()
+	var a coherence.Analyzer
+	if _, _, err := obs.ReplayTrace(bytes.NewReader(raw), &a); err != nil {
+		t.Fatal(err)
+	}
+	return a.Analyze(0)
+}
+
+func soleProto(t *testing.T, an *coherence.Analysis) *coherence.ProtoAnalysis {
+	t.Helper()
+	names := an.ProtocolNames()
+	if len(names) != 1 {
+		t.Fatalf("homogeneous run produced protocols %v, want exactly one", names)
+	}
+	return an.Protocols[names[0]]
+}
+
+// TestCoherenceMatricesDifferAcrossProtocols: recorded Berkeley and
+// Write-Once runs of the same workload must reconstruct non-empty,
+// different transition matrices — and differ exactly where the paper
+// says the protocols differ: Berkeley never holds a line Exclusive
+// (no private-clean state), Write-Once never holds one Owned (its
+// dirty state is unshared).
+func TestCoherenceMatricesDifferAcrossProtocols(t *testing.T) {
+	gens := func(sys *System) []workload.Generator { return abGens(sys, 0.3, 0.3, 1986) }
+	berkeley := soleProto(t, coherenceAnalyze(t, recordRun(t, "berkeley", 4, 2000, "det", gens)))
+	writeOnce := soleProto(t, coherenceAnalyze(t, recordRun(t, "write-once", 4, 2000, "det", gens)))
+
+	if berkeley.Transitions == 0 || writeOnce.Transitions == 0 {
+		t.Fatalf("empty matrices: berkeley %d, write-once %d transitions",
+			berkeley.Transitions, writeOnce.Transitions)
+	}
+	if berkeley.Matrix == writeOnce.Matrix {
+		t.Error("berkeley and write-once produced identical transition matrices")
+	}
+	ei, oi := coherence.StateIndex("E"), coherence.StateIndex("O")
+	var intoE, intoO int64
+	for f := 0; f < coherence.NumStates; f++ {
+		intoE += berkeley.Matrix[f][ei]
+		intoO += writeOnce.Matrix[f][oi]
+	}
+	if intoE != 0 {
+		t.Errorf("berkeley matrix records %d transitions into E; it has no exclusive-clean state", intoE)
+	}
+	if intoO != 0 {
+		t.Errorf("write-once matrix records %d transitions into O; it has no shared-dirty state", intoO)
+	}
+}
+
+// TestCoherenceMatrixMatchesStats: the event-stream matrix must agree
+// exactly with the cache counters' Transitions table — every real
+// state change emits exactly one KindState event, none invented, none
+// lost through the codec.
+func TestCoherenceMatrixMatchesStats(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.New(obs.NewRecordSink(&buf, obs.TraceMeta{Fingerprint: "parity"}))
+	cfg := Homogeneous("moesi", 4)
+	cfg.Obs = rec
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := Engine{Sys: sys, Gens: abGens(sys, 0.3, 0.3, 7)}
+	m, err := eng.Run(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ps := soleProto(t, coherenceAnalyze(t, buf.Bytes()))
+	order := []core.State{core.Modified, core.Owned, core.Exclusive, core.Shared, core.Invalid}
+	for fi, from := range order {
+		for ti, to := range order {
+			if got, want := ps.Matrix[fi][ti], m.Cache.Transitions[from][to]; got != want {
+				t.Errorf("matrix[%s][%s] = %d from events, %d from counters",
+					from.Letter(), to.Letter(), got, want)
+			}
+		}
+	}
+}
+
+// TestCoherenceMatrixEngineDeterminism: with disjoint per-board
+// working sets (PShared = 0) each board's program is deterministic
+// regardless of interleaving, so the transition matrix — a multiset of
+// transitions, already canonical under reordering — must be identical
+// across the deterministic and concurrent engines at 1 and 4 fabric
+// shards.
+func TestCoherenceMatrixEngineDeterminism(t *testing.T) {
+	private := func(sys *System) []workload.Generator {
+		return sys.Generators(func(proc int) workload.Generator {
+			return workload.MustModel(workload.Model{
+				Proc: proc, SharedLines: 8, PrivateLines: 64,
+				WordsPerLine: sys.WordsPerLine(),
+				PShared:      0, PWrite: 0.4, Locality: 0.3,
+			}, 1986)
+		})
+	}
+	matrix := func(engine string, shards int) coherence.Matrix {
+		var buf bytes.Buffer
+		rec := obs.New(obs.NewRecordSink(&buf, obs.TraceMeta{Fingerprint: "det"}))
+		cfg := Homogeneous("moesi", 4)
+		cfg.Obs = rec
+		cfg.Shards = shards
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch engine {
+		case "det":
+			eng := Engine{Sys: sys, Gens: private(sys)}
+			_, err = eng.Run(1200)
+		case "conc":
+			_, err = RunConcurrent(sys, private(sys), 1200)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return soleProto(t, coherenceAnalyze(t, buf.Bytes())).Matrix
+	}
+	base := matrix("det", 1)
+	if base.Total() == 0 {
+		t.Fatal("baseline run produced an empty transition matrix")
+	}
+	for _, tc := range []struct {
+		engine string
+		shards int
+	}{{"det", 4}, {"conc", 1}, {"conc", 4}} {
+		if got := matrix(tc.engine, tc.shards); got != base {
+			t.Errorf("%s engine at %d shards diverged from det/1:\ngot  %v\nwant %v",
+				tc.engine, tc.shards, got, base)
+		}
+	}
+}

@@ -76,7 +76,8 @@ func ProtocolComparison(protocolNames []string, procCounts []int, opts Experimen
 		ID:    "P1",
 		Title: "protocol comparison, Archibald–Baer model (pShared=0.2, pWrite=0.3)",
 		Columns: []string{"protocol", "procs", "miss", "trans/ref", "bytes/ref",
-			"busUtil", "efficiency", "systemPower", "aborts"},
+			"busUtil", "efficiency", "systemPower", "aborts",
+			"inv/ref", "ownedShare"},
 	}
 	for _, name := range protocolNames {
 		for _, n := range procCounts {
@@ -86,10 +87,12 @@ func ProtocolComparison(protocolNames []string, procCounts []int, opts Experimen
 			}
 			rep.AddRow(name, d(int64(n)), f(m.MissRatio()), f(m.TransPerRef()),
 				f2(m.BytesPerRef()), f(m.BusUtilization()), f(m.Efficiency()),
-				f2(m.SystemPower()), d(m.Bus.Aborts))
+				f2(m.SystemPower()), d(m.Bus.Aborts),
+				f(m.InvalidationsPerRef()), f(m.OwnedShare()))
 		}
 	}
 	rep.AddNote("expected shape (§5.2/[Arch85]): system power saturates as the bus does; BS-adapted protocols (write-once, illinois, firefly) pay extra for dirty-line transfers; write-through generates the most write traffic")
+	rep.AddNote("transition mix: inv/ref counts valid→Invalid moves per reference (invalidation churn); ownedShare is the fraction of transitions landing in M/O — fblens analyze gives the full per-protocol matrix from a -record-out trace")
 	return rep, nil
 }
 

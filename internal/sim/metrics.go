@@ -80,6 +80,47 @@ func (m Metrics) TransitionTable() string {
 	return b.String()
 }
 
+// TotalTransitions sums the aggregated MOESI transition matrix.
+func (m Metrics) TotalTransitions() int64 {
+	var t int64
+	for _, row := range m.Cache.Transitions {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// InvalidationsPerRef is transitions into Invalid per reference — the
+// coherence churn an invalidation-based protocol pays for writes.
+func (m Metrics) InvalidationsPerRef() float64 {
+	if m.Refs == 0 {
+		return 0
+	}
+	var inv int64
+	for from := range m.Cache.Transitions {
+		if core.State(from) == core.Invalid {
+			continue
+		}
+		inv += m.Cache.Transitions[from][core.Invalid]
+	}
+	return float64(inv) / float64(m.Refs)
+}
+
+// OwnedShare is the fraction of transitions that land a line in an
+// owned state (M or O) — how write-biased the protocol's traffic is.
+func (m Metrics) OwnedShare() float64 {
+	total := m.TotalTransitions()
+	if total == 0 {
+		return 0
+	}
+	var owned int64
+	for from := range m.Cache.Transitions {
+		owned += m.Cache.Transitions[from][core.Modified] + m.Cache.Transitions[from][core.Owned]
+	}
+	return float64(owned) / float64(total)
+}
+
 // MissRatio is misses over references (cached boards only).
 func (m Metrics) MissRatio() float64 {
 	refs := m.Cache.Reads + m.Cache.Writes
