@@ -21,6 +21,7 @@ import (
 	"futurebus/internal/memory"
 	"futurebus/internal/obs"
 	"futurebus/internal/obs/obshttp"
+	"futurebus/internal/obs/watch"
 	"futurebus/internal/protocols"
 	"futurebus/internal/sim"
 	"futurebus/internal/tablegen"
@@ -598,6 +599,60 @@ func BenchmarkCoherenceSinkOverhead(b *testing.B) {
 		}
 		if sink.Totals().StateEvents == 0 {
 			b.Fatal("coherence sink saw no state events")
+		}
+	})
+}
+
+// BenchmarkWatchSinkOverhead measures what live runtime verification
+// adds on top of recording: "record" is the plain RecordSink
+// configuration, "record+watch" attaches an obshttp.WatchSink beside
+// it the way fbsim -watch -serve does. bench-compare.sh gates the
+// ratio at 10% — a monitored run must stay within a tenth of an
+// unmonitored one.
+func BenchmarkWatchSinkOverhead(b *testing.B) {
+	const refs = 2000
+	cfg := sim.Homogeneous("moesi", 4)
+	run := func(b *testing.B, rec *obs.Recorder) {
+		b.Helper()
+		c := cfg
+		c.Obs = rec
+		sys, err := sim.New(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := sim.Engine{Sys: sys, Gens: abGens(0.2, 0.3)(sys)}
+		if _, err := eng.Run(refs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("record", func(b *testing.B) {
+		rec := obs.New(obs.NewRecordSink(io.Discard, obs.TraceMeta{Fingerprint: "bench"}))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, rec)
+		}
+		b.StopTimer()
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("record+watch", func(b *testing.B) {
+		sink := obshttp.NewWatchSink(watch.Config{}, nil)
+		rec := obs.New(obs.NewRecordSink(io.Discard, obs.TraceMeta{Fingerprint: "bench"}), sink)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, rec)
+		}
+		b.StopTimer()
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+		rep := sink.Report()
+		if rep.States == 0 {
+			b.Fatal("watch sink saw no state events")
+		}
+		if rep.Total != 0 {
+			b.Fatalf("clean benchmark run flagged %d violations; first: %v", rep.Total, rep.First)
 		}
 	})
 }

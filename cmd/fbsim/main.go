@@ -18,8 +18,10 @@ import (
 	"time"
 
 	"futurebus/internal/bus"
+	"futurebus/internal/faults"
 	"futurebus/internal/obs"
 	"futurebus/internal/obs/obshttp"
+	"futurebus/internal/obs/watch"
 	"futurebus/internal/sim"
 	"futurebus/internal/workload"
 )
@@ -40,7 +42,8 @@ func main() {
 	checkConsistency := flag.Bool("check", true, "run the consistency checker at the end")
 	paranoid := flag.Bool("paranoid", false, "validate every snoop response against the class at runtime")
 	transitions := flag.Bool("transitions", false, "print the aggregated MOESI state-transition table")
-	watch := flag.Uint64("watch", 0, "print a per-board state timeline for this line address (0 = off)")
+	watchFlag := flag.Bool("watch", false, "run the live invariant monitor; print violations and exit 1 if any")
+	watchLine := flag.Uint64("watch-line", 0, "print a per-board state timeline for this line address (0 = off)")
 	record := flag.String("record", "", "record each board's reference stream to <prefix>.<board>.trace")
 	replay := flag.String("replay", "", "replay reference streams from <prefix>.<board>.trace (overrides -workload)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
@@ -56,6 +59,9 @@ func main() {
 	var boards []sim.BoardSpec
 	for _, name := range strings.Split(*protos, ",") {
 		spec := sim.BoardSpec{Protocol: strings.TrimSpace(name)}
+		// "moesi+drop-inv" = the protocol wrapped in an internal/faults
+		// mutation — the fault-injection counterpart of -watch.
+		spec.Protocol, spec.Fault = faults.Split(spec.Protocol)
 		// "moesi.s4" = a sector cache with 4 sub-sectors per tag.
 		if base, subs, ok := strings.Cut(spec.Protocol, ".s"); ok {
 			n, err := strconv.Atoi(subs)
@@ -101,9 +107,20 @@ func main() {
 		sinks = append(sinks, auditSink)
 	}
 	var svc *obshttp.Service
+	var wsink *obshttp.WatchSink
 	if *serveAddr != "" {
 		svc = obshttp.NewService(0)
+		if *watchFlag {
+			// Served runs route the monitor through the service so
+			// /violations and the violation metrics are live.
+			wsink = svc.EnableWatch(watch.Config{})
+		}
 		sinks = append(sinks, svc.Sinks()...)
+	}
+	var mon *watch.Monitor
+	if *watchFlag && wsink == nil {
+		mon = watch.New(watch.Config{})
+		sinks = append(sinks, mon)
 	}
 	var rec *obs.Recorder
 	if len(sinks) > 0 {
@@ -135,9 +152,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fbsim: serving observability on %s (/metrics /healthz /events /slow /causal /coherence /debug/pprof)\n", srv.URL())
 	}
 
-	if *watch != 0 {
-		watchAddr := bus.Addr(*watch)
-		fmt.Printf("watching line %#x: txn# master col | per-board state\n", *watch)
+	if *watchLine != 0 {
+		watchAddr := bus.Addr(*watchLine)
+		fmt.Printf("watching line %#x: txn# master col | per-board state\n", *watchLine)
 		count := 0
 		sys.Bus.SetTrace(func(tx *bus.Transaction, r *bus.Result) {
 			if tx.Addr != watchAddr {
@@ -243,9 +260,7 @@ func main() {
 	}
 	if rec != nil {
 		fail(rec.Close())
-		if dropped := rec.Dropped(); dropped > 0 {
-			fmt.Fprintf(os.Stderr, "fbsim: warning: %d events emitted after recorder close were dropped\n", dropped)
-		}
+		obs.WarnDropped(os.Stderr, "fbsim", rec)
 		if *hist {
 			if h := obs.FindHistogram(rec); h != nil {
 				fmt.Fprintf(sum, "latency histograms:\n%s", h.Render())
@@ -274,6 +289,25 @@ func main() {
 			err = os.WriteFile(*metricsJSON, out, 0o644)
 		}
 		fail(err)
+	}
+
+	// The invariant verdict comes last so every other artifact (metrics
+	// JSON, traces) is written even when the run was dirty; the exit
+	// status is what CI gates on.
+	if *watchFlag {
+		var rep *watch.Report
+		if wsink != nil {
+			rep = wsink.Report()
+		} else {
+			rep = mon.Report()
+		}
+		fmt.Fprintf(sum, "invariants: %s\n", rep.Summary())
+		if rep.Total > 0 {
+			for i := range rep.Violations {
+				fmt.Fprintf(os.Stderr, "fbsim: %s\n", rep.Violations[i].String())
+			}
+			os.Exit(1)
+		}
 	}
 }
 

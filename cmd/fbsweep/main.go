@@ -18,6 +18,7 @@ import (
 
 	"futurebus/internal/obs"
 	"futurebus/internal/obs/obshttp"
+	"futurebus/internal/obs/watch"
 	"futurebus/internal/sim"
 )
 
@@ -33,6 +34,7 @@ func main() {
 	metricsJSON := flag.String("metrics-json", "", "write the reports as JSON to this file ('-' = stdout)")
 	recordOut := flag.String("record-out", "", "write the sweep's full event stream as a compact binary .fbt trace (analyze offline with fbcausal)")
 	hist := flag.Bool("hist", false, "print sweep-wide p50/p95/p99 latency/stall/retry histograms")
+	watchFlag := flag.Bool("watch", false, "run the invariant monitor over every system the sweep builds; exit 1 on any violation")
 	serveAddr := flag.String("serve", "", "serve live observability on this address (/metrics, /healthz, /events, /slow, /causal, /coherence, /debug/pprof)")
 	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the sweep finishes")
 	flag.Parse()
@@ -63,13 +65,25 @@ func main() {
 	// analyzer cover every system the experiments build.
 	var svc *obshttp.Service
 	var srv *obshttp.Server
+	var wsink *obshttp.WatchSink
 	if *serveAddr != "" {
 		svc = obshttp.NewService(0)
+		if *watchFlag {
+			wsink = svc.EnableWatch(watch.Config{})
+		}
 		sinks = append(sinks, svc.Sinks()...)
 		var err error
 		srv, err = svc.Serve(*serveAddr)
 		fail(err)
 		fmt.Fprintf(os.Stderr, "fbsweep: serving observability on %s (/metrics /healthz /events /slow /causal /coherence /debug/pprof)\n", srv.URL())
+	}
+	// Each system the sweep builds emits a KindEpoch marker, so one
+	// monitor can watch the whole battery without carrying shadow state
+	// from one system into the next.
+	var mon *watch.Monitor
+	if *watchFlag && wsink == nil {
+		mon = watch.New(watch.Config{})
+		sinks = append(sinks, mon)
 	}
 	var rec *obs.Recorder
 	if len(sinks) > 0 {
@@ -88,7 +102,7 @@ func main() {
 	// trace (and its histograms) unreadable.
 	workers, forced := effectiveWorkers(*jobs, runtime.NumCPU(), rec != nil)
 	if forced {
-		fmt.Fprintf(os.Stderr, "fbsweep: -jobs %d ignored — tracing (-record-out/-trace-out/-hist/-serve) forces a serial sweep so the event stream stays coherent\n", *jobs)
+		fmt.Fprintf(os.Stderr, "fbsweep: -jobs %d ignored — tracing (-record-out/-trace-out/-hist/-serve/-watch) forces a serial sweep so the event stream stays coherent\n", *jobs)
 	}
 
 	runners := map[string]func(sim.ExperimentOpts) (*sim.Report, error){
@@ -159,9 +173,7 @@ func main() {
 	}
 	if rec != nil {
 		fail(rec.Close())
-		if dropped := rec.Dropped(); dropped > 0 {
-			fmt.Fprintf(os.Stderr, "fbsweep: warning: %d events emitted after recorder close were dropped\n", dropped)
-		}
+		obs.WarnDropped(os.Stderr, "fbsweep", rec)
 		if *hist {
 			if h := obs.FindHistogram(rec); h != nil {
 				fmt.Printf("\nsweep-wide latency histograms:\n%s", h.Render())
@@ -186,6 +198,22 @@ func main() {
 			err = os.WriteFile(*metricsJSON, out, 0o644)
 		}
 		fail(err)
+	}
+
+	if *watchFlag {
+		var rep *watch.Report
+		if wsink != nil {
+			rep = wsink.Report()
+		} else {
+			rep = mon.Report()
+		}
+		fmt.Fprintf(os.Stderr, "fbsweep: invariants: %s\n", rep.Summary())
+		if rep.Total > 0 {
+			for i := range rep.Violations {
+				fmt.Fprintf(os.Stderr, "fbsweep: %s\n", rep.Violations[i].String())
+			}
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,131 @@
+// Command fbwatch replays binary .fbt traces (recorded by fbsim /
+// fbsweep -record-out) through the runtime invariant monitor and
+// reports every protocol-legality violation it finds: §3.1 ownership
+// invariants and Table 1/2 action legality, with the blamed
+// transaction and the events leading up to each violation.
+//
+// Usage:
+//
+//	fbwatch [-json] [-max N] [-context N] run.fbt [more.fbt ...]
+//
+// Exit status: 0 when every trace is clean, 1 when any trace violated
+// an invariant, 2 on usage or I/O errors — so a CI step can gate on a
+// recorded run directly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"futurebus/internal/obs"
+	"futurebus/internal/obs/watch"
+)
+
+func main() {
+	maxV := flag.Int("max", watch.DefaultMaxViolations, "violation records to keep per trace (counts are always exact)")
+	ctxN := flag.Int("context", watch.DefaultContextDepth, "events of per-line context to keep with each violation")
+	asJSON := flag.Bool("json", false, "emit each trace's full report as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `fbwatch — offline runtime verification of .fbt traces
+
+usage: fbwatch [-json] [-max N] [-context N] run.fbt [more.fbt ...]
+
+Replays each trace through the shadow-state invariant monitor
+(internal/obs/watch) and prints a per-trace verdict. Exits 1 if any
+trace violated a coherence invariant, 2 on usage or I/O errors.
+`)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	dirty := false
+	for _, path := range flag.Args() {
+		rep, meta, err := replay(path, watch.Config{
+			MaxViolations: *maxV,
+			ContextDepth:  *ctxN,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fbwatch: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		if rep.Total > 0 {
+			dirty = true
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(struct {
+				Trace       string `json:"trace"`
+				Fingerprint string `json:"fingerprint,omitempty"`
+				*watch.Report
+			}{path, meta.Fingerprint, rep}); err != nil {
+				fmt.Fprintf(os.Stderr, "fbwatch: %v\n", err)
+				os.Exit(2)
+			}
+			continue
+		}
+		render(path, meta, rep)
+	}
+	if dirty {
+		os.Exit(1)
+	}
+}
+
+// replay runs one .fbt file through a fresh monitor.
+func replay(path string, cfg watch.Config) (*watch.Report, obs.TraceMeta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, obs.TraceMeta{}, err
+	}
+	defer f.Close()
+	tr, err := obs.NewTraceReader(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return nil, obs.TraceMeta{}, err
+	}
+	mon := watch.New(cfg)
+	for {
+		var e obs.Event
+		if err := tr.Next(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, obs.TraceMeta{}, err
+		}
+		mon.Consume(&e)
+	}
+	return mon.Report(), tr.Meta(), nil
+}
+
+func render(path string, meta obs.TraceMeta, rep *watch.Report) {
+	fmt.Printf("%s: %s\n", path, rep.Summary())
+	if meta.Fingerprint != "" {
+		fmt.Printf("  config: %s\n", meta.Fingerprint)
+	}
+	if rep.Total == 0 {
+		return
+	}
+	for _, c := range rep.Counts {
+		fmt.Printf("  %6d × %-28s proto=%s\n", c.N, c.Invariant, c.Proto)
+	}
+	for i := range rep.Violations {
+		v := &rep.Violations[i]
+		fmt.Printf("\n  #%d %s\n", v.N, v.String())
+		for j := range v.Context {
+			e := &v.Context[j]
+			fmt.Printf("      t=%-8d %-8s proc=%-2d %s→%s %s tx=%d\n",
+				e.TS, e.Kind, e.Proc, e.From, e.To, e.Cause, e.TxID)
+		}
+	}
+	if int64(len(rep.Violations)) < rep.Total {
+		fmt.Printf("\n  (%d further violations counted but not stored; rerun with -max)\n",
+			rep.Total-int64(len(rep.Violations)))
+	}
+}

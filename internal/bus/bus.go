@@ -505,8 +505,17 @@ func (b *Bus) completeAttempt(tx *Transaction, responses []SnoopResponse) (Resul
 		}
 	}
 	// Ownership is unique (§3.1.3): two simultaneous DI assertions mean
-	// two owners, a broken system.
+	// two owners, a broken system. Release every directory before
+	// failing — Query holds each snooper's shard lock until Commit or
+	// Cancel, and leaking them would turn a reportable protocol bug
+	// into a whole-machine deadlock.
 	if diCount > 1 {
+		for i, s := range b.snoopers {
+			if s.SnooperID() == tx.MasterID {
+				continue
+			}
+			s.Cancel(tx, responses[i])
+		}
 		return res, fmt.Errorf("bus: %d units asserted DI for %s — duplicate owners", diCount, tx)
 	}
 

@@ -128,6 +128,22 @@ func adaptedLocal(s State, e LocalEvent, a LocalAction) (string, bool) {
 	return "", false
 }
 
+// AdaptedLocalChoices returns the §4 adapted local actions for a cell —
+// actions outside Table 1 that the adapted Write-Once and Firefly
+// protocols use (see RequiresAdaptation). Legality checkers that accept
+// any registered protocol (the runtime monitor in internal/obs/watch)
+// must admit these alongside the class cells, because adapted protocols
+// are legitimate on protocol-pure buses.
+func AdaptedLocalChoices(s State, e LocalEvent) []LocalAction {
+	var out []LocalAction
+	for _, ent := range adaptedLocalActions {
+		if ent.state == s && ent.event == e {
+			out = append(out, ent.action)
+		}
+	}
+	return out
+}
+
 // localEqual compares local actions, treating an entry with BCOptional
 // as matching the candidate with BC asserted, with BC clear, or with the
 // option recorded.

@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,15 +11,57 @@ import (
 // embedded and a small inline script renders per-protocol transition
 // matrices, residency bars, fan-out histograms, and an ownership
 // timeline for the busiest lines. No external assets, so the file can
-// be attached to a CI run or mailed around. json.Marshal escapes '<',
-// so the embedded payload cannot break out of its <script> element.
+// be attached to a CI run or mailed around.
+//
+// Protocol names and cause strings come from traces, and traces can be
+// hostile (a replayed .fbt from an untrusted run, a fault wrapper's
+// composed name). The payload is therefore escaped explicitly before
+// embedding rather than trusting json.Marshal's HTML-escaping default,
+// and the inline script only ever inserts those strings with
+// textContent/createTextNode, never innerHTML.
 func (an *Analysis) RenderHTML(w io.Writer) error {
 	payload, err := json.Marshal(an)
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, htmlShell, payload)
+	_, err = fmt.Fprintf(w, htmlShell, escapeScriptPayload(payload))
 	return err
+}
+
+// escapeScriptPayload hardens a JSON document for embedding in a
+// <script> element: '<', '>' and '&' become \u00XX escapes, so
+// "</script>" or "<!--" inside a label cannot terminate the element,
+// and U+2028/U+2029 (legal in JSON, line terminators in classic
+// JavaScript) are escaped too. The replacement is byte-level but safe:
+// in valid JSON those characters can only occur inside string
+// literals, where the \u form is equivalent.
+func escapeScriptPayload(b []byte) []byte {
+	var out bytes.Buffer
+	out.Grow(len(b) + 64)
+	for i := 0; i < len(b); i++ {
+		switch c := b[i]; c {
+		case '<':
+			out.WriteString(`\u003c`)
+		case '>':
+			out.WriteString(`\u003e`)
+		case '&':
+			out.WriteString(`\u0026`)
+		case 0xe2: // U+2028 = E2 80 A8, U+2029 = E2 80 A9
+			if i+2 < len(b) && b[i+1] == 0x80 && (b[i+2] == 0xa8 || b[i+2] == 0xa9) {
+				if b[i+2] == 0xa8 {
+					out.WriteString(`\u2028`)
+				} else {
+					out.WriteString(`\u2029`)
+				}
+				i += 2
+			} else {
+				out.WriteByte(c)
+			}
+		default:
+			out.WriteByte(c)
+		}
+	}
+	return out.Bytes()
 }
 
 const htmlShell = `<!doctype html>

@@ -57,6 +57,12 @@ const (
 	// KindMemRead / KindMemWrite are main-memory line accesses.
 	KindMemRead  Kind = "memread"
 	KindMemWrite Kind = "memwrite"
+	// KindEpoch marks the assembly of a fresh system on the recorder's
+	// stream (every cache starts Invalid again). Sweeps reuse one
+	// recorder across many systems; stateful consumers — the runtime
+	// invariant monitor — reset their per-line shadow on it so state
+	// from a finished system is not misread as the next one's.
+	KindEpoch Kind = "epoch"
 )
 
 // Event is one structured observation. The zero value of every field

@@ -23,6 +23,7 @@ import (
 //	/slow        top-K slowest transactions as JSON
 //	/causal      critical-path analysis of the run so far as JSON
 //	/coherence   per-protocol MOESI transition analytics as JSON
+//	/violations  runtime invariant monitor report as JSON
 //	/debug/pprof Go runtime profiles
 type Server struct {
 	reg       *Registry
@@ -30,6 +31,7 @@ type Server struct {
 	attr      *obs.AttributionSink
 	causal    *CausalSink
 	coherence *CoherenceSink
+	watch     *WatchSink
 
 	http *http.Server
 	ln   net.Listener
@@ -53,6 +55,7 @@ func NewServer(reg *Registry, stream *EventStream, attr *obs.AttributionSink) *S
 	mux.HandleFunc("/slow", s.handleSlow)
 	mux.HandleFunc("/causal", s.handleCausal)
 	mux.HandleFunc("/coherence", s.handleCoherence)
+	mux.HandleFunc("/violations", s.handleViolations)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -160,6 +163,21 @@ func (s *Server) handleCoherence(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(s.coherence.Analyze())
+}
+
+// handleViolations snapshots the runtime invariant monitor and returns
+// its report — totals, per-(invariant, protocol) counts, the latched
+// first violation and the bounded violation records with their causal
+// context — as JSON. Built per request on the handler goroutine.
+func (s *Server) handleViolations(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.watch == nil {
+		fmt.Fprintln(w, "{}")
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.watch.Report())
 }
 
 // handleEvents streams the event tail as server-sent events: the

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"futurebus/internal/obs"
+	"futurebus/internal/obs/watch"
 )
 
 // Metric families exposed on /metrics. Kept as constants so the CI
@@ -28,6 +29,13 @@ const (
 	MetricCoherenceInvalidations  = "futurebus_coherence_invalidations_total"
 	MetricCoherenceOwnershipMoves = "futurebus_coherence_ownership_moves_total"
 	MetricCoherenceReadSource     = "futurebus_coherence_read_source_total"
+
+	// Runtime invariant monitor (see internal/obs/watch and the
+	// /violations endpoint). The latch gauge goes to 1 at the first
+	// violation and stays there, so a single end-of-run scrape (or a CI
+	// probe) cannot miss a transient burst.
+	MetricInvariantViolations = "futurebus_invariant_violations_total"
+	MetricInvariantLatch      = "futurebus_invariant_violation_latch"
 )
 
 // Service bundles everything live observability needs: the metrics
@@ -40,6 +48,9 @@ type Service struct {
 	Attr      *obs.AttributionSink
 	Causal    *CausalSink
 	Coherence *CoherenceSink
+	// Watch is the runtime invariant monitor (nil unless the service
+	// was built with NewServiceWatched or the caller set one).
+	Watch *WatchSink
 
 	metrics *metricsSink
 }
@@ -78,10 +89,34 @@ func NewService(topK int) *Service {
 	return s
 }
 
+// EnableWatch attaches the runtime invariant monitor to the service:
+// Sinks() will include it, /violations serves its report, and the
+// registry gains futurebus_invariant_violations_total plus the
+// first-violation latch gauge. Call before Sinks()/Serve. Zero cfg
+// fields take the monitor's defaults.
+func (s *Service) EnableWatch(cfg watch.Config) *WatchSink {
+	if s.Watch != nil {
+		return s.Watch
+	}
+	s.Watch = NewWatchSink(cfg, s.Registry)
+	s.Registry.GaugeFunc(MetricInvariantLatch, "",
+		"1 once any protocol invariant has been violated, else 0 (latched).", func() float64 {
+			if s.Watch.Total() > 0 {
+				return 1
+			}
+			return 0
+		})
+	return s.Watch
+}
+
 // Sinks returns the obs.Sinks the service needs attached to the
 // Recorder, in the order they should run.
 func (s *Service) Sinks() []obs.Sink {
-	return []obs.Sink{s.metrics, s.Attr, s.Causal, s.Coherence, s.Stream}
+	sinks := []obs.Sink{s.metrics, s.Attr, s.Causal, s.Coherence}
+	if s.Watch != nil {
+		sinks = append(sinks, s.Watch)
+	}
+	return append(sinks, s.Stream)
 }
 
 // ObserveRecorder exposes the recorder's drop telemetry on /metrics:
@@ -102,6 +137,7 @@ func (s *Service) Serve(addr string) (*Server, error) {
 	srv := NewServer(s.Registry, s.Stream, s.Attr)
 	srv.causal = s.Causal
 	srv.coherence = s.Coherence
+	srv.watch = s.Watch
 	if err := srv.Listen(addr); err != nil {
 		return nil, err
 	}

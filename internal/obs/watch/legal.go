@@ -1,0 +1,153 @@
+package watch
+
+import "futurebus/internal/core"
+
+// Legality tables derived from the class definition — Tables 1–2 with
+// the relaxations of notes 9–12 plus the §4 adapted actions — reduced
+// to the question the event stream can answer: for the cause a cache
+// attached to a KindState event, which result states may a copy in the
+// given state legally reach? Masks are bitsets indexed by core.State.
+// A CH-conditional cell contributes its CH branch to `on` and its no-CH
+// branch to `no`; unconditional cells contribute to both, so resolving
+// with known CH is strictly tighter than the union.
+//
+// The tables are intentionally protocol-agnostic: every registered
+// protocol is a validated class member (see core.Validate and the
+// protocols tests), so deriving legality from the class itself accepts
+// all of them — including write-through and non-caching variants — while
+// still rejecting transitions no member may perform.
+
+type chMask struct{ on, no uint8 }
+
+func (m chMask) union() uint8 { return m.on | m.no }
+
+// resolve returns the legal-next mask given CH knowledge: known true,
+// known false, or unknown (the union of both branches).
+func (m chMask) resolve(ch, known bool) uint8 {
+	if !known {
+		return m.union()
+	}
+	if ch {
+		return m.on
+	}
+	return m.no
+}
+
+func bit(s core.State) uint8 { return 1 << uint8(s) }
+
+func has(mask uint8, s core.State) bool { return mask&bit(s) != 0 }
+
+// letters renders a mask as state letters in the paper's M,O,E,S,I
+// order for violation messages ("-" for the empty set).
+func letters(mask uint8) string {
+	if mask == 0 {
+		return "-"
+	}
+	var b []byte
+	for _, s := range core.States {
+		if has(mask, s) {
+			b = append(b, s.Letter()[0])
+		}
+	}
+	return string(b)
+}
+
+var (
+	// snoopNext[busEvent][state] unions both CH branches: a snooper
+	// resolves its conditional cells on *other*-cache CH, which the
+	// event stream does not expose per snooper.
+	snoopNext [len(core.BusEvents)][len(core.States)]uint8
+	// fillCol5 / fillCol6 are what a miss may install, keyed by the
+	// Table 2 column the fill transaction presented (column 5 = read
+	// miss, column 6 = read-for-ownership), CH-resolvable.
+	fillCol5, fillCol6 chMask
+	// upgradeNext[state]: bus-announced local writes (W or address-only
+	// invalidate), including the §4 adapted actions.
+	upgradeNext [len(core.States)]chMask
+	// silentWrite[state]: local writes with no bus transaction.
+	silentWrite [len(core.States)]uint8
+	// readHitNext[state]: silent local reads (identity in every class
+	// cell, so an emitted read-hit transition is always illegal).
+	readHitNext [len(core.States)]uint8
+	// pushNext[state]: Pass or Flush by the local replacement logic
+	// (the cache substrate's "push" cause covers both).
+	pushNext [len(core.States)]uint8
+	// evictBus / evictSilent split Flush by bus use: a dirty eviction
+	// must write back ("evict"), a clean one must not ("evict-clean").
+	evictBus, evictSilent [len(core.States)]uint8
+)
+
+func init() {
+	for _, s := range core.States {
+		si := int(s)
+		for _, e := range core.BusEvents {
+			for _, ent := range core.SnoopClass(s, e) {
+				if ent.Action.Abort != nil {
+					continue // BS aborts surface as "bs-recovery", not a snoop commit
+				}
+				n := ent.Action.Next
+				snoopNext[int(e)][si] |= bit(n.OnCH) | bit(n.NoCH)
+			}
+		}
+
+		writes := make([]core.LocalAction, 0, 8)
+		for _, ent := range core.LocalClass(s, core.LocalWrite) {
+			writes = append(writes, ent.Action)
+		}
+		writes = append(writes, core.AdaptedLocalChoices(s, core.LocalWrite)...)
+		for _, a := range writes {
+			switch a.Op {
+			case core.BusNone:
+				silentWrite[si] |= bit(a.Next.OnCH) | bit(a.Next.NoCH)
+			case core.BusWrite, core.BusAddrOnly:
+				upgradeNext[si].on |= bit(a.Next.OnCH)
+				upgradeNext[si].no |= bit(a.Next.NoCH)
+			}
+			// BusRead and BusReadThenWrite reach the bus as fills of the
+			// Invalid state and are covered by the fill masks below.
+		}
+
+		for _, ent := range core.LocalClass(s, core.LocalRead) {
+			if ent.Action.Op == core.BusNone {
+				readHitNext[si] |= bit(ent.Action.Next.OnCH) | bit(ent.Action.Next.NoCH)
+			}
+		}
+
+		for _, ev := range []core.LocalEvent{core.Pass, core.Flush} {
+			for _, ent := range core.LocalClass(s, ev) {
+				a := ent.Action
+				m := bit(a.Next.OnCH) | bit(a.Next.NoCH)
+				pushNext[si] |= m
+				if ev == core.Flush {
+					if a.NeedsBus() {
+						evictBus[si] |= m
+					} else {
+						evictSilent[si] |= m
+					}
+				}
+			}
+		}
+	}
+
+	// Fill masks: every bus-read miss action, split by whether it
+	// asserts IM (column 6) or not (column 5). "Read>Write" realises its
+	// read through the protocol's read-miss action, so it needs no entry
+	// of its own.
+	addFill := func(a core.LocalAction) {
+		if a.Op != core.BusRead {
+			return
+		}
+		m := &fillCol5
+		if a.Assert.Has(core.SigIM) {
+			m = &fillCol6
+		}
+		m.on |= bit(a.Next.OnCH)
+		m.no |= bit(a.Next.NoCH)
+	}
+	for _, ent := range core.LocalClass(core.Invalid, core.LocalRead) {
+		addFill(ent.Action)
+	}
+	for _, ent := range core.LocalClass(core.Invalid, core.LocalWrite) {
+		addFill(ent.Action)
+	}
+}

@@ -1,0 +1,769 @@
+// Package watch is the runtime invariant monitor: an online
+// runtime-verification sink that folds the obs event stream into a
+// shadow per-line state machine and checks, as events arrive, the
+// paper's §3.1 consistency invariants plus Table 1–2 action legality.
+//
+// Exhaustive checking (internal/verify) only scales to tiny
+// configurations; the end-of-run checker (internal/check) only sees the
+// final state. The monitor is the complement: it certifies *executions*
+// — live runs, sharded fabrics, or replayed .fbt traces — event by
+// event, and when an invariant breaks it emits a structured Violation
+// carrying the line, the blamed transaction, the shadow state around
+// the transition and a bounded ring of the last events that touched the
+// line as causal context.
+//
+// The monitor relies on the recorder's ordering guarantees: per line,
+// snoop-caused state commits precede their KindTx, and the master's own
+// fill/upgrade/push state events follow it. It is a single-goroutine
+// consumer like coherence.Analyzer; obshttp.WatchSink adapts it for
+// concurrent snapshotting.
+package watch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"futurebus/internal/core"
+	"futurebus/internal/obs"
+)
+
+// Invariant names one checked property. The names are stable: they are
+// metric label values, fbwatch output, and CI grep targets.
+type Invariant string
+
+const (
+	// InvSingleOwner — §3.1.3: at most one cache may own (M or O) a
+	// line; ownership is the responsibility for the line's accuracy.
+	InvSingleOwner Invariant = "single-owner"
+	// InvExclusivity — §3.1.2: a copy in an exclusive state (M or E)
+	// must really be the only cached copy; readers may only coexist
+	// with a shareable owner (O) or with each other.
+	InvExclusivity Invariant = "real-exclusivity"
+	// InvMemoryOwner — §3.1.4: main memory is the default owner, valid
+	// exactly when no cache owns the line. Operationally: a read must be
+	// served by intervention (DI) iff some other cache owned the line
+	// when the transaction started, and a plain write (column 9) must be
+	// captured by such an owner.
+	InvMemoryOwner Invariant = "memory-valid-iff-no-owner"
+	// InvLegalLocal — Table 1 (notes 9–12, §4 adaptations): a
+	// processor-side transition outside every permitted local action.
+	InvLegalLocal Invariant = "legal-local-action"
+	// InvLegalSnoop — Table 2 (notes 9 and 11): a snoop-side transition
+	// outside every permitted snoop action for its column.
+	InvLegalSnoop Invariant = "legal-snoop-action"
+	// InvShadow — trace integrity: a state event whose From does not
+	// match the shadow's recorded state for that copy, meaning the
+	// stream skipped a transition (truncated or corrupted trace).
+	InvShadow Invariant = "shadow-divergence"
+)
+
+// Invariants lists every invariant in reporting order.
+var Invariants = []Invariant{
+	InvSingleOwner, InvExclusivity, InvMemoryOwner,
+	InvLegalLocal, InvLegalSnoop, InvShadow,
+}
+
+// Config bounds the monitor's memory.
+type Config struct {
+	// MaxLines caps tracked (bus, line) shadows; extra lines are
+	// counted, not checked. 0 = DefaultMaxLines.
+	MaxLines int
+	// ContextDepth is the per-line ring of recent events attached to a
+	// Violation as causal context. 0 = DefaultContextDepth.
+	ContextDepth int
+	// MaxViolations caps *stored* Violation records (counters keep
+	// counting past it). 0 = DefaultMaxViolations.
+	MaxViolations int
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxLines      = 1 << 16
+	DefaultContextDepth  = 8
+	DefaultMaxViolations = 64
+
+	// maxPending bounds the txid→address-cycle map that lets fill
+	// legality resolve CH-conditional cells exactly.
+	maxPending = 1 << 12
+)
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	// N is the 1-based detection order across the run.
+	N int64 `json:"n"`
+	// Invariant names the breached property.
+	Invariant Invariant `json:"invariant"`
+	// TS is the simulated time of the triggering event.
+	TS int64 `json:"ts"`
+	// Bus and Addr key the line; Proc is the acting copy's board (the
+	// master of the transaction for transaction-level checks).
+	Bus  int    `json:"bus"`
+	Proc int    `json:"proc"`
+	Addr uint64 `json:"addr"`
+	// Proto is the governing protocol of the blamed copy (best effort
+	// for transaction-level checks, where the event carries none).
+	Proto string `json:"proto,omitempty"`
+	// TxID blames the causing bus transaction (0 = a silent local
+	// transition).
+	TxID uint64 `json:"txid,omitempty"`
+	// Cause is the triggering state event's cause, if any.
+	Cause string `json:"cause,omitempty"`
+	// From and To are the shadow state of the acting copy before and
+	// after the triggering transition (empty for transaction checks).
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Holders is the per-board shadow after the event ("0:M 2:S").
+	Holders string `json:"holders,omitempty"`
+	// Detail explains the breach in terms of the paper's rules.
+	Detail string `json:"detail"`
+	// Context is the bounded ring of the last events touching the line,
+	// oldest first, ending with the triggering event.
+	Context []obs.Event `json:"context,omitempty"`
+}
+
+func (v *Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: line %#x (bus %d) proc %d", v.Invariant, v.Addr, v.Bus, v.Proc)
+	if v.From != "" || v.To != "" {
+		fmt.Fprintf(&b, " %s→%s", v.From, v.To)
+	}
+	if v.Cause != "" {
+		fmt.Fprintf(&b, " (%s)", v.Cause)
+	}
+	if v.Proto != "" {
+		fmt.Fprintf(&b, " [%s]", v.Proto)
+	}
+	if v.TxID != 0 {
+		fmt.Fprintf(&b, " tx %d", v.TxID)
+	}
+	fmt.Fprintf(&b, ": %s", v.Detail)
+	if v.Holders != "" {
+		fmt.Fprintf(&b, " (holders:%s)", v.Holders)
+	}
+	return b.String()
+}
+
+// Count is one (invariant, protocol) violation counter.
+type Count struct {
+	Invariant Invariant `json:"invariant"`
+	Proto     string    `json:"proto"`
+	N         int64     `json:"n"`
+}
+
+// Report is a snapshot of the monitor for /violations and fbwatch.
+type Report struct {
+	// Events is every event consumed; States and Txs count the checked
+	// kinds.
+	Events int64 `json:"events"`
+	States int64 `json:"states"`
+	Txs    int64 `json:"txs"`
+	// Lines is the number of tracked line shadows; TruncatedEvents
+	// counts events skipped because MaxLines was hit.
+	Lines           int   `json:"lines"`
+	TruncatedEvents int64 `json:"truncated_events,omitempty"`
+	// Total counts every violation; ByInvariant and Counts break it
+	// down. First and Violations are bounded records.
+	Total       int64               `json:"total"`
+	ByInvariant map[Invariant]int64 `json:"by_invariant,omitempty"`
+	Counts      []Count             `json:"counts,omitempty"`
+	First       *Violation          `json:"first,omitempty"`
+	Violations  []Violation         `json:"violations,omitempty"`
+}
+
+type lineKey struct {
+	bus  int
+	addr uint64
+}
+
+type countKey struct {
+	inv   Invariant
+	proto string
+}
+
+type txInfo struct {
+	col int
+	ch  bool
+}
+
+// pendEntry is one slot of the direct-mapped pending-transaction
+// cache (txid 0 = empty). A newer transaction that collides simply
+// evicts the older slot — the same bounded-memory behaviour as a FIFO
+// over a map, without map traffic on the monitor's hottest path.
+type pendEntry struct {
+	txid uint64
+	col  int16
+	ch   bool
+}
+
+// line is the shadow of one (bus, address) pair: every board's copy
+// state, derived counts, the per-transaction owner snapshot, and the
+// causal-context ring.
+type line struct {
+	states              []int8 // per proc; -1 = never seen (treated as I)
+	owners, excl, valid int
+	// txSnap / ownersAtSnap / ownerAtSnap capture the owner situation
+	// when the first event of a transaction touched this line — i.e.
+	// before its snoop commits applied — which is what the DI rule of
+	// §3.1.4 is stated against.
+	txSnap       uint64
+	ownersAtSnap int
+	ownerAtSnap  int
+	ring         []obs.Event
+	ringPos      int
+	ringFull     bool
+}
+
+func (ln *line) stateOf(proc int) int8 {
+	if proc < 0 || proc >= len(ln.states) {
+		return -1
+	}
+	return ln.states[proc]
+}
+
+func (ln *line) setState(proc int, s core.State) {
+	for len(ln.states) <= proc {
+		ln.states = append(ln.states, -1)
+	}
+	old := ln.states[proc]
+	if old >= 0 {
+		ln.account(core.State(old), -1)
+	}
+	ln.states[proc] = int8(s)
+	ln.account(s, +1)
+}
+
+func (ln *line) account(s core.State, d int) {
+	if s.Valid() {
+		ln.valid += d
+	}
+	if s.OwnedCopy() {
+		ln.owners += d
+	}
+	if s.ExclusiveCopy() {
+		ln.excl += d
+	}
+}
+
+func (ln *line) snapshot(txid uint64) {
+	if ln.txSnap == txid {
+		return
+	}
+	ln.txSnap = txid
+	ln.ownersAtSnap = ln.owners
+	ln.ownerAtSnap = -1
+	if ln.owners > 0 {
+		for p, s := range ln.states {
+			if s >= 0 && core.State(s).OwnedCopy() {
+				ln.ownerAtSnap = p
+				break
+			}
+		}
+	}
+}
+
+// foreignOwner reports whether, at the transaction snapshot, some cache
+// other than master owned the line.
+func (ln *line) foreignOwner(master int) bool {
+	return ln.ownersAtSnap > 1 || (ln.ownersAtSnap == 1 && ln.ownerAtSnap != master)
+}
+
+func (ln *line) remember(e *obs.Event, depth int) {
+	if depth <= 0 {
+		return
+	}
+	if ln.ring == nil {
+		ln.ring = make([]obs.Event, 0, depth)
+	}
+	if len(ln.ring) < depth {
+		ln.ring = append(ln.ring, *e)
+		return
+	}
+	ln.ring[ln.ringPos] = *e
+	ln.ringPos = (ln.ringPos + 1) % depth
+	ln.ringFull = true
+}
+
+// context returns the remembered events oldest-first.
+func (ln *line) context() []obs.Event {
+	if len(ln.ring) == 0 {
+		return nil
+	}
+	out := make([]obs.Event, 0, len(ln.ring))
+	if ln.ringFull {
+		out = append(out, ln.ring[ln.ringPos:]...)
+		out = append(out, ln.ring[:ln.ringPos]...)
+	} else {
+		out = append(out, ln.ring...)
+	}
+	return out
+}
+
+func (ln *line) holders() string {
+	var b strings.Builder
+	for p, s := range ln.states {
+		if s > 0 { // valid copies only (Invalid = 0)
+			fmt.Fprintf(&b, " %d:%s", p, core.State(s).Letter())
+		}
+	}
+	return b.String()
+}
+
+// Monitor is the runtime-verification sink. It implements obs.Sink and
+// must be consumed from a single goroutine (the Recorder's drainer, or
+// a replay loop); wrap it in obshttp.WatchSink for concurrent readers.
+type Monitor struct {
+	cfg Config
+
+	lines    map[lineKey]*line
+	lastKey  lineKey
+	lastLine *line
+
+	pending []pendEntry // direct-mapped by txid & (maxPending-1)
+
+	procProto []string // indexed by proc; "" = unknown
+
+	events, states, txs, truncated int64
+
+	total      int64
+	counts     map[countKey]int64
+	first      *Violation
+	violations []Violation
+}
+
+// New builds a monitor; zero Config fields take the defaults.
+func New(cfg Config) *Monitor {
+	if cfg.MaxLines <= 0 {
+		cfg.MaxLines = DefaultMaxLines
+	}
+	if cfg.ContextDepth <= 0 {
+		cfg.ContextDepth = DefaultContextDepth
+	}
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = DefaultMaxViolations
+	}
+	return &Monitor{
+		cfg:     cfg,
+		lines:   make(map[lineKey]*line),
+		pending: make([]pendEntry, maxPending),
+		counts:  make(map[countKey]int64),
+	}
+}
+
+// Consume implements obs.Sink.
+func (m *Monitor) Consume(e *obs.Event) {
+	m.events++
+	switch e.Kind {
+	case obs.KindState:
+		m.consumeState(e)
+	case obs.KindTx:
+		m.consumeTx(e)
+	case obs.KindEpoch:
+		m.reset()
+	case obs.KindAbort, obs.KindRecover, obs.KindCapture:
+		// Rare recovery-path events are kept as violation context. The
+		// chatty per-cycle kinds (blocked/update/intervene/evict) are
+		// deliberately not remembered: they restate information already
+		// carried by the surrounding state and tx events, and together
+		// they are over a third of the stream — dropping them keeps the
+		// monitor's share of a single-core run inside the overhead budget.
+		if ln := m.lookup(e.Bus, e.Addr, false); ln != nil {
+			ln.remember(e, m.cfg.ContextDepth)
+		}
+	}
+}
+
+// Flush implements obs.Sink.
+func (m *Monitor) Flush() error { return nil }
+
+// reset clears the per-line shadow at a system boundary (KindEpoch)
+// while keeping cumulative violation counters and records.
+func (m *Monitor) reset() {
+	// Reset lines in place instead of reallocating the map: sweeps and
+	// benchmarks replay the same address set epoch after epoch, so the
+	// shadow reaches a steady state with no per-epoch garbage (the
+	// context rings and states slices keep their capacity).
+	for _, ln := range m.lines {
+		ln.states = ln.states[:0]
+		ln.owners, ln.excl, ln.valid = 0, 0, 0
+		ln.txSnap, ln.ownersAtSnap, ln.ownerAtSnap = 0, 0, -1
+		ln.ring = ln.ring[:0]
+		ln.ringPos, ln.ringFull = 0, false
+	}
+	m.lastLine = nil
+	clear(m.pending)
+	clear(m.procProto)
+}
+
+func (m *Monitor) lookup(bus int, addr uint64, create bool) *line {
+	key := lineKey{bus, addr}
+	if m.lastLine != nil && m.lastKey == key {
+		return m.lastLine
+	}
+	ln := m.lines[key]
+	if ln == nil {
+		if !create {
+			return nil
+		}
+		if len(m.lines) >= m.cfg.MaxLines {
+			return nil
+		}
+		ln = &line{ownerAtSnap: -1}
+		m.lines[key] = ln
+	}
+	m.lastKey, m.lastLine = key, ln
+	return ln
+}
+
+func (m *Monitor) notePending(txid uint64, col int, ch bool) {
+	if txid == 0 {
+		return
+	}
+	m.pending[txid&(maxPending-1)] = pendEntry{txid: txid, col: int16(col), ch: ch}
+}
+
+func (m *Monitor) pendingFor(txid uint64) (txInfo, bool) {
+	if txid == 0 {
+		return txInfo{}, false
+	}
+	p := m.pending[txid&(maxPending-1)]
+	if p.txid != txid {
+		return txInfo{}, false
+	}
+	return txInfo{col: int(p.col), ch: p.ch}, true
+}
+
+func (m *Monitor) consumeTx(e *obs.Event) {
+	m.txs++
+	m.notePending(e.TxID, e.Col, e.CH)
+	ln := m.lookup(e.Bus, e.Addr, true)
+	if ln == nil {
+		m.truncated++
+		return
+	}
+	ln.remember(e, m.cfg.ContextDepth)
+	if e.TxID != 0 {
+		ln.snapshot(e.TxID)
+	}
+
+	// §3.1.4, operationally: memory supplies (and accepts) data exactly
+	// when no cache owns the line; an owner must intervene on reads and
+	// capture non-broadcast plain writes. Broadcast transfers (SL) and
+	// pushes carry their own data path, so only columns 5–7 reads and
+	// column 9 writes are constrained.
+	foreign := ln.foreignOwner(e.Proc)
+	switch {
+	case e.Op == "R":
+		if e.DI && !foreign {
+			m.reportTx(e, ln, "a cache intervened (DI) on a read of a line no other cache owned")
+		} else if !e.DI && foreign {
+			m.reportTx(e, ln, fmt.Sprintf(
+				"memory supplied a read while cache %d owned the line — memory must be invalid while a cache owns (stale data served)", ln.ownerAtSnap))
+		}
+	case e.Op == "W" && e.Col == 9:
+		if e.DI && !foreign {
+			m.reportTx(e, ln, "a cache captured (DI) a plain write to a line no other cache owned")
+		} else if !e.DI && foreign {
+			m.reportTx(e, ln, fmt.Sprintf(
+				"cache %d owned the line but did not capture a plain write (column 9) — memory and owner now disagree", ln.ownerAtSnap))
+		}
+	}
+}
+
+func (m *Monitor) consumeState(e *obs.Event) {
+	m.states++
+	if e.Proto != "" && e.Proc >= 0 {
+		for len(m.procProto) <= e.Proc {
+			m.procProto = append(m.procProto, "")
+		}
+		if m.procProto[e.Proc] != e.Proto {
+			m.procProto[e.Proc] = e.Proto
+		}
+	}
+	ln := m.lookup(e.Bus, e.Addr, true)
+	if ln == nil {
+		m.truncated++
+		return
+	}
+	ln.remember(e, m.cfg.ContextDepth)
+
+	from, errF := core.ParseState(e.From)
+	to, errT := core.ParseState(e.To)
+	if errF != nil || errT != nil {
+		m.report(InvLegalLocal, e, ln, fmt.Sprintf("malformed state letters %q→%q", e.From, e.To))
+		return
+	}
+
+	// Owner snapshot before this transaction's commits apply.
+	if e.TxID != 0 {
+		ln.snapshot(e.TxID)
+	}
+
+	// Trace integrity: the event's From must match the shadow.
+	if prev := ln.stateOf(e.Proc); prev >= 0 && core.State(prev) != from {
+		m.report(InvShadow, e, ln, fmt.Sprintf(
+			"shadow recorded %s for this copy but the event departs from %s — the stream skipped a transition",
+			core.State(prev).Letter(), from.Letter()))
+	}
+
+	// Action legality (Tables 1–2).
+	if inv, detail, ok := m.legal(e, from, to); !ok {
+		m.report(inv, e, ln, detail)
+	}
+
+	// Apply, then the structural §3.1 invariants.
+	ln.setState(e.Proc, to)
+	if to.OwnedCopy() && ln.owners > 1 {
+		m.report(InvSingleOwner, e, ln, fmt.Sprintf(
+			"%d caches own the line after this transition — §3.1.3 allows at most one", ln.owners))
+	}
+	if to.Valid() {
+		exclOthers := ln.excl
+		if to.ExclusiveCopy() {
+			exclOthers--
+		}
+		switch {
+		case to.ExclusiveCopy() && ln.valid > 1:
+			m.report(InvExclusivity, e, ln, fmt.Sprintf(
+				"copy became %s (exclusive) while %d cached copies exist — §3.1.2 requires it to be the only one",
+				to.Letter(), ln.valid))
+		case exclOthers > 0:
+			m.report(InvExclusivity, e, ln,
+				"copy became valid while another cache holds the line in an exclusive state (M/E)")
+		}
+	}
+}
+
+// snoopLegal checks a snooper-side transition against its Table 2
+// column (the snoop-* cause strings name the column consulted).
+func snoopLegal(ev core.BusEvent, from, to core.State) (Invariant, string, bool) {
+	mask := snoopNext[int(ev)][int(from)]
+	if !has(mask, to) {
+		return InvLegalSnoop, fmt.Sprintf(
+			"Table 2 permits a %s snooper on column %d to reach {%s}, not %s",
+			from.Letter(), ev.Column(), letters(mask), to.Letter()), false
+	}
+	return "", "", true
+}
+
+// legal checks one state transition against the class tables. The
+// cause dispatch is a single string switch (no map hash) because it
+// runs once per state event.
+func (m *Monitor) legal(e *obs.Event, from, to core.State) (Invariant, string, bool) {
+	switch e.Cause {
+	case "snoop-cache-read":
+		return snoopLegal(core.BusCacheRead, from, to)
+	case "snoop-cache-rfo":
+		return snoopLegal(core.BusCacheRFO, from, to)
+	case "snoop-read":
+		return snoopLegal(core.BusPlainRead, from, to)
+	case "snoop-cache-bcast-write":
+		return snoopLegal(core.BusCacheBroadcastWrite, from, to)
+	case "snoop-write":
+		return snoopLegal(core.BusPlainWrite, from, to)
+	case "snoop-bcast-write":
+		return snoopLegal(core.BusPlainBroadcastWrite, from, to)
+	case "fill":
+		if from != core.Invalid {
+			return InvLegalLocal, "a fill must start from Invalid", false
+		}
+		mask := fillCol5.union() | fillCol6.union()
+		info, pend := m.pendingFor(e.TxID)
+		if pend {
+			switch info.col {
+			case 5:
+				mask = fillCol5.resolve(info.ch, true)
+			case 6:
+				mask = fillCol6.resolve(info.ch, true)
+			}
+		}
+		if !has(mask, to) {
+			// The description is only built on the failure path: fills
+			// dominate the legal-transition stream and a Sprintf per
+			// clean fill is measurable allocator traffic.
+			desc := "a miss"
+			switch {
+			case pend && info.col == 5:
+				desc = fmt.Sprintf("a read miss (column 5, CH=%t)", info.ch)
+			case pend && info.col == 6:
+				desc = fmt.Sprintf("a read-for-ownership (column 6, CH=%t)", info.ch)
+			}
+			return InvLegalLocal, fmt.Sprintf(
+				"Table 1 permits %s to install {%s}, not %s", desc, letters(mask), to.Letter()), false
+		}
+	case "write-upgrade":
+		mask := upgradeNext[int(from)].union()
+		if info, ok := m.pendingFor(e.TxID); ok {
+			mask = upgradeNext[int(from)].resolve(info.ch, true)
+		}
+		if !has(mask, to) {
+			return InvLegalLocal, fmt.Sprintf(
+				"Table 1 permits an announced write from %s to reach {%s}, not %s",
+				from.Letter(), letters(mask), to.Letter()), false
+		}
+	case "silent-write", "write-hit":
+		if mask := silentWrite[int(from)]; !has(mask, to) {
+			return InvLegalLocal, fmt.Sprintf(
+				"Table 1 permits a silent write only from M/E (to {%s}); %s→%s announces nothing on the bus",
+				letters(mask), from.Letter(), to.Letter()), false
+		}
+	case "read-hit":
+		if mask := readHitNext[int(from)]; !has(mask, to) {
+			return InvLegalLocal, fmt.Sprintf(
+				"a read hit must not change the copy's state (%s→%s)", from.Letter(), to.Letter()), false
+		}
+	case "evict":
+		if mask := evictBus[int(from)]; !has(mask, to) {
+			return InvLegalLocal, fmt.Sprintf(
+				"Table 1's Flush from %s permits {%s}, not %s (a dirty eviction must write back)",
+				from.Letter(), letters(mask), to.Letter()), false
+		}
+	case "evict-clean":
+		if mask := evictSilent[int(from)]; !has(mask, to) {
+			return InvLegalLocal, fmt.Sprintf(
+				"Table 1 has no silent Flush from %s — discarding an owned line loses the only up-to-date copy",
+				from.Letter()), false
+		}
+	case "push":
+		if mask := pushNext[int(from)]; !has(mask, to) {
+			return InvLegalLocal, fmt.Sprintf(
+				"Table 1's Pass/Flush from %s permit {%s}, not %s",
+				from.Letter(), letters(mask), to.Letter()), false
+		}
+	case "bs-recovery":
+		if !from.OwnedCopy() {
+			return InvLegalSnoop, "only an owner (M/O) may assert BS and recover", false
+		}
+		if to.OwnedCopy() {
+			return InvLegalSnoop, "a BS recovery push must pass ownership back to memory", false
+		}
+	case "snoop-clean":
+		if to.OwnedCopy() {
+			return InvLegalSnoop, "after CmdClean no cache may own the line", false
+		}
+	case "absorb":
+		if to != core.Modified {
+			return InvLegalLocal, "absorbing a write-back must leave the bridge Modified", false
+		}
+	case "invalidate-held":
+		if to != core.Invalid {
+			return InvLegalLocal, "invalidate-held must leave the copy Invalid", false
+		}
+	default:
+		return InvLegalLocal, fmt.Sprintf("unrecognised transition cause %q", e.Cause), false
+	}
+	return "", "", true
+}
+
+func (m *Monitor) protoFor(e *obs.Event) string {
+	if e.Proto != "" {
+		return e.Proto
+	}
+	if e.Proc >= 0 && e.Proc < len(m.procProto) && m.procProto[e.Proc] != "" {
+		return m.procProto[e.Proc]
+	}
+	return "unknown"
+}
+
+func (m *Monitor) reportTx(e *obs.Event, ln *line, detail string) {
+	m.record(Violation{
+		Invariant: InvMemoryOwner, TS: e.TS, Bus: e.Bus, Proc: e.Proc,
+		Addr: e.Addr, Proto: m.protoFor(e), TxID: e.TxID,
+		Holders: ln.holders(), Detail: detail, Context: ln.context(),
+	})
+}
+
+func (m *Monitor) report(inv Invariant, e *obs.Event, ln *line, detail string) {
+	m.record(Violation{
+		Invariant: inv, TS: e.TS, Bus: e.Bus, Proc: e.Proc,
+		Addr: e.Addr, Proto: m.protoFor(e), TxID: e.TxID, Cause: e.Cause,
+		From: e.From, To: e.To,
+		Holders: ln.holders(), Detail: detail, Context: ln.context(),
+	})
+}
+
+func (m *Monitor) record(v Violation) {
+	m.total++
+	v.N = m.total
+	m.counts[countKey{v.Invariant, v.Proto}]++
+	if m.first == nil {
+		first := v
+		m.first = &first
+	}
+	if len(m.violations) < m.cfg.MaxViolations {
+		m.violations = append(m.violations, v)
+	}
+}
+
+// Total returns the number of violations detected so far.
+func (m *Monitor) Total() int64 { return m.total }
+
+// Counts snapshots the per-(invariant, protocol) counters, sorted by
+// invariant then protocol.
+func (m *Monitor) Counts() []Count {
+	out := make([]Count, 0, len(m.counts))
+	for k, n := range m.counts {
+		out = append(out, Count{Invariant: k.inv, Proto: k.proto, N: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Invariant != out[j].Invariant {
+			return out[i].Invariant < out[j].Invariant
+		}
+		return out[i].Proto < out[j].Proto
+	})
+	return out
+}
+
+// First returns a copy of the first violation (nil if clean).
+func (m *Monitor) First() *Violation {
+	if m.first == nil {
+		return nil
+	}
+	v := *m.first
+	return &v
+}
+
+// Violations returns a copy of the stored (bounded) violation records.
+func (m *Monitor) Violations() []Violation {
+	return append([]Violation(nil), m.violations...)
+}
+
+// Report snapshots the monitor.
+func (m *Monitor) Report() *Report {
+	r := &Report{
+		Events: m.events, States: m.states, Txs: m.txs,
+		Lines: len(m.lines), TruncatedEvents: m.truncated,
+		Total:       m.total,
+		ByInvariant: make(map[Invariant]int64),
+		Counts:      m.Counts(),
+		First:       m.First(),
+		Violations:  m.Violations(),
+	}
+	for k, n := range m.counts {
+		r.ByInvariant[k.inv] += n
+	}
+	return r
+}
+
+// Summary renders a one-screen text report: the verdict line, then
+// per-invariant counts.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	if r.Total == 0 {
+		fmt.Fprintf(&b, "clean: %d events (%d state transitions, %d transactions) across %d lines, 0 violations\n",
+			r.Events, r.States, r.Txs, r.Lines)
+	} else {
+		fmt.Fprintf(&b, "VIOLATIONS: %d across %d events (%d state transitions, %d transactions)\n",
+			r.Total, r.Events, r.States, r.Txs)
+		for _, inv := range Invariants {
+			if n := r.ByInvariant[inv]; n > 0 {
+				fmt.Fprintf(&b, "  %-28s %d\n", inv, n)
+			}
+		}
+	}
+	if r.TruncatedEvents > 0 {
+		fmt.Fprintf(&b, "  (%d events on lines beyond the %d-line cap were not checked)\n",
+			r.TruncatedEvents, DefaultMaxLines)
+	}
+	return b.String()
+}

@@ -14,6 +14,7 @@ import (
 	"futurebus/internal/bus"
 	"futurebus/internal/cache"
 	"futurebus/internal/check"
+	"futurebus/internal/faults"
 	"futurebus/internal/memory"
 	"futurebus/internal/obs"
 	"futurebus/internal/protocols"
@@ -43,6 +44,11 @@ type BoardSpec struct {
 	// with that many sub-sectors per tag (its data capacity stays
 	// CacheSets × CacheWays × SectorSubs × line size).
 	SectorSubs int
+	// Fault names an internal/faults wrapper to inject into this
+	// board's policy — a deliberate protocol bug for testing the
+	// runtime invariant monitor. Empty = correct policy. fbsim exposes
+	// it as the "protocol+fault" spec syntax.
+	Fault string
 }
 
 // Config assembles a System.
@@ -202,6 +208,12 @@ func New(cfg Config) (*System, error) {
 		})
 	}
 	sys := &System{Bus: b, Memory: mem, Obs: cfg.Obs}
+	if cfg.Obs != nil {
+		// Mark the system boundary on the stream: sweeps reuse one
+		// recorder across many systems, and stateful sinks (the runtime
+		// invariant monitor) reset their per-line shadow here.
+		cfg.Obs.Emit(obs.Event{TS: cfg.Obs.Clock(), Kind: obs.KindEpoch, Bus: cfg.ObsID, Proc: -1})
+	}
 	if cfg.Shadow {
 		sys.Shadow = check.NewShadow(lineSize)
 	}
@@ -218,6 +230,9 @@ func New(cfg Config) (*System, error) {
 		default:
 			p, err := protocols.New(spec.Protocol)
 			if err != nil {
+				return nil, fmt.Errorf("sim: board %d: %w", i, err)
+			}
+			if p, err = faults.Wrap(spec.Fault, p); err != nil {
 				return nil, fmt.Errorf("sim: board %d: %w", i, err)
 			}
 			if spec.SectorSubs > 0 {

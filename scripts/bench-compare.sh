@@ -3,7 +3,9 @@
 # BENCH_<date>.json baseline and warn (exit 0 either way — timing on
 # shared CI hardware is advisory) about per-benchmark ns/op regressions
 # past a threshold. Also reports the observability recording-overhead
-# ratio (BenchmarkObsRecordingOverhead fbt vs off).
+# ratio (BenchmarkObsRecordingOverhead fbt vs off) and the runtime
+# verification ratio (BenchmarkWatchSinkOverhead record+watch vs
+# record, gated at 10%).
 #
 # Usage:
 #   scripts/bench-compare.sh                 # run suite, compare vs latest BENCH_*.json
@@ -69,11 +71,10 @@ FNR == NR {
 }
 {
 	n = name($0)
-	if (n != "") thru[n] = simms($0)
+	if (n != "") { thru[n] = simms($0); cur[n] = val($0) }
 	if (n == "" || !(n in base)) next
 	nv = val($0); ov = base[n]
 	seen[n] = 1
-	cur[n] = nv
 	if (ov > 0 && nv > ov * (1 + pct / 100)) {
 		warned++
 		printf "WARN  %-45s %12.0f -> %12.0f ns/op (%+.1f%%)\n", n, ov, nv, (nv / ov - 1) * 100
@@ -87,6 +88,13 @@ END {
 		printf "recording overhead: fbt/off = %.2fx (+%.1f%% wall-clock)\n", fbt / off, (fbt / off - 1) * 100
 		if (fbt > off * 1.05)
 			printf "WARN  .fbt recording costs more than 5%% over an unobserved run\n"
+	}
+	rec = cur["BenchmarkWatchSinkOverhead/record"]
+	mon = cur["BenchmarkWatchSinkOverhead/record+watch"]
+	if (rec > 0 && mon > 0) {
+		printf "watch overhead: record+watch/record = %.2fx (%+.1f%% wall-clock)\n", mon / rec, (mon / rec - 1) * 100
+		if (mon > rec * 1.10)
+			printf "WARN  live invariant monitoring costs more than 10%% over a record-only run\n"
 	}
 	s1 = thru["BenchmarkShardedFabric/shards1"]
 	s8 = thru["BenchmarkShardedFabric/shards8"]
