@@ -21,6 +21,7 @@ import (
 	"futurebus/internal/memory"
 	"futurebus/internal/obs"
 	"futurebus/internal/obs/obshttp"
+	"futurebus/internal/obs/perf"
 	"futurebus/internal/obs/watch"
 	"futurebus/internal/protocols"
 	"futurebus/internal/sim"
@@ -653,6 +654,58 @@ func BenchmarkWatchSinkOverhead(b *testing.B) {
 		}
 		if rep.Total != 0 {
 			b.Fatalf("clean benchmark run flagged %d violations; first: %v", rep.Total, rep.First)
+		}
+	})
+}
+
+// BenchmarkPerfSinkOverhead measures what saturation telemetry adds on
+// top of recording: "record" is the plain RecordSink configuration,
+// "record+perf" attaches an obshttp.PerfSink beside it the way fbsim
+// -perf does (nil registry: the sink's own histograms and queue
+// reconstruction, no exposition cost). bench-compare.sh gates the
+// ratio at 10% — a perf-monitored run must stay within a tenth of a
+// record-only one.
+func BenchmarkPerfSinkOverhead(b *testing.B) {
+	const refs = 2000
+	cfg := sim.Homogeneous("moesi", 4)
+	run := func(b *testing.B, rec *obs.Recorder) {
+		b.Helper()
+		c := cfg
+		c.Obs = rec
+		sys, err := sim.New(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := sim.Engine{Sys: sys, Gens: abGens(0.2, 0.3)(sys)}
+		if _, err := eng.Run(refs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("record", func(b *testing.B) {
+		rec := obs.New(obs.NewRecordSink(io.Discard, obs.TraceMeta{Fingerprint: "bench"}))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, rec)
+		}
+		b.StopTimer()
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("record+perf", func(b *testing.B) {
+		sink := obshttp.NewPerfSink(nil)
+		rec := obs.New(obs.NewRecordSink(io.Discard, obs.TraceMeta{Fingerprint: "bench"}), sink)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, rec)
+		}
+		b.StopTimer()
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+		snap := sink.Snapshot()
+		if snap.Events == 0 || snap.Latency[perf.MetricTenure].Count == 0 {
+			b.Fatal("perf sink saw no events")
 		}
 	})
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"testing"
+)
+
+func defaultThresholds() thresholds {
+	return thresholds{rel: 0.10, absNS: 1000, absAllocs: 0.5, absDepth: 2}
+}
+
+func regressedNames(deltas []delta, rel float64) []string {
+	var out []string
+	for _, d := range deltas {
+		if d.regressed(rel) {
+			out = append(out, d.name)
+		}
+	}
+	return out
+}
+
+// A report diffed against itself must never regress — the CI self-diff
+// gate depends on this being exactly zero.
+func TestCompareSelfDiffClean(t *testing.T) {
+	rep, err := readReport("testdata/base.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := defaultThresholds()
+	if names := regressedNames(compareReports(rep, rep, th), th.rel); len(names) != 0 {
+		t.Fatalf("self-diff regressed: %v", names)
+	}
+}
+
+// The injected-regression fixture doubles the arb-wait p99 and triples
+// allocated objects per reference; both must be flagged.
+func TestCompareInjectedRegression(t *testing.T) {
+	base, err := readReport("testdata/base.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := readReport("testdata/regress.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := defaultThresholds()
+	names := regressedNames(compareReports(base, bad, th), th.rel)
+	want := map[string]bool{"perf.arb_wait_ns.p99": false, "host.alloc_objects_per_ref": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		} else {
+			t.Errorf("unexpected regression %s", n)
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("regression %s not flagged", n)
+		}
+	}
+}
+
+// The gate requires BOTH the relative and the absolute threshold to be
+// exceeded: a large relative jump on a tiny baseline (under the
+// absolute slack) and a small relative drift on a large baseline must
+// both pass.
+func TestDeltaDoubleCondition(t *testing.T) {
+	cases := []struct {
+		name string
+		d    delta
+		rel  float64
+		want bool
+	}{
+		{"tiny-baseline-big-rel", delta{"m", 10, 100, 1000, true}, 0.10, false},
+		{"big-baseline-small-rel", delta{"m", 1_000_000, 1_040_000, 1000, true}, 0.10, false},
+		{"both-exceeded", delta{"m", 10_000, 20_000, 1000, true}, 0.10, true},
+		{"advisory-never-gates", delta{"m", 10_000, 90_000, 0, false}, 0.10, false},
+		{"zero-baseline-above-abs", delta{"m", 0, 5_000, 1000, true}, 0.10, true},
+	}
+	for _, c := range cases {
+		if got := c.d.regressed(c.rel); got != c.want {
+			t.Errorf("%s: regressed = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// Wall-clock metrics must be present but advisory: they never gate.
+func TestCompareWallClockAdvisory(t *testing.T) {
+	base, err := readReport("testdata/base.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := defaultThresholds()
+	for _, d := range compareReports(base, base, th) {
+		if (d.name == "host.wall_ns" || d.name == "host.gc_pause_total_ns") && d.gate {
+			t.Errorf("%s must be advisory", d.name)
+		}
+	}
+}
+
+func TestReadReportRejectsMissingSim(t *testing.T) {
+	if _, err := readReport("testdata/nonexistent.json"); err == nil {
+		t.Error("missing file: want error")
+	}
+}

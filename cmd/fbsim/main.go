@@ -21,6 +21,7 @@ import (
 	"futurebus/internal/faults"
 	"futurebus/internal/obs"
 	"futurebus/internal/obs/obshttp"
+	"futurebus/internal/obs/perf"
 	"futurebus/internal/obs/watch"
 	"futurebus/internal/sim"
 	"futurebus/internal/workload"
@@ -51,8 +52,9 @@ func main() {
 	recordOut := flag.String("record-out", "", "write the full event stream as a compact binary .fbt trace (analyze offline with fbcausal)")
 	metricsJSON := flag.String("metrics-json", "", "write the run metrics as JSON to this file ('-' = stdout)")
 	hist := flag.Bool("hist", false, "print p50/p95/p99 latency/stall/retry histograms")
+	perfFlag := flag.Bool("perf", false, "collect saturation telemetry (arb-wait/tenure/retry/mem-service quantiles, arbitration queue depths) and print the report")
 	audit := flag.Uint64("audit", 0, "print the event history of this line address after the run (0 = off)")
-	serveAddr := flag.String("serve", "", "serve live observability on this address (/metrics, /healthz, /events, /slow, /causal, /coherence, /debug/pprof)")
+	serveAddr := flag.String("serve", "", "serve live observability on this address ("+obshttp.EndpointList()+")")
 	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the run finishes")
 	flag.Parse()
 
@@ -100,6 +102,12 @@ func main() {
 	}
 	if *hist {
 		sinks = append(sinks, obs.NewHistogramSink())
+	}
+	if *perfFlag && *serveAddr == "" {
+		// Served runs get their perf sink from the obshttp service (which
+		// also exports the histograms on /metrics and the /perf document);
+		// a standalone -perf run attaches the bare sink.
+		sinks = append(sinks, perf.NewSink(0))
 	}
 	var auditSink *obs.LineAuditSink
 	if *audit != 0 {
@@ -149,7 +157,7 @@ func main() {
 		sys.RegisterLiveGauges(svc.Registry, sim.DefaultHitLatency)
 		srv, err = svc.Serve(*serveAddr)
 		fail(err)
-		fmt.Fprintf(os.Stderr, "fbsim: serving observability on %s (/metrics /healthz /events /slow /causal /coherence /debug/pprof)\n", srv.URL())
+		fmt.Fprintf(os.Stderr, "fbsim: serving observability on %s (%s)\n", srv.URL(), obshttp.EndpointList())
 	}
 
 	if *watchLine != 0 {
@@ -264,6 +272,11 @@ func main() {
 		if *hist {
 			if h := obs.FindHistogram(rec); h != nil {
 				fmt.Fprintf(sum, "latency histograms:\n%s", h.Render())
+			}
+		}
+		if *perfFlag {
+			if p := perf.FindSink(rec); p != nil {
+				fmt.Fprintf(sum, "saturation telemetry:\n%s", p.Snapshot().Render())
 			}
 		}
 		if auditSink != nil {

@@ -34,8 +34,9 @@ func main() {
 	metricsJSON := flag.String("metrics-json", "", "write the reports as JSON to this file ('-' = stdout)")
 	recordOut := flag.String("record-out", "", "write the sweep's full event stream as a compact binary .fbt trace (analyze offline with fbcausal)")
 	hist := flag.Bool("hist", false, "print sweep-wide p50/p95/p99 latency/stall/retry histograms")
+	perfFlag := flag.Bool("perf", false, "collect per-run saturation telemetry; P1 gains the p99arb and peakQ columns")
 	watchFlag := flag.Bool("watch", false, "run the invariant monitor over every system the sweep builds; exit 1 on any violation")
-	serveAddr := flag.String("serve", "", "serve live observability on this address (/metrics, /healthz, /events, /slow, /causal, /coherence, /debug/pprof)")
+	serveAddr := flag.String("serve", "", "serve live observability on this address ("+obshttp.EndpointList()+")")
 	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the sweep finishes")
 	flag.Parse()
 
@@ -75,7 +76,7 @@ func main() {
 		var err error
 		srv, err = svc.Serve(*serveAddr)
 		fail(err)
-		fmt.Fprintf(os.Stderr, "fbsweep: serving observability on %s (/metrics /healthz /events /slow /causal /coherence /debug/pprof)\n", srv.URL())
+		fmt.Fprintf(os.Stderr, "fbsweep: serving observability on %s (%s)\n", srv.URL(), obshttp.EndpointList())
 	}
 	// Each system the sweep builds emits a KindEpoch marker, so one
 	// monitor can watch the whole battery without carrying shadow state
@@ -93,7 +94,7 @@ func main() {
 		svc.ObserveRecorder(rec)
 	}
 
-	opts := sim.ExperimentOpts{RefsPerProc: *refs, Seed: *seed, Obs: rec, Shards: *shards}
+	opts := sim.ExperimentOpts{RefsPerProc: *refs, Seed: *seed, Obs: rec, Shards: *shards, Perf: *perfFlag}
 
 	// Experiments are independent and internally deterministic, so the
 	// full battery fans out over a bounded worker pool; reports come

@@ -96,3 +96,9 @@ func (f *fifoMutex) pending() uint64 {
 	defer f.mu.Unlock()
 	return f.next - f.serving
 }
+
+// Pending returns the arbitration queue occupancy right now: the
+// current bus master plus queued contenders (0 when the bus is idle).
+// Safe from any goroutine; the live telemetry gauges poll it at scrape
+// time rather than making the hot path publish a sample per grant.
+func (a *Arbiter) Pending() int { return int(a.mu.pending()) }

@@ -312,6 +312,12 @@ func (b *Bus) Acquire(Addr) {
 // bus waits (KindBlocked) to the occupying transaction.
 func (b *Bus) LastTxID() uint64 { return b.arb.lastTx.Load() }
 
+// ArbQueueDepth returns the instantaneous arbitration queue occupancy
+// of this bus's arbiter — the current master plus queued contenders, 0
+// when idle. Safe from any goroutine; the live gauges
+// (futurebus_arb_queue_depth) poll it at scrape time.
+func (b *Bus) ArbQueueDepth() int { return b.arb.Pending() }
+
 // Release returns bus mastership. The address must be the one passed
 // to the matching Acquire (ignored on a single bus).
 func (b *Bus) Release(Addr) {

@@ -38,6 +38,24 @@ func (h *Histogram) Observe(v int64) {
 // Count returns the number of samples.
 func (h *Histogram) Count() int64 { return h.n }
 
+// Sum returns the exact sample sum.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Buckets returns the log-bucket counts up to (and including) the
+// highest non-empty bucket: bucket i holds samples of bit length i,
+// i.e. values in [2^(i-1), 2^i-1] (bucket 0 holds exactly 0). The
+// obshttp registry renders these as a cumulative Prometheus histogram
+// with le = 2^i - 1.
+func (h *Histogram) Buckets() []int64 {
+	top := -1
+	for i, c := range h.counts {
+		if c != 0 {
+			top = i
+		}
+	}
+	return append([]int64(nil), h.counts[:top+1]...)
+}
+
 // Mean returns the exact sample mean.
 func (h *Histogram) Mean() float64 {
 	if h.n == 0 {
@@ -74,14 +92,19 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max
 }
 
-// Summary is the fixed-quantile digest of a Histogram.
+// Summary is the fixed-quantile digest of a Histogram. P90 and P999
+// bracket the P95/P99 pair the original sinks reported: the saturation
+// telemetry (internal/obs/perf) reads tail latency at p999, which a
+// log-bucketed histogram resolves as cheaply as the median.
 type Summary struct {
 	Count int64   `json:"count"`
 	Mean  float64 `json:"mean"`
 	Min   int64   `json:"min"`
 	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
 	P95   int64   `json:"p95"`
 	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
 	Max   int64   `json:"max"`
 }
 
@@ -92,15 +115,17 @@ func (h *Histogram) Summary() Summary {
 		Mean:  h.Mean(),
 		Min:   h.min,
 		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
 		Max:   h.max,
 	}
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.1f min=%d p50=%d p95=%d p99=%d max=%d",
-		s.Count, s.Mean, s.Min, s.P50, s.P95, s.P99, s.Max)
+	return fmt.Sprintf("n=%d mean=%.1f min=%d p50=%d p90=%d p95=%d p99=%d p999=%d max=%d",
+		s.Count, s.Mean, s.Min, s.P50, s.P90, s.P95, s.P99, s.P999, s.Max)
 }
 
 // Histogram metric names produced by HistogramSink.

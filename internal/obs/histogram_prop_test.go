@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomHistogram fills a histogram with a reproducible random sample
+// set drawn from mixed magnitudes (log-bucketed data is only
+// interesting when the samples span buckets).
+func randomHistogram(r *rand.Rand, n int) (*Histogram, []int64) {
+	h := &Histogram{}
+	samples := make([]int64, n)
+	for i := range samples {
+		v := r.Int63n(1 << uint(1+r.Intn(40)))
+		samples[i] = v
+		h.Observe(v)
+	}
+	return h, samples
+}
+
+// Quantile must be monotone non-decreasing in q: a higher quantile can
+// never report a smaller latency.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(1986))
+	qs := []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for trial := 0; trial < 50; trial++ {
+		h, _ := randomHistogram(r, 1+r.Intn(2000))
+		prev := int64(-1)
+		for _, q := range qs {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("trial %d: Quantile(%g) = %d < previous %d", trial, q, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// Every quantile is bounded by the observed min and max: the digest
+// can be coarse (one power of two) but never invents values outside
+// the sample range.
+func TestHistogramQuantileBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		h, samples := randomHistogram(r, 1+r.Intn(2000))
+		min, max := samples[0], samples[0]
+		for _, v := range samples {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+			v := h.Quantile(q)
+			if v > max {
+				t.Fatalf("trial %d: Quantile(%g) = %d > max %d", trial, q, v, max)
+			}
+			if v < 0 {
+				t.Fatalf("trial %d: Quantile(%g) = %d < 0", trial, q, v)
+			}
+		}
+		// The top quantile must reach the max exactly (the last bucket's
+		// upper bound is clamped to the observed max).
+		if got := h.Quantile(1); got != max {
+			t.Fatalf("trial %d: Quantile(1) = %d, want max %d", trial, got, max)
+		}
+	}
+}
+
+// Summary must agree with the exact accumulators: Count, Sum, Mean,
+// Min, Max, and each quantile field with its Quantile call.
+func TestHistogramSummaryConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		h, samples := randomHistogram(r, 1+r.Intn(2000))
+		var sum int64
+		min, max := samples[0], samples[0]
+		for _, v := range samples {
+			sum += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		s := h.Summary()
+		if s.Count != int64(len(samples)) {
+			t.Fatalf("Count = %d, want %d", s.Count, len(samples))
+		}
+		if h.Sum() != sum {
+			t.Fatalf("Sum = %d, want %d", h.Sum(), sum)
+		}
+		if want := float64(sum) / float64(len(samples)); s.Mean != want {
+			t.Fatalf("Mean = %g, want %g", s.Mean, want)
+		}
+		if s.Min != min || s.Max != max {
+			t.Fatalf("Min/Max = %d/%d, want %d/%d", s.Min, s.Max, min, max)
+		}
+		for _, c := range []struct {
+			field int64
+			q     float64
+		}{{s.P50, 0.50}, {s.P90, 0.90}, {s.P95, 0.95}, {s.P99, 0.99}, {s.P999, 0.999}} {
+			if c.field != h.Quantile(c.q) {
+				t.Fatalf("Summary p%g = %d, Quantile = %d", c.q*100, c.field, h.Quantile(c.q))
+			}
+		}
+	}
+}
+
+// Buckets must partition the samples: counts sum to Count, and each
+// sample lands in the bucket of its bit length.
+func TestHistogramBucketsPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		h, _ := randomHistogram(r, 1+r.Intn(500))
+		var total int64
+		for _, c := range h.Buckets() {
+			total += c
+		}
+		if total != h.Count() {
+			t.Fatalf("bucket counts sum to %d, Count = %d", total, h.Count())
+		}
+	}
+	// Boundary values land in the expected buckets: 0 in bucket 0,
+	// 2^i-1 and 2^(i-1) in bucket i.
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(7)
+	h.Observe(8)
+	b := h.Buckets()
+	want := []int64{1, 1, 0, 1, 1} // 0 → b0, 1 → b1, 7 → b3, 8 → b4
+	if len(b) != len(want) {
+		t.Fatalf("buckets = %v, want %v", b, want)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", b, want)
+		}
+	}
+}
+
+// Negative samples clamp to zero rather than corrupting the digest.
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	s := h.Summary()
+	if s.Min != 0 || h.Quantile(1) != 0 || h.Sum() != 0 {
+		t.Errorf("negative sample not clamped: %+v sum=%d", s, h.Sum())
+	}
+}

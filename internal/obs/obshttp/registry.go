@@ -9,7 +9,9 @@
 // (the text format is a page of code) rather than depending on the
 // Prometheus client library: the simulator's metric needs are atomic
 // counters, gauge callbacks, and the log-bucketed obs.Histogram
-// re-exposed as a summary with p50/p95/p99 quantiles.
+// re-exposed either as a summary (p50/p90/p95/p99/p999 quantiles) or
+// as a native cumulative histogram (_bucket/_sum/_count) so scrapers
+// can aggregate and compute quantiles server-side.
 package obshttp
 
 import (
@@ -61,6 +63,38 @@ func (s *SummaryMetric) Summary() obs.Summary {
 	return s.h.Summary()
 }
 
+// HistogramMetric wraps an obs.Histogram as a native Prometheus
+// histogram: cumulative _bucket{le="…"} series plus _sum and _count.
+// Unlike SummaryMetric's pre-digested quantiles, the buckets let a
+// scraper aggregate across instances and compute any quantile with
+// histogram_quantile(). Bucket boundaries are the log buckets of
+// obs.Histogram: le = 2^i − 1 for each non-empty power-of-two bucket.
+type HistogramMetric struct {
+	mu sync.Mutex
+	h  obs.Histogram
+}
+
+// Observe records one sample.
+func (m *HistogramMetric) Observe(v int64) {
+	m.mu.Lock()
+	m.h.Observe(v)
+	m.mu.Unlock()
+}
+
+// snapshot copies the bucket counts, sum and count under the lock.
+func (m *HistogramMetric) snapshot() (buckets []int64, sum, count int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.h.Buckets(), m.h.Sum(), m.h.Count()
+}
+
+// Summary digests the distribution (the /perf text view reuses it).
+func (m *HistogramMetric) Summary() obs.Summary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.h.Summary()
+}
+
 // series is one labelled time series within a family.
 type series struct {
 	labels  string // rendered label set: `phase="arb"` (no braces), "" = unlabelled
@@ -68,12 +102,13 @@ type series struct {
 	ctrFunc func() int64
 	gauge   func() float64
 	sum     *SummaryMetric
+	histo   *HistogramMetric
 }
 
 // family is one metric name with its TYPE/HELP header and series.
 type family struct {
 	name string
-	typ  string // "counter", "gauge", "summary"
+	typ  string // "counter", "gauge", "summary", "histogram"
 	help string
 	ser  []*series
 }
@@ -158,6 +193,17 @@ func (r *Registry) Summary(name, labels, help string) *SummaryMetric {
 	return s.sum
 }
 
+// Histogram registers (or finds) a native histogram metric.
+func (r *Registry) Histogram(name, labels, help string) *HistogramMetric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.familyLocked(name, "histogram", help).seriesLocked(labels)
+	if !ok {
+		s.histo = &HistogramMetric{}
+	}
+	return s.histo
+}
+
 // WritePrometheus renders every family in the text exposition format,
 // sorted by family name for stable scrapes.
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -190,6 +236,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s %s\n", renderName(f.name, s.labels), formatFloat(s.gauge()))
 			case s.sum != nil:
 				writeSummary(&b, f.name, s.labels, s.sum.Summary())
+			case s.histo != nil:
+				buckets, sum, count := s.histo.snapshot()
+				writeHistogram(&b, f.name, s.labels, buckets, sum, count)
 			}
 		}
 	}
@@ -197,13 +246,34 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return err
 }
 
-// writeSummary renders one summary series: the p50/p95/p99 quantiles
-// (upper bounds of the log buckets) plus _sum and _count.
+// writeHistogram renders one native-histogram series: the cumulative
+// _bucket counts with le = 2^i − 1 (the log-bucket upper bounds), the
+// mandatory le="+Inf" terminator, then _sum and _count.
+func writeHistogram(b *strings.Builder, name, labels string, buckets []int64, sum, count int64) {
+	withQ := func(extra string) string {
+		if labels == "" {
+			return extra
+		}
+		return labels + "," + extra
+	}
+	var cum int64
+	for i, c := range buckets {
+		cum += c
+		le := int64(1)<<uint(i) - 1
+		fmt.Fprintf(b, "%s %d\n", renderName(name+"_bucket", withQ(fmt.Sprintf("le=%q", fmt.Sprint(le)))), cum)
+	}
+	fmt.Fprintf(b, "%s %d\n", renderName(name+"_bucket", withQ(`le="+Inf"`)), count)
+	fmt.Fprintf(b, "%s %d\n", renderName(name+"_sum", labels), sum)
+	fmt.Fprintf(b, "%s %d\n", renderName(name+"_count", labels), count)
+}
+
+// writeSummary renders one summary series: the p50/p90/p95/p99/p999
+// quantiles (upper bounds of the log buckets) plus _sum and _count.
 func writeSummary(b *strings.Builder, name, labels string, s obs.Summary) {
 	for _, q := range [...]struct {
 		q string
 		v int64
-	}{{"0.5", s.P50}, {"0.95", s.P95}, {"0.99", s.P99}} {
+	}{{"0.5", s.P50}, {"0.9", s.P90}, {"0.95", s.P95}, {"0.99", s.P99}, {"0.999", s.P999}} {
 		ql := fmt.Sprintf("quantile=%q", q.q)
 		if labels != "" {
 			ql = labels + "," + ql

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"time"
 
@@ -15,16 +16,7 @@ import (
 // Server is the embedded observability endpoint. It owns its own mux
 // (the global http.DefaultServeMux stays untouched so two servers, or
 // a test harness, can coexist) and its own listener, so ":0" works and
-// Addr() reports the bound port.
-//
-//	/metrics     Prometheus text exposition of the registry
-//	/healthz     liveness ("ok\n", 200)
-//	/events      SSE tail of the obs event stream (shed when slow)
-//	/slow        top-K slowest transactions as JSON
-//	/causal      critical-path analysis of the run so far as JSON
-//	/coherence   per-protocol MOESI transition analytics as JSON
-//	/violations  runtime invariant monitor report as JSON
-//	/debug/pprof Go runtime profiles
+// Addr() reports the bound port. The route table is Endpoints().
 type Server struct {
 	reg       *Registry
 	stream    *EventStream
@@ -32,6 +24,7 @@ type Server struct {
 	causal    *CausalSink
 	coherence *CoherenceSink
 	watch     *WatchSink
+	perf      *PerfSink
 
 	http *http.Server
 	ln   net.Listener
@@ -42,6 +35,62 @@ type Server struct {
 	closeErr  error
 }
 
+// Endpoint is one route of the observability server.
+type Endpoint struct {
+	Path string
+	Help string
+}
+
+// endpointTable is the single source of truth for the server's routes:
+// NewServer builds its mux from it and EndpointList renders the banner
+// fbsim/fbsweep print, so the two cannot drift (TestEndpointsMatchMux
+// asserts the mux serves every entry). The extra /debug/pprof/*
+// subpaths hang off the /debug/pprof/ prefix and are registered
+// alongside it.
+var endpointTable = []struct {
+	Endpoint
+	handler func(*Server) http.HandlerFunc
+}{
+	{Endpoint{"/metrics", "Prometheus text exposition of the registry"},
+		func(s *Server) http.HandlerFunc { return s.handleMetrics }},
+	{Endpoint{"/healthz", `liveness ("ok\n", 200)`},
+		func(s *Server) http.HandlerFunc { return s.handleHealthz }},
+	{Endpoint{"/events", "SSE tail of the obs event stream (shed when slow)"},
+		func(s *Server) http.HandlerFunc { return s.handleEvents }},
+	{Endpoint{"/slow", "top-K slowest transactions as JSON"},
+		func(s *Server) http.HandlerFunc { return s.handleSlow }},
+	{Endpoint{"/causal", "critical-path analysis of the run so far as JSON"},
+		func(s *Server) http.HandlerFunc { return s.handleCausal }},
+	{Endpoint{"/coherence", "per-protocol MOESI transition analytics as JSON"},
+		func(s *Server) http.HandlerFunc { return s.handleCoherence }},
+	{Endpoint{"/violations", "runtime invariant monitor report as JSON"},
+		func(s *Server) http.HandlerFunc { return s.handleViolations }},
+	{Endpoint{"/perf", "saturation telemetry (queue depths, latency quantiles) as JSON"},
+		func(s *Server) http.HandlerFunc { return s.handlePerf }},
+	{Endpoint{"/debug/pprof/", "Go runtime profiles"},
+		func(*Server) http.HandlerFunc { return pprof.Index }},
+}
+
+// Endpoints returns the server's route table in serving order.
+func Endpoints() []Endpoint {
+	out := make([]Endpoint, len(endpointTable))
+	for i, e := range endpointTable {
+		out[i] = e.Endpoint
+	}
+	return out
+}
+
+// EndpointList renders the endpoint paths as one space-separated line;
+// the fbsim/fbsweep -serve flag help and startup banner derive from it
+// so they always advertise exactly what the mux serves.
+func EndpointList() string {
+	parts := make([]string, len(endpointTable))
+	for i, e := range endpointTable {
+		parts[i] = e.Path
+	}
+	return strings.Join(parts, " ")
+}
+
 // NewServer builds a server over the given registry, stream and
 // attribution sink; any of them may be nil, in which case the matching
 // endpoint degrades gracefully (404 for /events without a stream,
@@ -49,14 +98,9 @@ type Server struct {
 func NewServer(reg *Registry, stream *EventStream, attr *obs.AttributionSink) *Server {
 	s := &Server{reg: reg, stream: stream, attr: attr, done: make(chan struct{})}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/events", s.handleEvents)
-	mux.HandleFunc("/slow", s.handleSlow)
-	mux.HandleFunc("/causal", s.handleCausal)
-	mux.HandleFunc("/coherence", s.handleCoherence)
-	mux.HandleFunc("/violations", s.handleViolations)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	for _, e := range endpointTable {
+		mux.HandleFunc(e.Path, e.handler(s))
+	}
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
@@ -178,6 +222,21 @@ func (s *Server) handleViolations(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(s.watch.Report())
+}
+
+// handlePerf snapshots the saturation telemetry — per-shard
+// arbitration queue-depth timelines plus log-bucketed latency
+// distributions with quantiles — as JSON. Like /causal, the snapshot
+// is built per request on the handler goroutine.
+func (s *Server) handlePerf(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.perf == nil {
+		fmt.Fprintln(w, "{}")
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.perf.Snapshot())
 }
 
 // handleEvents streams the event tail as server-sent events: the

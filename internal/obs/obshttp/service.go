@@ -48,6 +48,10 @@ type Service struct {
 	Attr      *obs.AttributionSink
 	Causal    *CausalSink
 	Coherence *CoherenceSink
+	// Perf is the saturation-telemetry sink: /perf serves its snapshot
+	// and the registry carries its native latency histograms and
+	// per-shard queue gauges.
+	Perf *PerfSink
 	// Watch is the runtime invariant monitor (nil unless the service
 	// was built with NewServiceWatched or the caller set one).
 	Watch *WatchSink
@@ -66,6 +70,7 @@ func NewService(topK int) *Service {
 		Coherence: &CoherenceSink{},
 	}
 	s.metrics = newMetricsSink(s.Registry)
+	s.Perf = NewPerfSink(s.Registry)
 	s.Registry.CounterFunc(MetricCoherenceOwnershipMoves, "",
 		"Line ownership migrating directly from one cache to another.", func() int64 {
 			return s.Coherence.Totals().OwnershipMoves
@@ -112,7 +117,7 @@ func (s *Service) EnableWatch(cfg watch.Config) *WatchSink {
 // Sinks returns the obs.Sinks the service needs attached to the
 // Recorder, in the order they should run.
 func (s *Service) Sinks() []obs.Sink {
-	sinks := []obs.Sink{s.metrics, s.Attr, s.Causal, s.Coherence}
+	sinks := []obs.Sink{s.metrics, s.Attr, s.Causal, s.Coherence, s.Perf}
 	if s.Watch != nil {
 		sinks = append(sinks, s.Watch)
 	}
@@ -138,6 +143,7 @@ func (s *Service) Serve(addr string) (*Server, error) {
 	srv.causal = s.Causal
 	srv.coherence = s.Coherence
 	srv.watch = s.Watch
+	srv.perf = s.Perf
 	if err := srv.Listen(addr); err != nil {
 		return nil, err
 	}

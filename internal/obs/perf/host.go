@@ -1,0 +1,171 @@
+package perf
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"time"
+)
+
+// HostStats is a point-in-time read of the Go runtime's own cost
+// counters — what the *host* pays to run the simulation, as opposed to
+// the simulated time every other obs layer explains. Cumulative fields
+// (allocations, GC) are process-lifetime totals; diff two reads to cost
+// a run.
+type HostStats struct {
+	// GoVersion, GOMAXPROCS and NumCPU describe the host environment.
+	GoVersion  string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"cpus"`
+	// Goroutines is the live goroutine count.
+	Goroutines int64 `json:"goroutines"`
+	// AllocBytes / AllocObjects are cumulative heap allocations.
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	AllocObjects uint64 `json:"alloc_objects"`
+	// HeapLiveBytes is the live heap at the time of the read.
+	HeapLiveBytes uint64 `json:"heap_live_bytes"`
+	// GCCycles is the cumulative completed GC cycle count.
+	GCCycles uint64 `json:"gc_cycles"`
+	// GCPauseTotalNS is the cumulative stop-the-world pause time.
+	GCPauseTotalNS uint64 `json:"gc_pause_total_ns"`
+}
+
+// hostSamples are the runtime/metrics series ReadHostStats pulls.
+var hostSamples = []string{
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/allocs:objects",
+	"/gc/heap/objects:objects",
+	"/gc/cycles/total:gc-cycles",
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+}
+
+// ReadHostStats samples the runtime. It prefers runtime/metrics and
+// falls back to MemStats for series a runtime may not export; the GC
+// pause total always comes from MemStats (runtime/metrics only exposes
+// pauses as a float histogram).
+func ReadHostStats() HostStats {
+	s := HostStats{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Goroutines: int64(runtime.NumGoroutine()),
+	}
+	samples := make([]metrics.Sample, len(hostSamples))
+	for i, name := range hostSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	read := func(name string) (uint64, bool) {
+		for i := range samples {
+			if samples[i].Name == name && samples[i].Value.Kind() == metrics.KindUint64 {
+				return samples[i].Value.Uint64(), true
+			}
+		}
+		return 0, false
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if v, ok := read("/gc/heap/allocs:bytes"); ok {
+		s.AllocBytes = v
+	} else {
+		s.AllocBytes = ms.TotalAlloc
+	}
+	if v, ok := read("/gc/heap/allocs:objects"); ok {
+		s.AllocObjects = v
+	} else {
+		s.AllocObjects = ms.Mallocs
+	}
+	if v, ok := read("/gc/cycles/total:gc-cycles"); ok {
+		s.GCCycles = v
+	} else {
+		s.GCCycles = uint64(ms.NumGC)
+	}
+	if v, ok := read("/memory/classes/heap/objects:bytes"); ok {
+		s.HeapLiveBytes = v
+	} else {
+		s.HeapLiveBytes = ms.HeapAlloc
+	}
+	if v, ok := read("/sched/goroutines:goroutines"); ok {
+		s.Goroutines = int64(v)
+	}
+	s.GCPauseTotalNS = ms.PauseTotalNs
+	return s
+}
+
+// HostReport is the host cost of one run: the delta between two
+// HostStats reads, normalised per simulated reference.
+type HostReport struct {
+	// WallNS is the wall-clock duration of the run.
+	WallNS int64 `json:"wall_ns"`
+	// Refs is the simulated references the run retired (the
+	// normalisation base; 0 leaves the per-ref fields 0).
+	Refs int64 `json:"refs"`
+	// AllocBytesTotal / AllocObjectsTotal are heap allocations during
+	// the run.
+	AllocBytesTotal   uint64 `json:"alloc_bytes_total"`
+	AllocObjectsTotal uint64 `json:"alloc_objects_total"`
+	// AllocBytesPerRef / AllocObjectsPerRef are the per-reference costs
+	// — the numbers the ROADMAP's allocation-free hot-path work aims at.
+	AllocBytesPerRef   float64 `json:"alloc_bytes_per_ref"`
+	AllocObjectsPerRef float64 `json:"alloc_objects_per_ref"`
+	// RefsPerSec is simulated references retired per wall-clock second.
+	RefsPerSec float64 `json:"refs_per_sec"`
+	// GCCycles and GCPauseTotalNS are the run's garbage-collection bill.
+	GCCycles       uint64 `json:"gc_cycles"`
+	GCPauseTotalNS uint64 `json:"gc_pause_total_ns"`
+	// GoroutinesPeak is the highest goroutine count sampled mid-run
+	// (at least the end-of-run count).
+	GoroutinesPeak int64 `json:"goroutines_peak"`
+	// Host pins the environment the run executed on.
+	Host HostStats `json:"host"`
+}
+
+// HostRun measures the host cost of a region: Start…Stop bracket the
+// run, Sample (optional, from any goroutine schedule) tracks the
+// goroutine peak mid-flight.
+type HostRun struct {
+	start HostStats
+	t0    time.Time
+	peak  int64
+}
+
+// StartHost begins a host-cost measurement.
+func StartHost() *HostRun {
+	s := ReadHostStats()
+	return &HostRun{start: s, t0: time.Now(), peak: s.Goroutines}
+}
+
+// Sample updates the goroutine peak; call it periodically during the
+// run (fbperf ticks it every few milliseconds).
+func (h *HostRun) Sample() {
+	if g := int64(runtime.NumGoroutine()); g > h.peak {
+		h.peak = g
+	}
+}
+
+// Stop ends the measurement and reports the delta, normalised over
+// refs simulated references.
+func (h *HostRun) Stop(refs int64) HostReport {
+	end := ReadHostStats()
+	if end.Goroutines > h.peak {
+		h.peak = end.Goroutines
+	}
+	r := HostReport{
+		WallNS:            time.Since(h.t0).Nanoseconds(),
+		Refs:              refs,
+		AllocBytesTotal:   end.AllocBytes - h.start.AllocBytes,
+		AllocObjectsTotal: end.AllocObjects - h.start.AllocObjects,
+		GCCycles:          end.GCCycles - h.start.GCCycles,
+		GCPauseTotalNS:    end.GCPauseTotalNS - h.start.GCPauseTotalNS,
+		GoroutinesPeak:    h.peak,
+		Host:              end,
+	}
+	if refs > 0 {
+		r.AllocBytesPerRef = float64(r.AllocBytesTotal) / float64(refs)
+		r.AllocObjectsPerRef = float64(r.AllocObjectsTotal) / float64(refs)
+	}
+	if r.WallNS > 0 {
+		r.RefsPerSec = float64(refs) / (float64(r.WallNS) / 1e9)
+	}
+	return r
+}

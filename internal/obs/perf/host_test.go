@@ -1,0 +1,47 @@
+package perf
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestReadHostStatsSane(t *testing.T) {
+	s := ReadHostStats()
+	if s.GoVersion == "" || s.GOMAXPROCS < 1 || s.NumCPU < 1 || s.Goroutines < 1 {
+		t.Errorf("implausible host stats: %+v", s)
+	}
+	if s.AllocBytes == 0 || s.AllocObjects == 0 {
+		t.Errorf("a running test binary has allocated: %+v", s)
+	}
+}
+
+func TestHostRunDeltaAndNormalisation(t *testing.T) {
+	hr := StartHost()
+	// Allocate something measurable so the delta is provably positive.
+	var sink [][]byte
+	for i := 0; i < 1000; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	runtime.KeepAlive(sink)
+	r := hr.Stop(1000)
+	if r.AllocBytesTotal < 1000*1024 {
+		t.Errorf("AllocBytesTotal = %d, want >= %d", r.AllocBytesTotal, 1000*1024)
+	}
+	if r.AllocBytesPerRef < 1024 {
+		t.Errorf("AllocBytesPerRef = %f, want >= 1024", r.AllocBytesPerRef)
+	}
+	if r.Refs != 1000 || r.WallNS <= 0 || r.RefsPerSec <= 0 {
+		t.Errorf("run bookkeeping: %+v", r)
+	}
+	if r.GoroutinesPeak < 1 {
+		t.Errorf("GoroutinesPeak = %d", r.GoroutinesPeak)
+	}
+}
+
+func TestHostRunZeroRefs(t *testing.T) {
+	hr := StartHost()
+	r := hr.Stop(0)
+	if r.AllocBytesPerRef != 0 || r.AllocObjectsPerRef != 0 || r.RefsPerSec != 0 {
+		t.Errorf("zero refs must leave per-ref fields zero: %+v", r)
+	}
+}

@@ -1,0 +1,166 @@
+package perf
+
+import (
+	"testing"
+
+	"futurebus/internal/obs"
+)
+
+func grant(bus int, ts, dur int64) *obs.Event {
+	return &obs.Event{Kind: obs.KindGrant, Bus: bus, TS: ts, Dur: dur}
+}
+
+// The queue reconstruction derives depth from wait-interval overlap:
+// the depth at a grant is the number of earlier waits still unfinished
+// when this wait began, plus the new waiter itself.
+func TestQueueDepthReconstruction(t *testing.T) {
+	s := NewSink(0)
+	// Three overlapping waits on bus 0: [0,100], [50,150], [120,200] —
+	// depths 1 (nothing before), 2 (overlaps the first), 2 (the first
+	// ended at 100 ≤ 120, the second is still live).
+	s.Consume(grant(0, 100, 100))
+	s.Consume(grant(0, 150, 100))
+	s.Consume(grant(0, 200, 80))
+	// A disjoint wait on bus 1 must not see bus 0's queue.
+	s.Consume(grant(1, 500, 10))
+
+	snap := s.Snapshot()
+	if len(snap.Queue) != 2 {
+		t.Fatalf("queue shards = %d, want 2", len(snap.Queue))
+	}
+	q0 := snap.Queue[0]
+	if q0.Bus != 0 || q0.Waits != 3 || q0.Peak != 2 {
+		t.Errorf("bus 0: got bus=%d waits=%d peak=%d, want 0/3/2", q0.Bus, q0.Waits, q0.Peak)
+	}
+	wantDepths := []int64{1, 2, 2}
+	if len(q0.Timeline) != len(wantDepths) {
+		t.Fatalf("timeline = %v", q0.Timeline)
+	}
+	for i, p := range q0.Timeline {
+		if p.Depth != wantDepths[i] {
+			t.Errorf("timeline[%d].Depth = %d, want %d (%v)", i, p.Depth, wantDepths[i], q0.Timeline)
+		}
+	}
+	q1 := snap.Queue[1]
+	if q1.Bus != 1 || q1.Peak != 1 {
+		t.Errorf("bus 1: got bus=%d peak=%d, want 1/1", q1.Bus, q1.Peak)
+	}
+}
+
+// Zero-duration grants are not waiting episodes; they must not pollute
+// the wait distribution or the queue reconstruction.
+func TestZeroWaitIgnored(t *testing.T) {
+	s := NewSink(0)
+	s.Consume(grant(0, 100, 0))
+	snap := s.Snapshot()
+	if snap.Latency[MetricArbWait].Count != 0 || len(snap.Queue) != 0 {
+		t.Errorf("zero-dur grant observed: %+v", snap)
+	}
+}
+
+// KindBlocked (the deterministic engine's wait shape) feeds the same
+// distribution as KindGrant, so both engines report symmetric waits.
+func TestBlockedCountsAsWait(t *testing.T) {
+	s := NewSink(0)
+	s.Consume(&obs.Event{Kind: obs.KindBlocked, Bus: 0, TS: 100, Dur: 40})
+	snap := s.Snapshot()
+	if snap.Latency[MetricArbWait].Count != 1 {
+		t.Errorf("blocked event not folded into arb wait: %+v", snap.Latency)
+	}
+}
+
+func TestLatencyMetricsFromTx(t *testing.T) {
+	s := NewSink(0)
+	s.Consume(&obs.Event{Kind: obs.KindTx, Bus: 0, TS: 1000, Dur: 300, RetryNS: 50, MemNS: 120})
+	s.Consume(&obs.Event{Kind: obs.KindTx, Bus: 0, TS: 2000, Dur: 200})
+	snap := s.Snapshot()
+	if got := snap.Latency[MetricTenure].Count; got != 2 {
+		t.Errorf("tenure count = %d, want 2", got)
+	}
+	// Retry and memory-service are conditional: only real samples count.
+	if got := snap.Latency[MetricRetry].Count; got != 1 {
+		t.Errorf("retry count = %d, want 1", got)
+	}
+	if got := snap.Latency[MetricMemSvc].Count; got != 1 {
+		t.Errorf("memsvc count = %d, want 1", got)
+	}
+	if snap.Events != 2 {
+		t.Errorf("events = %d, want 2", snap.Events)
+	}
+}
+
+// KindEpoch resets the per-epoch window and the wait-interval state,
+// but never the cumulative window — a sweep sharing one recorder gets
+// per-system quantiles from EpochSnapshot and whole-sweep data from
+// Snapshot.
+func TestEpochReset(t *testing.T) {
+	s := NewSink(0)
+	s.Consume(grant(0, 100, 100))
+	s.Consume(&obs.Event{Kind: obs.KindTx, Bus: 0, TS: 150, Dur: 50})
+	s.Consume(&obs.Event{Kind: obs.KindEpoch})
+	if got := s.EpochSnapshot(); len(got.Latency) != 0 || len(got.Queue) != 0 {
+		t.Errorf("epoch window not reset: %+v", got)
+	}
+	// A wait in the new epoch must not stack on the previous system's
+	// intervals even if the timestamps overlap.
+	s.Consume(grant(0, 150, 100))
+	ep := s.EpochSnapshot()
+	if len(ep.Queue) != 1 || ep.Queue[0].Peak != 1 {
+		t.Errorf("stale intervals leaked across epoch: %+v", ep.Queue)
+	}
+	cum := s.Snapshot()
+	if got := cum.Latency[MetricArbWait].Count; got != 2 {
+		t.Errorf("cumulative lost samples across epoch: count = %d, want 2", got)
+	}
+}
+
+func TestTimelineBounded(t *testing.T) {
+	s := NewSink(4)
+	for i := int64(0); i < 10; i++ {
+		s.Consume(grant(0, i*1000, 1))
+	}
+	tl := s.Snapshot().Queue[0].Timeline
+	if len(tl) != 4 {
+		t.Fatalf("timeline length = %d, want 4", len(tl))
+	}
+	// FIFO: the survivors are the most recent four, oldest first.
+	if tl[0].TS != 6000 || tl[3].TS != 9000 {
+		t.Errorf("timeline not the most recent window: %v", tl)
+	}
+}
+
+func TestPeakQueueDepthAcrossShards(t *testing.T) {
+	s := NewSink(0)
+	s.Consume(grant(0, 100, 100))
+	s.Consume(grant(1, 100, 100))
+	s.Consume(grant(1, 150, 100))
+	if got := s.Snapshot().PeakQueueDepth(); got != 2 {
+		t.Errorf("peak across shards = %d, want 2", got)
+	}
+}
+
+func TestFindSinkDirect(t *testing.T) {
+	sink := NewSink(0)
+	rec := obs.New(sink)
+	defer rec.Close()
+	if FindSink(rec) != sink {
+		t.Error("FindSink failed to find a directly attached sink")
+	}
+}
+
+func TestObservers(t *testing.T) {
+	s := NewSink(0)
+	var lat, dep int
+	s.SetObservers(
+		func(string, int64) { lat++ },
+		func(int, int64) { dep++ },
+	)
+	s.Consume(grant(0, 100, 100))
+	s.Consume(&obs.Event{Kind: obs.KindTx, Bus: 0, TS: 150, Dur: 50, MemNS: 10})
+	if lat != 3 { // arb wait + tenure + memsvc
+		t.Errorf("latency callbacks = %d, want 3", lat)
+	}
+	if dep != 1 {
+		t.Errorf("depth callbacks = %d, want 1", dep)
+	}
+}

@@ -58,6 +58,7 @@ func RunConcurrent(sys *System, gens []workload.Generator, refsPerProc int) (Met
 		Memory:     sys.Memory.Stats(),
 		Cache:      aggregate(sys.Caches, sys.SectorCaches),
 		Hist:       histSummaries(sys.Obs),
+		Perf:       perfSnapshot(sys.Obs),
 	}
 	// Shards serve transactions in parallel, so the backplane's
 	// contribution to completion time is the busiest shard, not the sum.

@@ -174,5 +174,6 @@ func (e *Engine) metrics(refs, elapsed, hit int64) Metrics {
 		Memory:       e.Sys.Memory.Stats(),
 		Cache:        aggregate(e.Sys.Caches, e.Sys.SectorCaches),
 		Hist:         histSummaries(e.Sys.Obs),
+		Perf:         perfSnapshot(e.Sys.Obs),
 	}
 }

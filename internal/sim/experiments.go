@@ -7,6 +7,7 @@ import (
 
 	"futurebus/internal/bus"
 	"futurebus/internal/obs"
+	"futurebus/internal/obs/perf"
 	"futurebus/internal/workload"
 )
 
@@ -29,6 +30,12 @@ type ExperimentOpts struct {
 	// Shards builds every system on an N-shard interleaved fabric
 	// instead of a single bus (0/1 = single bus).
 	Shards int
+	// Perf attaches a private saturation-telemetry sink (internal/obs/
+	// perf) to each homogeneous run, filling Metrics.Perf and the P1
+	// p99arb/peakQ columns. Ignored when Obs is set: the shared
+	// recorder's own perf sink (if any) already covers every run, and a
+	// second recorder would split the event stream.
+	Perf bool
 }
 
 // DefaultOpts is used by the commands; tests use smaller runs.
@@ -56,12 +63,26 @@ func abWorkload(sys *System, pShared, pWrite float64, seed uint64) []workload.Ge
 func runHomogeneous(protocol string, n int, pShared, pWrite float64, opts ExperimentOpts) (Metrics, error) {
 	cfg := Homogeneous(protocol, n)
 	cfg.Obs, cfg.Shards = opts.Obs, opts.Shards
+	var rec *obs.Recorder
+	if opts.Perf && opts.Obs == nil {
+		// A private recorder per run keeps the battery parallelisable:
+		// each cell's perf window is its own, no epoch bookkeeping shared
+		// across worker goroutines.
+		rec = obs.New(perf.NewSink(0))
+		cfg.Obs = rec
+	}
 	sys, err := New(cfg)
 	if err != nil {
+		if rec != nil {
+			_ = rec.Close()
+		}
 		return Metrics{}, err
 	}
 	eng := Engine{Sys: sys, Gens: abWorkload(sys, pShared, pWrite, opts.Seed)}
 	m, err := eng.Run(opts.RefsPerProc)
+	if rec != nil {
+		_ = rec.Close()
+	}
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -77,7 +98,7 @@ func ProtocolComparison(protocolNames []string, procCounts []int, opts Experimen
 		Title: "protocol comparison, Archibald–Baer model (pShared=0.2, pWrite=0.3)",
 		Columns: []string{"protocol", "procs", "miss", "trans/ref", "bytes/ref",
 			"busUtil", "efficiency", "systemPower", "aborts",
-			"inv/ref", "ownedShare"},
+			"inv/ref", "ownedShare", "p99arb", "peakQ"},
 	}
 	for _, name := range protocolNames {
 		for _, n := range procCounts {
@@ -85,14 +106,22 @@ func ProtocolComparison(protocolNames []string, procCounts []int, opts Experimen
 			if err != nil {
 				return nil, fmt.Errorf("P1 %s×%d: %w", name, n, err)
 			}
+			// Saturation columns need a perf sink (ExperimentOpts.Perf or
+			// an instrumented recorder); "-" marks an unmeasured cell.
+			p99arb, peakQ := "-", "-"
+			if m.Perf != nil {
+				p99arb = d(m.Perf.Latency[perf.MetricArbWait].P99)
+				peakQ = d(m.Perf.PeakQueueDepth())
+			}
 			rep.AddRow(name, d(int64(n)), f(m.MissRatio()), f(m.TransPerRef()),
 				f2(m.BytesPerRef()), f(m.BusUtilization()), f(m.Efficiency()),
 				f2(m.SystemPower()), d(m.Bus.Aborts),
-				f(m.InvalidationsPerRef()), f(m.OwnedShare()))
+				f(m.InvalidationsPerRef()), f(m.OwnedShare()), p99arb, peakQ)
 		}
 	}
 	rep.AddNote("expected shape (§5.2/[Arch85]): system power saturates as the bus does; BS-adapted protocols (write-once, illinois, firefly) pay extra for dirty-line transfers; write-through generates the most write traffic")
 	rep.AddNote("transition mix: inv/ref counts valid→Invalid moves per reference (invalidation churn); ownedShare is the fraction of transitions landing in M/O — fblens analyze gives the full per-protocol matrix from a -record-out trace")
+	rep.AddNote("saturation: p99arb is the p99 arbitration wait in simulated ns (waiting episodes only), peakQ the deepest reconstructed arbitration queue; both read '-' unless the sweep ran with -perf (see docs/OBSERVABILITY.md)")
 	return rep, nil
 }
 

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"futurebus/internal/bus"
 	"futurebus/internal/obs/obshttp"
 )
@@ -80,4 +82,13 @@ func (s *System) RegisterLiveGauges(reg *obshttp.Registry, hitLatency int64) {
 	reg.GaugeFunc("futurebus_recorder_dropped_events", "",
 		"Events discarded because they were emitted after recorder close.",
 		func() float64 { return float64(s.Obs.Dropped()) })
+	// Per-shard arbitration queue occupancy, polled from the arbiter at
+	// scrape time (no hot-path publishing). Labelled by the shard's
+	// ObsID so the series line up with the perf sink's reconstruction.
+	for i := 0; i < s.Bus.Shards(); i++ {
+		shard := s.Bus.Shard(i)
+		reg.GaugeFunc("futurebus_arb_queue_live", fmt.Sprintf("bus=%q", fmt.Sprint(shard.ObsID())),
+			"Instantaneous arbitration queue occupancy (master plus waiters), per fabric shard.",
+			func() float64 { return float64(shard.ArbQueueDepth()) })
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"futurebus/internal/core"
 	"futurebus/internal/memory"
 	"futurebus/internal/obs"
+	"futurebus/internal/obs/perf"
 )
 
 // Metrics aggregates the result of one simulation run.
@@ -32,6 +33,12 @@ type Metrics struct {
 	// run had an obs.HistogramSink attached (nil otherwise). Keys are
 	// the obs.Metric* names.
 	Hist map[string]obs.Summary `json:",omitempty"`
+	// Perf carries saturation telemetry — arbitration-wait/tenure/
+	// retry/memory-service quantiles and per-shard queue-depth stats —
+	// when the run had a perf.Sink attached (nil otherwise). It is the
+	// per-epoch window, so each run in a sweep sharing one recorder
+	// reports only its own telemetry.
+	Perf *perf.Snapshot `json:",omitempty"`
 }
 
 // histSummaries drains the recorder and digests its histogram sink, if
@@ -46,6 +53,21 @@ func histSummaries(rec *obs.Recorder) map[string]obs.Summary {
 		return nil
 	}
 	return h.Summaries()
+}
+
+// perfSnapshot drains the recorder and digests its perf sink's
+// per-epoch window, if any. Safe on a nil recorder or a recorder
+// without a perf sink.
+func perfSnapshot(rec *obs.Recorder) *perf.Snapshot {
+	if rec == nil {
+		return nil
+	}
+	rec.Drain()
+	p := perf.FindSink(rec)
+	if p == nil {
+		return nil
+	}
+	return p.EpochSnapshot()
 }
 
 // aggregate sums per-cache stats via cache.Stats.Add, folding

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"futurebus/internal/obs"
+	"futurebus/internal/obs/perf"
+)
+
+// Both engines must fill Metrics.Perf when a perf sink rides the
+// recorder: tenure is sampled for every transaction, and the epoch
+// window (not the cumulative one) is what lands in the metrics, so a
+// sweep sharing one recorder gets per-system quantiles.
+func TestDetEnginePerfMetrics(t *testing.T) {
+	rec := obs.New(perf.NewSink(0))
+	defer rec.Close()
+	cfg := Homogeneous("moesi", 4)
+	cfg.Obs = rec
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := Engine{Sys: sys, Gens: abGens(sys, 0.3, 0.3, 99)}
+	m, err := eng.Run(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPerfMetrics(t, m)
+}
+
+func TestConcurrentEnginePerfMetrics(t *testing.T) {
+	rec := obs.New(perf.NewSink(0))
+	defer rec.Close()
+	cfg := Homogeneous("moesi", 4)
+	cfg.Obs = rec
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunConcurrent(sys, abGens(sys, 0.4, 0.4, 7), 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPerfMetrics(t, m)
+}
+
+func checkPerfMetrics(t *testing.T, m Metrics) {
+	t.Helper()
+	if m.Perf == nil {
+		t.Fatal("Metrics.Perf nil on an instrumented run")
+	}
+	ten := m.Perf.Latency[perf.MetricTenure]
+	if ten.Count != m.Bus.Transactions {
+		t.Errorf("tenure samples = %d, bus transactions = %d", ten.Count, m.Bus.Transactions)
+	}
+	if ten.P50 <= 0 || ten.P99 < ten.P50 {
+		t.Errorf("tenure quantiles implausible: %+v", ten)
+	}
+	if len(m.Perf.Queue) == 0 || m.Perf.PeakQueueDepth() < 1 {
+		t.Errorf("no arbitration queue telemetry: %+v", m.Perf.Queue)
+	}
+}
+
+// ExperimentOpts.Perf gives each run a private sink, so Metrics.Perf
+// arrives without the caller wiring a recorder.
+func TestExperimentOptsPerf(t *testing.T) {
+	m, err := runHomogeneous("moesi", 4, 0.3, 0.3, ExperimentOpts{RefsPerProc: 800, Seed: 3, Perf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Perf == nil {
+		t.Fatal("ExperimentOpts.Perf did not fill Metrics.Perf")
+	}
+	if m.Perf.Latency[perf.MetricTenure].Count == 0 {
+		t.Error("perf snapshot has no tenure samples")
+	}
+}

@@ -3,9 +3,12 @@
 # BENCH_<date>.json baseline and warn (exit 0 either way — timing on
 # shared CI hardware is advisory) about per-benchmark ns/op regressions
 # past a threshold. Also reports the observability recording-overhead
-# ratio (BenchmarkObsRecordingOverhead fbt vs off) and the runtime
+# ratio (BenchmarkObsRecordingOverhead fbt vs off), the runtime
 # verification ratio (BenchmarkWatchSinkOverhead record+watch vs
-# record, gated at 10%).
+# record, gated at 10%), and the saturation-telemetry ratio
+# (BenchmarkPerfSinkOverhead record+perf vs record, gated at 10%).
+# The "_meta" entry bench.sh embeds (host/toolchain provenance) is not
+# a benchmark and is skipped.
 #
 # Usage:
 #   scripts/bench-compare.sh                 # run suite, compare vs latest BENCH_*.json
@@ -65,6 +68,9 @@ function simms(line) {
 	sub(/.*: */, "", v)
 	return v + 0
 }
+# The _meta provenance entry is not a benchmark; drop it before the
+# join (name() would skip it anyway, but be explicit).
+/"_meta"/ { next }
 FNR == NR {
 	if ((n = name($0)) != "") base[n] = val($0)
 	next
@@ -95,6 +101,13 @@ END {
 		printf "watch overhead: record+watch/record = %.2fx (%+.1f%% wall-clock)\n", mon / rec, (mon / rec - 1) * 100
 		if (mon > rec * 1.10)
 			printf "WARN  live invariant monitoring costs more than 10%% over a record-only run\n"
+	}
+	prec = cur["BenchmarkPerfSinkOverhead/record"]
+	perf = cur["BenchmarkPerfSinkOverhead/record+perf"]
+	if (prec > 0 && perf > 0) {
+		printf "perf overhead: record+perf/record = %.2fx (%+.1f%% wall-clock)\n", perf / prec, (perf / prec - 1) * 100
+		if (perf > prec * 1.10)
+			printf "WARN  saturation telemetry costs more than 10%% over a record-only run\n"
 	}
 	s1 = thru["BenchmarkShardedFabric/shards1"]
 	s8 = thru["BenchmarkShardedFabric/shards8"]

@@ -11,7 +11,11 @@
 #   scripts/bench.sh -t 10x         # -benchtime per benchmark (default 5x)
 #
 # The JSON is an object keyed by benchmark name (GOMAXPROCS suffix
-# stripped): {"BenchmarkCacheReadHit": {"ns_per_op": 123.4, "runs": 5}}.
+# stripped): {"BenchmarkCacheReadHit": {"ns_per_op": 123.4, "runs": 5}},
+# plus a "_meta" entry recording the machine and toolchain the numbers
+# were taken on (git SHA, go version, GOMAXPROCS, CPU count, UTC date)
+# so a diff across baselines can tell a code regression from a
+# hardware change.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -29,6 +33,12 @@ while getopts 'o:b:t:' opt; do
 done
 [ -n "$out" ] || out="BENCH_$(date +%Y-%m-%d).json"
 
+git_sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+go_ver=$(go version | awk '{print $3}')
+cpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+gomaxprocs=${GOMAXPROCS:-$cpus} # go's default GOMAXPROCS is the CPU count
+date_utc=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
@@ -43,7 +53,8 @@ go test -run '^$' -bench "$bench" -benchtime "$benchtime" ./... | tee "$raw" >&2
 # ones carry e.g. the shard-scaling points); awk keeps this
 # dependency-free. Units are sanitised into JSON keys ("ns/op" ->
 # "ns_per_op", "refs/simms" -> "refs_per_simms").
-awk '
+awk -v sha="$git_sha" -v gover="$go_ver" -v gmp="$gomaxprocs" \
+	-v cpus="$cpus" -v dateutc="$date_utc" '
 /^Benchmark/ && /ns\/op/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -58,7 +69,12 @@ awk '
 	}
 	printf "}"
 }
-BEGIN { printf "{\n" }
+BEGIN {
+	printf "{\n"
+	printf "  \"_meta\": {\"git_sha\": \"%s\", \"go\": \"%s\", ", sha, gover
+	printf "\"gomaxprocs\": %d, \"cpus\": %d, \"date_utc\": \"%s\"}", gmp, cpus, dateutc
+	n = 1
+}
 END   { printf "\n}\n" }
 ' "$raw" >"$out"
 
