@@ -332,6 +332,52 @@ func BenchmarkShardedFabric(b *testing.B) {
 	}
 }
 
+// BenchmarkArbitration runs the P11 cell configuration — 8 MOESI
+// boards ping-ponging over 4 contested lines — for every bus tenure ×
+// arbitration discipline, reporting the saturation signals alongside
+// ns/op: p99 arbitration wait (simulated ns), the Jain fairness index
+// over per-board cumulative wait, and split-mode NACKs. This is the
+// BENCH_<date>.json capture of the discipline axis: fcfs/rr/bounded
+// hold fairness at 1.0 and pay the long tail, priority trades the
+// tail for starved high boards (fairness falls), and split tenure
+// overlaps memory service with other masters' address cycles.
+func BenchmarkArbitration(b *testing.B) {
+	for _, tenure := range []string{"atomic", "split"} {
+		for _, disc := range bus.DisciplineNames() {
+			b.Run(tenure+"/"+disc, func(b *testing.B) {
+				var p99, fair, nacks float64
+				for i := 0; i < b.N; i++ {
+					cfg := sim.Homogeneous("moesi", 8)
+					cfg.Tenure, cfg.Discipline = tenure, disc
+					rec := obs.New(perf.NewSink(0))
+					cfg.Obs = rec
+					sys, err := sim.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					gens := sys.Generators(func(proc int) workload.Generator {
+						return workload.NewPingPong(proc, 4, sys.WordsPerLine(), 1986)
+					})
+					eng := sim.Engine{Sys: sys, Gens: gens}
+					m, err := eng.Run(1200)
+					_ = rec.Close()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if m.Perf != nil {
+						p99 = float64(m.Perf.Latency[perf.MetricArbWait].P99)
+						fair = m.Perf.ArbFairness
+					}
+					nacks = float64(m.Bus.Nacks)
+				}
+				b.ReportMetric(p99, "p99arb_ns")
+				b.ReportMetric(fair, "fairness")
+				b.ReportMetric(nacks, "nacks")
+			})
+		}
+	}
+}
+
 // --- micro-benchmarks of the hot paths ---
 
 // BenchmarkBusLockedRMW measures the atomic FetchAdd round trip.

@@ -20,9 +20,14 @@ import (
 
 func main() {
 	verbose := flag.Bool("v", false, "print witnesses for 'sometimes' assertions")
+	busMode := flag.String("bus", "", "bus tenure policy for every schedule: atomic (default) or split")
+	discipline := flag.String("discipline", "", "arbitration discipline: fcfs (default), rr, priority or bounded")
+	shards := flag.Int("shards", 0, "override the fabric shard count (0 = the test file's own setting)")
+	watchFlag := flag.Bool("watch", false, "run the invariant monitor over every schedule; any violation fails the test")
+	parallel := flag.Int("parallel", 0, "also run each test this many rounds with real goroutine scheduling (schedule-independent assertions only)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: fblitmus [-v] <file.litmus>...")
+		fmt.Fprintln(os.Stderr, "usage: fblitmus [-v] [-bus split] [-discipline rr] [-shards 4] [-watch] <file.litmus>...")
 		os.Exit(2)
 	}
 	exit := 0
@@ -40,6 +45,10 @@ func main() {
 			exit = 1
 			continue
 		}
+		test.Tenure, test.Discipline, test.Watch = *busMode, *discipline, *watchFlag
+		if *shards > 0 {
+			test.Shards = *shards
+		}
 		res, err := litmus.Run(test)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fblitmus: %s: %v\n", path, err)
@@ -54,6 +63,18 @@ func main() {
 		}
 		if !res.Ok() {
 			exit = 1
+		}
+		if *parallel > 0 {
+			pres, err := litmus.RunParallel(test, *parallel)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fblitmus: %s (parallel): %v\n", path, err)
+				exit = 1
+				continue
+			}
+			fmt.Printf("%s (parallel %d rounds)\n", pres, *parallel)
+			if !pres.Ok() {
+				exit = 1
+			}
 		}
 	}
 	os.Exit(exit)

@@ -23,6 +23,11 @@
 // and CI hang the perf gate on.
 package main
 
+// The compare fixtures under testdata/ are hand-shaped minimal reports
+// (one probe per threshold path); regenerate them after changing the
+// report schema with `go generate ./cmd/fbperf`.
+//go:generate go run ./testdata/gen
+
 import (
 	"encoding/json"
 	"flag"

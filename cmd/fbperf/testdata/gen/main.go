@@ -1,0 +1,124 @@
+// Command gen regenerates fbperf's compare fixtures
+// (testdata/base.json and testdata/regress.json). Run it from
+// cmd/fbperf via `go generate ./cmd/fbperf`.
+//
+// The fixtures are deliberately minimal and hand-shaped rather than
+// captured from a live run: every compare-threshold path gets exactly
+// one probe, so main_test.go's expectations stay readable and a
+// captured run's incidental metrics can't silently widen the gate.
+//
+//   - perf.arb_wait_ns: p99 doubled in regress — the gated latency
+//     regression (rel AND abs-ns both exceeded).
+//   - perf.bus_tenure_ns: identical in both — a gated metric that must
+//     NOT flag.
+//   - perf.retry_backoff_ns: present only in base — compare diffs the
+//     intersection, so a metric missing from the new report is skipped.
+//   - queue: identical peaks — the abs-depth path stays quiet.
+//   - host.alloc_objects_per_ref: tripled in regress — the gated
+//     allocation regression (abs-allocs exceeded).
+//   - host.alloc_bytes_per_ref: drifts by less than the 16x byte slack
+//     — under-threshold drift must not flag.
+//   - host.wall_ns / gc_pause_total_ns: wildly worse in regress —
+//     advisory metrics never gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"path/filepath"
+
+	"futurebus/internal/obs"
+	"futurebus/internal/obs/perf"
+)
+
+// report mirrors cmd/fbperf's Report JSON shape (that type lives in a
+// main package, so the fixture generator re-declares the tags).
+type report struct {
+	Meta    meta            `json:"_meta"`
+	Battery string          `json:"battery"`
+	Engine  string          `json:"engine"`
+	Procs   int             `json:"procs"`
+	Refs    int64           `json:"refs"`
+	Seed    uint64          `json:"seed"`
+	Host    perf.HostReport `json:"host"`
+	Sim     *perf.Snapshot  `json:"sim"`
+}
+
+type meta struct {
+	Go         string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUs       int    `json:"cpus"`
+	DateUTC    string `json:"date_utc"`
+}
+
+func summary(p50, p99, p999 int64) obs.Summary {
+	return obs.Summary{
+		Count: 100, Mean: float64(p50), Min: p50 / 2,
+		P50: p50, P90: p99, P95: p99, P99: p99, P999: p999, Max: p999,
+	}
+}
+
+func base() *report {
+	return &report{
+		Meta:    meta{Go: "fixture", GOMAXPROCS: 1, CPUs: 1, DateUTC: "2026-08-08T00:00:00Z"},
+		Battery: "fixture",
+		Engine:  "det",
+		Procs:   4,
+		Refs:    1000,
+		Seed:    1986,
+		Host: perf.HostReport{
+			WallNS:             1_000_000,
+			Refs:               1000,
+			AllocBytesTotal:    128_000,
+			AllocObjectsTotal:  2000,
+			AllocBytesPerRef:   128,
+			AllocObjectsPerRef: 2,
+			RefsPerSec:         1_000_000,
+		},
+		Sim: &perf.Snapshot{
+			Events: 400,
+			Latency: map[string]obs.Summary{
+				perf.MetricArbWait: summary(2000, 4000, 4500),
+				perf.MetricTenure:  summary(250, 550, 600),
+				perf.MetricRetry:   summary(500, 1500, 1600),
+			},
+			Queue: []perf.QueueStats{
+				{Bus: 0, Waits: 120, Peak: 3, Depth: summary(2, 3, 3)},
+			},
+		},
+	}
+}
+
+func main() {
+	dir := flag.String("dir", "testdata", "directory to write the fixtures into")
+	flag.Parse()
+
+	b := base()
+
+	r := base()
+	// The two regressions the compare test must flag...
+	arb := r.Sim.Latency[perf.MetricArbWait]
+	arb.P99 *= 2
+	r.Sim.Latency[perf.MetricArbWait] = arb
+	r.Host.AllocObjectsPerRef *= 3
+	// ...a metric missing from the new report (intersection skip)...
+	delete(r.Sim.Latency, perf.MetricRetry)
+	// ...under-threshold drift that must stay quiet...
+	r.Host.AllocBytesPerRef += 4
+	// ...and advisory wall-clock damage that never gates.
+	r.Host.WallNS *= 10
+	r.Host.GCPauseTotalNS = 5_000_000
+
+	for name, rep := range map[string]*report{"base.json": b, "regress.json": r} {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(filepath.Join(*dir, name), out, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

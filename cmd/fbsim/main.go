@@ -36,6 +36,9 @@ func main() {
 	wl := flag.String("workload", "ab", "workload: ab, migratory, producer-consumer, read-mostly, ping-pong, zipf")
 	engine := flag.String("engine", "det", "engine: det (deterministic) or conc (goroutine per board)")
 	shards := flag.Int("shards", 1, "fabric shards: 1 = single Futurebus, N>1 = address-interleaved multi-bus backplane")
+	busMode := flag.String("bus", "", "bus tenure policy: atomic (one grant covers the whole transaction; default) or split (address and data phases are separate grants)")
+	discipline := flag.String("discipline", "", "arbitration discipline: fcfs (default), rr, priority or bounded")
+	pendingTable := flag.Int("pending-table", 0, "split-mode pending-transaction table size per shard (0 = default)")
 	lineSize := flag.Int("line", 32, "system line size in bytes")
 	sets := flag.Int("sets", 64, "cache sets")
 	ways := flag.Int("ways", 2, "cache ways")
@@ -96,8 +99,8 @@ func main() {
 		// The fingerprint captures everything that shapes the event
 		// stream, so fbcausal diff can warn when two traces are not
 		// comparable runs.
-		fp := fmt.Sprintf("fbsim protocols=%s refs=%d workload=%s engine=%s shards=%d line=%d sets=%d ways=%d seed=%d pshared=%g pwrite=%g",
-			*protos, *refs, *wl, *engine, *shards, *lineSize, *sets, *ways, *seed, *pshared, *pwrite)
+		fp := fmt.Sprintf("fbsim protocols=%s refs=%d workload=%s engine=%s shards=%d bus=%s discipline=%s line=%d sets=%d ways=%d seed=%d pshared=%g pwrite=%g",
+			*protos, *refs, *wl, *engine, *shards, *busMode, *discipline, *lineSize, *sets, *ways, *seed, *pshared, *pwrite)
 		sinks = append(sinks, obs.NewRecordSink(f, obs.TraceMeta{Fingerprint: fp}))
 	}
 	if *hist {
@@ -136,14 +139,17 @@ func main() {
 	}
 
 	cfg := sim.Config{
-		LineSize:  *lineSize,
-		CacheSets: *sets,
-		CacheWays: *ways,
-		Boards:    boards,
-		Shadow:    *checkConsistency,
-		Paranoid:  *paranoid,
-		Obs:       rec,
-		Shards:    *shards,
+		LineSize:     *lineSize,
+		CacheSets:    *sets,
+		CacheWays:    *ways,
+		Boards:       boards,
+		Shadow:       *checkConsistency,
+		Paranoid:     *paranoid,
+		Obs:          rec,
+		Shards:       *shards,
+		Tenure:       *busMode,
+		Discipline:   *discipline,
+		PendingTable: *pendingTable,
 	}
 	sys, err := sim.New(cfg)
 	fail(err)

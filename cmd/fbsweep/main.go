@@ -1,9 +1,9 @@
-// Command fbsweep runs the performance experiments (P1–P8 plus the
+// Command fbsweep runs the performance experiments (P1–P11 plus the
 // handshake-penalty sweep) and prints the paper-style result tables.
 //
 // Usage:
 //
-//	fbsweep [-exp P1] [-refs 20000] [-seed 1986]
+//	fbsweep [-exp P1] [-refs 20000] [-seed 1986] [-bus split] [-discipline rr]
 package main
 
 import (
@@ -23,11 +23,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (P1…P10, F1, or 'all')")
+	exp := flag.String("exp", "all", "experiment to run (P1…P11, F1, or 'all')")
 	refs := flag.Int("refs", 20000, "references per processor")
 	seed := flag.Uint64("seed", 1986, "workload seed")
 	jobs := flag.Int("jobs", 0, "worker pool size for -exp all (0 = one per CPU, forced to 1 when tracing so the event stream stays coherent)")
 	shards := flag.Int("shards", 1, "fabric shards for every system the sweep builds (1 = single Futurebus)")
+	busMode := flag.String("bus", "", "bus tenure policy for every system the sweep builds: atomic or split (default atomic; P11 sweeps its own axis)")
+	discipline := flag.String("discipline", "", "arbitration discipline for every system the sweep builds: fcfs, rr, priority or bounded (default fcfs; P11 sweeps its own axis)")
+	pendingTable := flag.Int("pending-table", 0, "split-mode pending-transaction table size per shard (0 = default)")
 	format := flag.String("format", "table", "output format: table or csv")
 	outDir := flag.String("out", "", "also write each report as <dir>/<ID>.csv")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of every system the sweep ran")
@@ -94,7 +97,10 @@ func main() {
 		svc.ObserveRecorder(rec)
 	}
 
-	opts := sim.ExperimentOpts{RefsPerProc: *refs, Seed: *seed, Obs: rec, Shards: *shards, Perf: *perfFlag}
+	opts := sim.ExperimentOpts{
+		RefsPerProc: *refs, Seed: *seed, Obs: rec, Shards: *shards, Perf: *perfFlag,
+		Tenure: *busMode, Discipline: *discipline, PendingTable: *pendingTable,
+	}
 
 	// Experiments are independent and internally deterministic, so the
 	// full battery fans out over a bounded worker pool; reports come
@@ -116,6 +122,7 @@ func main() {
 		"P8":  sim.AbortRetryOverhead,
 		"P9":  sim.MultiBusScaling,
 		"P10": sim.SectorVsPlain,
+		"P11": sim.ArbitrationDisciplines,
 		"F1":  sim.HandshakePenalty,
 		"F2":  sim.HandshakePenalty,
 		"F2B": sim.SlowBoardTax,

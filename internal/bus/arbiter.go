@@ -5,13 +5,13 @@ import (
 	"sync/atomic"
 )
 
-// Arbiter grants bus mastership in FIFO order. A single Arbiter may be
-// shared by several buses (Config.Arbiter): in a multi-bus hierarchy
-// (the §6 extension, internal/hierarchy), sharing one arbiter makes a
-// cluster bridge's nested transactions — a local miss fanning out to
-// the global bus, a global invalidation fanning into a cluster —
-// trivially deadlock-free, while each bus still accounts its own
-// occupancy for the timing model.
+// Arbiter grants bus mastership under a pluggable Discipline. A single
+// Arbiter may be shared by several buses (Config.Arbiter): in a
+// multi-bus hierarchy (the §6 extension, internal/hierarchy), sharing
+// one arbiter makes a cluster bridge's nested transactions — a local
+// miss fanning out to the global bus, a global invalidation fanning
+// into a cluster — trivially deadlock-free, while each bus still
+// accounts its own occupancy for the timing model.
 //
 // The arbiter is also the home of transaction identity: every executed
 // transaction draws a TxID here, so IDs are unique and monotonic
@@ -19,7 +19,7 @@ import (
 // edge labels the causal analyzer (internal/obs/causal) joins grant,
 // abort, recovery and completion events on.
 type Arbiter struct {
-	mu fifoMutex
+	mu arbMutex
 	// txSeq allocates transaction ids (first id is 1; 0 = "none").
 	txSeq atomic.Uint64
 	// txBase/txStride namespace the ids this arbiter allocates. A
@@ -33,7 +33,7 @@ type Arbiter struct {
 	lastTx atomic.Uint64
 }
 
-// NewArbiter creates a shareable arbiter.
+// NewArbiter creates a shareable arbiter granting in FCFS order.
 func NewArbiter() *Arbiter { return &Arbiter{} }
 
 // newShardArbiter creates the arbiter for shard i of an n-way
@@ -53,52 +53,110 @@ func (a *Arbiter) nextTxID() uint64 {
 	return a.txBase + a.txStride*seq
 }
 
-// fifoMutex is a ticket lock: waiters acquire in strict FIFO order.
-// The Futurebus arbitrates with a priority scheme; for the simulator a
-// fair queue is the behaviour the experiments assume (no board is
-// starved), and it makes the concurrent engine's interleavings
-// reproducible enough to reason about.
-type fifoMutex struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	next    uint64
-	serving uint64
-}
+// SetDiscipline installs the grant order. Nil (the default) grants in
+// strict arrival order, the pre-Discipline ticket-lock behaviour.
+// Configuration time only: it must not race with traffic.
+func (a *Arbiter) SetDiscipline(d Discipline) { a.mu.disc = d }
 
-func (f *fifoMutex) Lock() {
-	f.mu.Lock()
-	if f.cond == nil {
-		f.cond = sync.NewCond(&f.mu)
-	}
-	ticket := f.next
-	f.next++
-	for ticket != f.serving {
-		f.cond.Wait()
-	}
-	f.mu.Unlock()
-}
-
-func (f *fifoMutex) Unlock() {
-	f.mu.Lock()
-	f.serving++
-	if f.cond != nil {
-		f.cond.Broadcast()
-	}
-	f.mu.Unlock()
-}
-
-// pending returns tickets issued but not yet released: the current
-// holder plus queued waiters. A ticket is only taken after the caller
-// read its arbitration-wait start clock, so pending > 1 proves a
-// contender's wait measurement has begun (deterministic test hook).
-func (f *fifoMutex) pending() uint64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.next - f.serving
-}
+// Discipline returns the installed grant order (nil = FCFS).
+func (a *Arbiter) Discipline() Discipline { return a.mu.disc }
 
 // Pending returns the arbitration queue occupancy right now: the
 // current bus master plus queued contenders (0 when the bus is idle).
 // Safe from any goroutine; the live telemetry gauges poll it at scrape
 // time rather than making the hot path publish a sample per grant.
-func (a *Arbiter) Pending() int { return int(a.mu.pending()) }
+func (a *Arbiter) Pending() int { return a.mu.pending() }
+
+// arbWaiter is one parked contender.
+type arbWaiter struct {
+	w  Waiter
+	ch chan struct{}
+}
+
+// arbMutex is the grant machinery: a mutual-exclusion lock whose wake
+// order is delegated to a Discipline. With no discipline (or fcfs) it
+// is exactly a ticket lock — waiters acquire in strict arrival order,
+// which keeps the concurrent engine's interleavings reproducible
+// enough to reason about and preserves the pre-refactor semantics.
+type arbMutex struct {
+	mu     sync.Mutex
+	locked bool
+	// tickets is the arrival counter; every parked waiter draws one.
+	tickets int64
+	// disc orders wakeups; nil = arrival order.
+	disc    Discipline
+	waiters []*arbWaiter
+}
+
+// Lock blocks until mastership is granted. board identifies the
+// requester to the discipline; internal lockers pass -1.
+func (m *arbMutex) Lock(board int) {
+	m.mu.Lock()
+	if !m.locked && len(m.waiters) == 0 {
+		m.locked = true
+		if m.disc != nil {
+			m.disc.Granted(board)
+		}
+		m.mu.Unlock()
+		return
+	}
+	w := &arbWaiter{
+		w:  Waiter{Board: board, Ticket: m.tickets},
+		ch: make(chan struct{}),
+	}
+	m.tickets++
+	m.waiters = append(m.waiters, w)
+	m.mu.Unlock()
+	<-w.ch
+}
+
+// Unlock releases mastership, granting it directly to the waiter the
+// discipline ranks first (no barging: a releasing-and-re-acquiring
+// master queues behind every current waiter, as in the Futurebus
+// fairness mode). Losing waiters age by one skip.
+func (m *arbMutex) Unlock() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.waiters) == 0 {
+		m.locked = false
+		return
+	}
+	best := 0
+	bestKey := m.key(m.waiters[0].w)
+	for i := 1; i < len(m.waiters); i++ {
+		if k := m.key(m.waiters[i].w); k < bestKey {
+			best, bestKey = i, k
+		}
+	}
+	winner := m.waiters[best]
+	m.waiters = append(m.waiters[:best], m.waiters[best+1:]...)
+	for _, w := range m.waiters {
+		w.w.Skips++
+	}
+	if m.disc != nil {
+		m.disc.Granted(winner.w.Board)
+	}
+	// The lock transfers to the winner without ever being observed free.
+	close(winner.ch)
+}
+
+func (m *arbMutex) key(w Waiter) int64 {
+	if m.disc == nil {
+		return w.Ticket
+	}
+	return m.disc.Key(w)
+}
+
+// pending returns the current holder plus queued waiters. A waiter is
+// parked only after the caller read its arbitration-wait start clock,
+// so pending > 1 proves a contender's wait measurement has begun
+// (deterministic test hook).
+func (m *arbMutex) pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.waiters)
+	if m.locked {
+		n++
+	}
+	return n
+}

@@ -106,19 +106,39 @@ type Result struct {
 	// Data is the line read (for BusRead) — from the intervening owner
 	// if DI, else from memory.
 	Data []byte
-	// Retries counts BS abort/retry rounds the transaction suffered.
+	// Retries counts BS abort/retry rounds the transaction suffered
+	// (split-mode NACKs count here too).
 	Retries int
-	// Cost is the bus time consumed, in nanoseconds, including aborted
-	// attempts and recovery pushes.
+	// Cost is the bus time consumed under this tenure, in nanoseconds,
+	// including aborted attempts and recovery pushes. In split mode the
+	// off-bus memory service and the deferred data tenure are excluded —
+	// see Phases.Pend, Phases.Deferred and StallCost.
 	Cost int64
 	// Phases attributes the transaction's time to bus phases:
 	// Phases.Occupancy() == Cost, and Phases.Arb carries the simulated
 	// arbitration wait before the grant (not part of Cost).
 	Phases PhaseCosts
+	// Posted reports a split-mode write the bus accepted into the
+	// pending table: the master is done at the end of the address
+	// tenure and does not wait for the memory service.
+	Posted bool
 	// TxID is the arbiter-allocated id of the transaction, matching the
 	// TxID on its grant/abort/tx events, so the master can tag its own
 	// follow-on state changes with the cause.
 	TxID uint64
+}
+
+// StallCost is the simulated time the master stalls on this
+// transaction. In atomic mode it equals Cost. In split mode a posted
+// write completes at the end of the address tenure (Cost alone), while
+// a read's master additionally waits out the off-bus memory service
+// and the deferred data tenure that delivers its fill — time the bus,
+// but not the requester, is free during.
+func (r *Result) StallCost() int64 {
+	if r.Posted {
+		return r.Cost
+	}
+	return r.Cost + r.Phases.Pend + r.Phases.Deferred
 }
 
 // ErrTooManyRetries is returned when BS aborts do not quiesce; a correct
@@ -139,6 +159,16 @@ type Config struct {
 	// Arbiter, when non-nil, is shared with other buses: all of them
 	// serialise together (see Arbiter). Nil gives the bus its own.
 	Arbiter *Arbiter
+	// Tenure selects the bus-tenure policy: nil (or AtomicTenure) holds
+	// the master through address + data + memory service, the paper's
+	// electrical model; SplitTenure decouples the data phase into
+	// pending-table entries and later data tenures.
+	Tenure TenurePolicy
+	// Discipline, when non-nil, builds this bus's arbitration grant
+	// order (fcfs / rr / priority / bounded); nil grants in strict
+	// arrival order. A factory because stateful disciplines need one
+	// instance per shard arbiter.
+	Discipline DisciplineFactory
 	// Paranoid validates every snoop response against the class at the
 	// moment it is asserted (core.CheckSnoopAction): an out-of-class
 	// action fails the transaction immediately instead of corrupting
@@ -189,6 +219,14 @@ type Bus struct {
 	// recovery push is running for; its id is stamped as CauseID on the
 	// recovery's own transaction events. Guarded by the arbiter lock.
 	causeTx uint64
+	// tenure is the tenure policy (never nil); split caches whether it
+	// can defer at all, so the atomic fast path pays one bool test.
+	tenure TenurePolicy
+	split  bool
+	// pendTable is the split-mode pending-transaction table: address
+	// tenures that ended with their data phase still owed. Bounded by
+	// tenure.TableSize(); guarded by the arbiter lock.
+	pendTable []pendEntry
 }
 
 // New creates a bus with the given memory module.
@@ -210,8 +248,21 @@ func New(memory MemoryPort, cfg Config) *Bus {
 	if arb == nil {
 		arb = NewArbiter()
 	}
-	return &Bus{cfg: cfg, memory: memory, arb: arb}
+	if cfg.Discipline != nil && arb.Discipline() == nil {
+		arb.SetDiscipline(cfg.Discipline())
+	}
+	tenure := cfg.Tenure
+	if tenure == nil {
+		tenure = AtomicTenure()
+	}
+	return &Bus{
+		cfg: cfg, memory: memory, arb: arb,
+		tenure: tenure, split: tenure.TableSize() > 0,
+	}
 }
+
+// Tenure returns the tenure policy in effect.
+func (b *Bus) Tenure() TenurePolicy { return b.tenure }
 
 // LineSize returns the system-wide line size in bytes.
 func (b *Bus) LineSize() int { return b.cfg.LineSize }
@@ -267,43 +318,65 @@ func (b *Bus) SetTrace(fn func(tx *Transaction, r *Result)) { b.trace = fn }
 
 // Stats returns a snapshot of the accumulated counters.
 func (b *Bus) Stats() Stats {
-	b.arb.mu.Lock()
+	b.arb.mu.Lock(-1)
 	defer b.arb.mu.Unlock()
 	return b.stats
 }
 
+// BusyNanos returns the shard's occupancy clock — total bus-occupied
+// time so far, including split-mode data tenures. The deterministic
+// engine samples it around an access to learn how much bus time the
+// access actually held (in split mode that is less than the master's
+// stall).
+func (b *Bus) BusyNanos() int64 {
+	b.arb.mu.Lock(-1)
+	defer b.arb.mu.Unlock()
+	return b.stats.BusyNanos
+}
+
 // Execute runs one transaction to completion: broadcast address cycle,
 // snoop responses, BS abort/recovery/retry, data routing, and commit.
-// It blocks until the FIFO arbiter grants the bus. Masters must not
-// call Execute while holding any lock a snooper's Query/Commit needs.
+// It blocks until the arbiter grants the bus. Masters must not call
+// Execute while holding any lock a snooper's Query/Commit needs.
 func (b *Bus) Execute(tx *Transaction) (Result, error) {
-	b.Acquire(tx.Addr)
+	b.Acquire(tx.Addr, tx.MasterID)
 	defer b.Release(tx.Addr)
 	return b.executeLocked(tx)
 }
 
-// Acquire requests bus mastership from the FIFO arbiter and blocks
-// until granted. A cache client acquires the bus, re-examines its own
-// directory (the state may have changed while it waited), and only
-// then issues transactions with ExecuteHeld — the same
-// look-up-again-after-arbitration a hardware cache controller performs.
+// Acquire requests bus mastership from the arbiter and blocks until
+// granted under the configured Discipline. A cache client acquires the
+// bus, re-examines its own directory (the state may have changed while
+// it waited), and only then issues transactions with ExecuteHeld — the
+// same look-up-again-after-arbitration a hardware cache controller
+// performs.
 //
 // The address selects which fabric shard to hold; a single Bus is one
-// shard, so it ignores the argument. Every ExecuteHeld issued under
-// the grant must target the same shard (the same home line group).
+// shard, so it ignores the argument. master is the requesting board's
+// id (the discipline's input; internal callers pass -1). Every
+// ExecuteHeld issued under the grant must target the same shard (the
+// same home line group).
+//
+// In split mode a fresh grant first retires any pending responses
+// whose memory service has completed — responses win arbitration over
+// the next requester, each taking a short data tenure.
 //
 // When observability is on, the occupancy-clock advance across the
 // wait is recorded as the arbitration-wait phase of the first
 // transaction executed under this grant.
-func (b *Bus) Acquire(Addr) {
+func (b *Bus) Acquire(addr Addr, master int) {
 	if rec := b.cfg.Obs; rec != nil {
 		t0 := rec.Clock()
-		b.arb.mu.Lock()
+		b.arb.mu.Lock(master)
 		b.arbWait = rec.Clock() - t0
 		b.arbBlocker = b.arb.lastTx.Load()
-		return
+	} else {
+		b.arb.mu.Lock(master)
 	}
-	b.arb.mu.Lock()
+	if b.split {
+		for b.drainOneLocked(false) {
+		}
+	}
 }
 
 // LastTxID returns the id of the most recently completed transaction
@@ -323,6 +396,88 @@ func (b *Bus) ArbQueueDepth() int { return b.arb.Pending() }
 func (b *Bus) Release(Addr) {
 	b.arbWait = 0
 	b.arb.mu.Unlock()
+}
+
+// DrainPending force-retires every split-mode pending transaction:
+// each outstanding response takes its data tenure now, in table order.
+// Engines call it at quiesce so the occupancy clock and event stream
+// account every deferred beat; a no-op in atomic mode.
+func (b *Bus) DrainPending() {
+	if !b.split {
+		return
+	}
+	b.arb.mu.Lock(-1)
+	defer b.arb.mu.Unlock()
+	for b.drainOneLocked(true) {
+	}
+}
+
+// drainOneLocked retires the oldest pending entry if its off-bus
+// memory service has completed on the occupancy clock (or
+// unconditionally when forced), charging its data-tenure beats to the
+// shard. Caller holds the arbiter lock.
+func (b *Bus) drainOneLocked(force bool) bool {
+	if len(b.pendTable) == 0 {
+		return false
+	}
+	e := b.pendTable[0]
+	if !force && e.readyAt > b.stats.BusyNanos {
+		return false
+	}
+	copy(b.pendTable, b.pendTable[1:])
+	b.pendTable = b.pendTable[:len(b.pendTable)-1]
+	b.stats.BusyNanos += e.beats
+	b.stats.DataTenures++
+	if rec := b.cfg.Obs; rec != nil {
+		// The data tenure occupies [begin, begin+beats); CauseID links
+		// the pending-wait edge to the tenure it queued behind.
+		begin := rec.Advance(e.beats)
+		rec.Emit(obs.Event{
+			TS: begin, Dur: e.beats, Kind: obs.KindData, Bus: b.cfg.ObsID,
+			Proc: e.master, Addr: uint64(e.addr), DeferNS: e.beats,
+			TxID: e.txid, CauseID: b.arb.lastTx.Load(),
+		})
+	}
+	return true
+}
+
+// deferDataLocked moves a completed attempt's data phase into the
+// pending table. If the table is full, the transaction is NACKed
+// first — the split-mode fold of the BS abort: the oldest response is
+// force-drained to make room and the master is charged one retry
+// address cycle. Caller holds the arbiter lock; r's cost fields are
+// adjusted before Stats.record sees them.
+func (b *Bus) deferDataLocked(tx *Transaction, r *Result, txid uint64) {
+	if len(b.pendTable) >= b.tenure.TableSize() {
+		b.drainOneLocked(true)
+		addrCost := b.cfg.Timing.AddressCycleCost()
+		r.Retries++
+		r.Cost += addrCost
+		r.Phases.Retry += addrCost
+		b.stats.Nacks++
+		if rec := b.cfg.Obs; rec != nil {
+			rec.Emit(obs.Event{
+				TS: rec.Clock(), Dur: addrCost, Kind: obs.KindNack, Bus: b.cfg.ObsID,
+				Proc: tx.MasterID, Addr: uint64(tx.Addr), Col: tx.Event().Column(),
+				TxID: txid,
+			})
+		}
+	}
+	// Memory starts serving as the address tenure ends: ready when the
+	// occupancy clock (advanced by r.Cost when this tx is recorded)
+	// passes the off-bus first-word latency.
+	b.pendTable = append(b.pendTable, pendEntry{
+		txid: txid, master: tx.MasterID, addr: tx.Addr,
+		beats:   r.Phases.Deferred,
+		readyAt: b.stats.BusyNanos + r.Cost + r.Phases.Pend,
+	})
+	if rec := b.cfg.Obs; rec != nil {
+		rec.Emit(obs.Event{
+			TS: rec.Clock(), Dur: r.Phases.Pend, Kind: obs.KindPend, Bus: b.cfg.ObsID,
+			Proc: tx.MasterID, Addr: uint64(tx.Addr), Op: opLetter(tx.Op),
+			PendNS: r.Phases.Pend, TxID: txid,
+		})
+	}
 }
 
 // ExecuteHeld runs a transaction on an already-Acquired bus. It is also
@@ -362,6 +517,17 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 	res.Phases.Arb = arbWait
 	for attempt := 0; ; attempt++ {
 		if attempt > maxRetries {
+			// Surface the wedged transaction structurally before failing:
+			// a counter (futurebus_retry_exhausted_total) and an event the
+			// runtime monitor folds into a forward-progress violation.
+			b.stats.RetryExhausted++
+			if rec := b.cfg.Obs; rec != nil {
+				rec.Emit(obs.Event{
+					TS: rec.Clock(), Kind: obs.KindRetryExhausted, Bus: b.cfg.ObsID,
+					Proc: tx.MasterID, Addr: uint64(tx.Addr), Col: tx.Event().Column(),
+					Retries: res.Retries, TxID: txid, CauseID: causeID,
+				})
+			}
 			return res, fmt.Errorf("%w: %s", ErrTooManyRetries, tx)
 		}
 		// Broadcast address cycle: every unit sees the address and
@@ -462,6 +628,11 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 		r.Phases.Arb = res.Phases.Arb
 		r.Phases.Addr = addrCost
 		r.Phases.Retry = res.Phases.Retry
+		if r.Phases.Deferred > 0 {
+			// Split mode: park the data phase in the pending table (NACK
+			// first if it is full) before the stats see the final cost.
+			b.deferDataLocked(tx, &r, txid)
+		}
 		b.stats.record(tx, &r, b.cfg.LineSize)
 		b.arb.lastTx.Store(txid)
 		if rec := b.cfg.Obs; rec != nil {
@@ -477,6 +648,7 @@ func (b *Bus) executeLocked(tx *Transaction) (Result, error) {
 				ArbNS: r.Phases.Arb, AddrNS: r.Phases.Addr,
 				DataNS: r.Phases.Data, IntvNS: r.Phases.Intervention,
 				MemNS: r.Phases.Memory, RetryNS: r.Phases.Retry,
+				PendNS: r.Phases.Pend, DeferNS: r.Phases.Deferred,
 				TxID: txid, CauseID: causeID,
 			})
 		}
@@ -593,6 +765,18 @@ func (b *Bus) completeAttempt(tx *Transaction, responses []SnoopResponse) (Resul
 	}
 
 	beats, firstWord, fromOwner := b.cfg.Timing.DataPhaseParts(tx, &res, b.cfg.LineSize)
+	if b.split && b.depth == 0 && !fromOwner && b.tenure.Deferrable(tx, &res) {
+		// Split tenure: the grant ends with the address handshake. The
+		// first-word latency is served off-bus (Pend) and the transfer
+		// beats ride a later data tenure (Deferred); neither occupies
+		// this tenure, so Cost (== Phases.Occupancy) excludes both.
+		// Nested recovery pushes (depth > 0) and owner interventions
+		// stay atomic — their data resolves during the snooped tenure.
+		res.Phases.Pend = firstWord
+		res.Phases.Deferred = beats
+		res.Posted = tx.Op == core.BusWrite
+		return res, nil
+	}
 	res.Phases.Data = beats
 	if fromOwner {
 		res.Phases.Intervention = firstWord

@@ -1,0 +1,167 @@
+package bus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Waiter describes one queued bus requester as a Discipline sees it.
+type Waiter struct {
+	// Board is the requesting board's bus id. Internal bookkeeping
+	// lockers (stats snapshots, drains) pass -1 and are ordered by
+	// arrival like FCFS traffic.
+	Board int
+	// Ticket is the waiter's arrival order: the arbiter hands out
+	// strictly increasing tickets, so comparing tickets compares
+	// request times.
+	Ticket int64
+	// Skips counts grant rounds this waiter has already lost — the
+	// aging input a bounded-latency discipline promotes on.
+	Skips int
+}
+
+// Discipline is the arbiter's grant order, extracted from the grant
+// machinery so the Futurebus's two §2 arbitration modes — the priority
+// scheme (each board competes with its slot number) and the fairness
+// mode (a granted board re-queues behind every current requester) —
+// and synthetic disciplines (FCFS, bounded-latency) are interchangeable
+// per shard.
+//
+// The arbiter grants the waiter with the smallest Key. Key is consulted
+// once per waiter per grant round, under the arbiter's internal lock,
+// so implementations may keep state but must not block.
+type Discipline interface {
+	// Name identifies the discipline in reports and sweeps.
+	Name() string
+	// Key orders the queue: smallest key is granted next. Ties are
+	// impossible when the key embeds the ticket, which every shipped
+	// discipline does.
+	Key(w Waiter) int64
+	// Granted informs the discipline of the winning board (negative for
+	// internal lockers, which stateful disciplines should ignore).
+	Granted(board int)
+}
+
+// DisciplineFactory builds one Discipline instance. A factory rather
+// than an instance because stateful disciplines (round-robin) need a
+// private instance per shard arbiter.
+type DisciplineFactory func() Discipline
+
+// prioShift packs (class, ticket) into one int64 key: class in the high
+// bits, arrival ticket in the low 40. 2^40 tickets is far beyond any
+// simulated run.
+const prioShift = 40
+
+// agedKey is the promotion offset a bounded-latency discipline applies:
+// any promoted waiter outranks every unpromoted one, and promoted
+// waiters drain among themselves in arrival order.
+const agedKey = int64(1) << 50
+
+// fcfs grants in strict arrival order — the pre-refactor ticket-lock
+// behaviour and the default.
+type fcfs struct{}
+
+func (fcfs) Name() string       { return "fcfs" }
+func (fcfs) Key(w Waiter) int64 { return w.Ticket }
+func (fcfs) Granted(int)        {}
+
+// priority models the Futurebus §2 competition-number arbitration: the
+// lowest slot number wins every round, regardless of how long others
+// have waited. Under sustained overload from a low-numbered board this
+// starves the rest — which is exactly what the starvation tests
+// demonstrate.
+type priority struct{}
+
+func (priority) Name() string { return "priority" }
+func (priority) Key(w Waiter) int64 {
+	b := w.Board
+	if b < 0 {
+		b = 0
+	}
+	return int64(b)<<prioShift | w.Ticket
+}
+func (priority) Granted(int) {}
+
+// rr models the Futurebus fairness mode as round-robin: the board
+// cyclically next after the last grant winner wins, so under any
+// overload every requester is granted within one rotation of the
+// board set.
+type rr struct {
+	last int
+}
+
+// rrRing bounds the cyclic distance; board ids are dense and small.
+const rrRing = 1 << 20
+
+func (*rr) Name() string { return "rr" }
+func (d *rr) Key(w Waiter) int64 {
+	b := w.Board
+	if b < 0 {
+		// Internal lockers take the slot right after the last winner so
+		// they drain promptly without perturbing the rotation.
+		b = d.last
+	}
+	dist := (b - d.last - 1) % rrRing
+	if dist < 0 {
+		dist += rrRing
+	}
+	return int64(dist)<<prioShift | w.Ticket
+}
+func (d *rr) Granted(board int) {
+	if board >= 0 {
+		d.last = board
+	}
+}
+
+// bounded is priority arbitration with aging: a waiter that has lost
+// Bound grant rounds is promoted ahead of all unpromoted traffic and
+// drains FIFO among the promoted. Any request is therefore granted
+// within Bound + (queued promoted waiters) rounds — a provable latency
+// bound on top of a QoS class order.
+type bounded struct {
+	Bound int
+}
+
+// DefaultAgingBound is the skip count at which the bounded-latency
+// discipline promotes a waiter.
+const DefaultAgingBound = 4
+
+func (d *bounded) Name() string { return fmt.Sprintf("bounded(%d)", d.Bound) }
+func (d *bounded) Key(w Waiter) int64 {
+	if w.Skips >= d.Bound {
+		return w.Ticket - agedKey
+	}
+	return priority{}.Key(w)
+}
+func (*bounded) Granted(int) {}
+
+// disciplines is the registry behind NewDiscipline.
+var disciplines = map[string]DisciplineFactory{
+	"fcfs":     func() Discipline { return fcfs{} },
+	"priority": func() Discipline { return priority{} },
+	"rr":       func() Discipline { return &rr{last: -1} },
+	"bounded":  func() Discipline { return &bounded{Bound: DefaultAgingBound} },
+}
+
+// NewDiscipline resolves a discipline name ("fcfs", "rr", "priority",
+// "bounded") to its factory. The empty name means fcfs.
+func NewDiscipline(name string) (DisciplineFactory, error) {
+	if name == "" {
+		name = "fcfs"
+	}
+	f, ok := disciplines[name]
+	if !ok {
+		return nil, fmt.Errorf("bus: unknown arbitration discipline %q (have %v)", name, DisciplineNames())
+	}
+	return f, nil
+}
+
+// DisciplineNames lists the registered disciplines, sorted.
+func DisciplineNames() []string {
+	names := make([]string, 0, len(disciplines))
+	for n := range disciplines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -28,8 +28,10 @@ type Fabric interface {
 	Attach(s Snooper)
 	// Execute runs one transaction on the home shard of tx.Addr.
 	Execute(tx *Transaction) (Result, error)
-	// Acquire blocks until the home shard of addr grants mastership.
-	Acquire(addr Addr)
+	// Acquire blocks until the home shard of addr grants mastership to
+	// master (the requesting board's id; internal callers pass -1 — the
+	// shard arbiter's Discipline orders contenders by it).
+	Acquire(addr Addr, master int)
 	// Release returns mastership of addr's home shard.
 	Release(addr Addr)
 	// ExecuteHeld runs a transaction under an Acquire'd tenure; tx.Addr
@@ -59,6 +61,10 @@ type Fabric interface {
 	// Shard exposes the underlying Bus for shard i (escape hatch for
 	// engines and tests that need per-shard state such as LastTxID).
 	Shard(i int) *Bus
+	// DrainPending force-retires every split-mode pending transaction
+	// on every shard (no-op in atomic mode). Engines call it at
+	// quiesce so deferred data tenures are fully accounted.
+	DrainPending()
 }
 
 // Compile-time checks: both fabric implementations satisfy the
@@ -143,8 +149,8 @@ func (f *Interleaved) Attach(s Snooper) {
 // Execute routes the transaction to its home shard.
 func (f *Interleaved) Execute(tx *Transaction) (Result, error) { return f.home(tx.Addr).Execute(tx) }
 
-// Acquire blocks until addr's home shard grants mastership.
-func (f *Interleaved) Acquire(addr Addr) { f.home(addr).Acquire(addr) }
+// Acquire blocks until addr's home shard grants mastership to master.
+func (f *Interleaved) Acquire(addr Addr, master int) { f.home(addr).Acquire(addr, master) }
 
 // Release returns mastership of addr's home shard.
 func (f *Interleaved) Release(addr Addr) { f.home(addr).Release(addr) }
@@ -202,3 +208,11 @@ func (f *Interleaved) SegmentID(addr Addr) int { return f.home(addr).ObsID() }
 
 // Shard returns the underlying Bus for shard i.
 func (f *Interleaved) Shard(i int) *Bus { return f.shards[i] }
+
+// DrainPending force-retires split-mode pending transactions on every
+// shard.
+func (f *Interleaved) DrainPending() {
+	for _, b := range f.shards {
+		b.DrainPending()
+	}
+}

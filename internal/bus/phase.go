@@ -26,18 +26,31 @@ type PhaseCosts struct {
 	// Retry is the BS abort/retry overhead: the address cycles of every
 	// aborted attempt. The owner's recovery pushes run as nested
 	// transactions and are accounted (and emitted) as their own
-	// transactions, charged to the recovering owner.
+	// transactions, charged to the recovering owner. In split mode a
+	// NACK (pending table full) charges its extra address cycle here
+	// too — the NACK is the split-mode fold of the BS abort.
 	Retry int64 `json:"retry"`
+	// Pend is the off-bus memory service of a split transaction: the
+	// first-word latency spent in the pending-transaction table while
+	// other masters use the bus. Zero in atomic mode. Not bus occupancy.
+	Pend int64 `json:"pend,omitempty"`
+	// Deferred is the data-phase transfer time a split transaction
+	// retires in a later data tenure of its own. It is charged to the
+	// shard's occupancy clock when that tenure runs (KindData), so it is
+	// excluded here from Occupancy to keep Occupancy() == Result.Cost.
+	Deferred int64 `json:"deferred,omitempty"`
 }
 
-// Occupancy is the bus-occupied portion of the breakdown — everything
-// except the arbitration wait. It equals Result.Cost.
+// Occupancy is the bus-occupied portion of the breakdown during the
+// address tenure — everything except the arbitration wait and the
+// split-mode off-bus phases. It equals Result.Cost.
 func (p PhaseCosts) Occupancy() int64 {
 	return p.Addr + p.Data + p.Intervention + p.Memory + p.Retry
 }
 
 // Transfer is the data-movement portion: beats plus whichever
-// first-word latency applied.
+// first-word latency applied, including a split transaction's deferred
+// beats and off-bus service.
 func (p PhaseCosts) Transfer() int64 {
-	return p.Data + p.Intervention + p.Memory
+	return p.Data + p.Intervention + p.Memory + p.Pend + p.Deferred
 }

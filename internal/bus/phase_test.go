@@ -115,7 +115,7 @@ func TestArbitrationWait(t *testing.T) {
 	}))
 	b := New(newFakeMemory(16), Config{LineSize: 16, Obs: rec})
 
-	b.Acquire(5) // hold the bus before the contender arrives
+	b.Acquire(5, -1) // hold the bus before the contender arrives
 	done := make(chan Result, 1)
 	go func() {
 		res, err := b.Execute(&Transaction{MasterID: 1, Signals: core.SigCA, Op: core.BusRead, Addr: 3})

@@ -14,7 +14,7 @@ func TestArbQueueDepth(t *testing.T) {
 		t.Fatalf("idle bus depth = %d, want 0", got)
 	}
 
-	b.Acquire(0)
+	b.Acquire(0, -1)
 	if got := b.ArbQueueDepth(); got != 1 {
 		t.Errorf("held bus depth = %d, want 1", got)
 	}
@@ -26,7 +26,7 @@ func TestArbQueueDepth(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		b.Acquire(0)
+		b.Acquire(0, -1)
 		b.Release(0)
 	}()
 	for b.ArbQueueDepth() != 2 {
@@ -46,7 +46,7 @@ func TestArbQueueDepthSharedArbiter(t *testing.T) {
 	arb := NewArbiter()
 	b1 := New(newFakeMemory(16), Config{LineSize: 16, Arbiter: arb})
 	b2 := New(newFakeMemory(16), Config{LineSize: 16, Arbiter: arb})
-	b1.Acquire(0)
+	b1.Acquire(0, -1)
 	if got := b2.ArbQueueDepth(); got != 1 {
 		t.Errorf("sibling bus depth = %d, want 1 (shared arbiter)", got)
 	}

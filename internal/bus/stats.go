@@ -26,9 +26,21 @@ type Stats struct {
 	Updates int64
 	// Aborts counts BS aborts (each forces a recovery push + retry).
 	Aborts int64
+	// Nacks counts split-mode NACKs: a transaction found the pending
+	// table full and paid a retry address cycle (the split-mode fold of
+	// the BS abort).
+	Nacks int64
+	// DataTenures counts split-mode data tenures retired: deferred
+	// responses that re-arbitrated and moved their beats.
+	DataTenures int64
+	// RetryExhausted counts transactions that aborted more times than
+	// maxRetries allows and failed with ErrTooManyRetries — a wedged
+	// protocol, surfaced as futurebus_retry_exhausted_total.
+	RetryExhausted int64
 	// BytesTransferred counts data-phase bytes.
 	BytesTransferred int64
-	// BusyNanos is total bus-occupied time under the Timing model.
+	// BusyNanos is total bus-occupied time under the Timing model,
+	// including split-mode data tenures and NACK cycles.
 	BusyNanos int64
 }
 
@@ -87,6 +99,9 @@ func (s *Stats) Add(other Stats) {
 	s.Interventions += other.Interventions
 	s.Updates += other.Updates
 	s.Aborts += other.Aborts
+	s.Nacks += other.Nacks
+	s.DataTenures += other.DataTenures
+	s.RetryExhausted += other.RetryExhausted
 	s.BytesTransferred += other.BytesTransferred
 	s.BusyNanos += other.BusyNanos
 }
@@ -95,6 +110,12 @@ func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "transactions=%d (R=%d W=%d addr=%d)", s.Transactions, s.Reads, s.Writes, s.AddrOnly)
 	fmt.Fprintf(&b, " interventions=%d updates=%d aborts=%d", s.Interventions, s.Updates, s.Aborts)
+	if s.Nacks > 0 || s.DataTenures > 0 {
+		fmt.Fprintf(&b, " nacks=%d dataTenures=%d", s.Nacks, s.DataTenures)
+	}
+	if s.RetryExhausted > 0 {
+		fmt.Fprintf(&b, " retryExhausted=%d", s.RetryExhausted)
+	}
 	fmt.Fprintf(&b, " bytes=%d busy=%dns", s.BytesTransferred, s.BusyNanos)
 	return b.String()
 }

@@ -96,31 +96,32 @@ func TestStatsRecordAndAdd(t *testing.T) {
 	}
 }
 
-// TestFIFOMutexOrder: the arbiter grants strictly in arrival order.
+// TestFIFOMutexOrder: with no discipline installed the arbiter grants
+// strictly in arrival order (the pre-Discipline ticket-lock contract).
 func TestFIFOMutexOrder(t *testing.T) {
-	var m fifoMutex
-	m.Lock()
+	var m arbMutex
+	m.Lock(-1)
 	order := make(chan int, 2)
 	ready := make(chan struct{}, 2)
 	go func() {
 		ready <- struct{}{}
-		m.Lock()
+		m.Lock(1)
 		order <- 1
 		m.Unlock()
 	}()
 	<-ready
-	// Wait until the first waiter holds ticket 1.
-	for !ticketTaken(&m, 2) {
+	// Wait until the first contender is parked with its ticket.
+	for !waitersParked(&m, 1) {
 		runtime.Gosched()
 	}
 	go func() {
 		ready <- struct{}{}
-		m.Lock()
+		m.Lock(2)
 		order <- 2
 		m.Unlock()
 	}()
 	<-ready
-	for !ticketTaken(&m, 3) {
+	for !waitersParked(&m, 2) {
 		runtime.Gosched()
 	}
 	m.Unlock()
@@ -130,8 +131,8 @@ func TestFIFOMutexOrder(t *testing.T) {
 	}
 }
 
-func ticketTaken(m *fifoMutex, n uint64) bool {
+func waitersParked(m *arbMutex, n int) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.next >= n
+	return len(m.waiters) >= n
 }

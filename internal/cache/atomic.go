@@ -24,7 +24,7 @@ func (c *Cache) Update(addr bus.Addr, wordIdx int, f func(uint32) uint32) (old, 
 	if err := c.checkWord(wordIdx); err != nil {
 		return 0, 0, err
 	}
-	c.bus.Acquire(addr)
+	c.bus.Acquire(addr, c.id)
 	defer c.bus.Release(addr)
 
 	// Read phase: local copy if present, otherwise a normal read-miss
@@ -105,7 +105,7 @@ func (u *Uncached) Update(addr bus.Addr, wordIdx int, f func(uint32) uint32) (ol
 	if wordIdx < 0 || (wordIdx+1)*4 > u.bus.LineSize() {
 		return 0, 0, fmt.Errorf("uncached %d: word %d outside line", u.id, wordIdx)
 	}
-	u.bus.Acquire(addr)
+	u.bus.Acquire(addr, u.id)
 	defer u.bus.Release(addr)
 
 	read := &bus.Transaction{MasterID: u.id, Op: core.BusRead, Addr: addr}
@@ -134,7 +134,7 @@ func (u *Uncached) Update(addr bus.Addr, wordIdx int, f func(uint32) uint32) (ol
 	u.mu.Lock()
 	u.stats.Reads++
 	u.stats.Writes++
-	u.stats.StallNanos += res.Cost + wres.Cost
+	u.stats.StallNanos += res.StallCost() + wres.StallCost()
 	u.mu.Unlock()
 	return old, updated, nil
 }

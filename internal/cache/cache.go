@@ -242,8 +242,14 @@ func snoopCause(tx *bus.Transaction) string {
 func (c *Cache) noteStall(sh *cacheShard, addr bus.Addr, cost int64) {
 	sh.stats.StallNanos += cost
 	if rec := c.obs; rec != nil {
+		// Split-mode stalls include off-bus time, which can exceed the
+		// occupancy clock's advance; clamp the span start at 0.
+		ts := rec.Clock() - cost
+		if ts < 0 {
+			ts = 0
+		}
 		rec.Emit(obs.Event{
-			TS: rec.Clock() - cost, Dur: cost, Kind: obs.KindStall,
+			TS: ts, Dur: cost, Kind: obs.KindStall,
 			Bus: c.bus.SegmentID(addr), Proc: c.id, Addr: uint64(addr),
 		})
 	}

@@ -48,7 +48,7 @@ func (c *Cache) ReadWord(addr bus.Addr, wordIdx int) (uint32, error) {
 	sh.stats.ReadMisses++
 	sh.mu.Unlock()
 
-	c.bus.Acquire(addr)
+	c.bus.Acquire(addr, c.id)
 	defer c.bus.Release(addr)
 	data, _, err := c.fillLine(addr, core.LocalRead)
 	if err != nil {
@@ -87,7 +87,7 @@ func (c *Cache) WriteWord(addr bus.Addr, wordIdx int, val uint32) error {
 	}
 	sh.mu.Unlock()
 
-	c.bus.Acquire(addr)
+	c.bus.Acquire(addr, c.id)
 	defer c.bus.Release(addr)
 	return c.writeHeld(addr, wordIdx, val)
 }
@@ -161,7 +161,7 @@ func (c *Cache) writeHitBus(addr bus.Addr, wordIdx int, val uint32) error {
 	c.setStateTx(sh, l, action.Next.Resolve(res.CH), "write-upgrade", res.TxID)
 	putWord(l.data, wordIdx, val)
 	c.touch(sh, l)
-	c.noteStall(sh, addr, res.Cost)
+	c.noteStall(sh, addr, res.StallCost())
 	c.noteWrite(addr, wordIdx, val)
 	sh.mu.Unlock()
 	return nil
@@ -237,7 +237,7 @@ func (c *Cache) writeMiss(addr bus.Addr, wordIdx int, val uint32) error {
 			return err
 		}
 		sh.mu.Lock()
-		c.noteStall(sh, addr, res.Cost)
+		c.noteStall(sh, addr, res.StallCost())
 		c.noteWrite(addr, wordIdx, val)
 		sh.mu.Unlock()
 		return nil
@@ -294,10 +294,10 @@ func (c *Cache) fillLineWith(addr bus.Addr, action core.LocalAction) ([]byte, in
 	sh := c.shard(addr)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	c.noteStall(sh, addr, res.Cost)
+	c.noteStall(sh, addr, res.StallCost())
 	if !next.Valid() {
 		// A non-caching read: nothing retained.
-		return res.Data, res.Cost, nil
+		return res.Data, res.StallCost(), nil
 	}
 	v := c.victim(addr)
 	if v.state.Valid() {
@@ -310,7 +310,7 @@ func (c *Cache) fillLineWith(addr bus.Addr, action core.LocalAction) ([]byte, in
 	c.setStateTx(sh, v, next, "fill", res.TxID)
 	v.data = append(v.data[:0], res.Data...)
 	c.touch(sh, v)
-	return append([]byte(nil), res.Data...), res.Cost, nil
+	return append([]byte(nil), res.Data...), res.StallCost(), nil
 }
 
 // makeRoom evicts a victim from addr's set if no way is free, pushing
@@ -376,7 +376,7 @@ func (c *Cache) makeRoom(addr bus.Addr) error {
 	sh.mu.Lock()
 	sh.stats.DirtyEvictions++
 	sh.stats.Flushes++
-	c.noteStall(sh, victimAddr, res.Cost)
+	c.noteStall(sh, victimAddr, res.StallCost())
 	if rec := c.obs; rec != nil {
 		rec.Emit(obs.Event{TS: rec.Clock(), Kind: obs.KindEvict, Bus: c.bus.SegmentID(victimAddr), Proc: c.id, Addr: uint64(victimAddr), TxID: res.TxID})
 	}
@@ -410,7 +410,7 @@ func (c *Cache) Pass(addr bus.Addr) error {
 }
 
 func (c *Cache) pushLine(addr bus.Addr, event core.LocalEvent) error {
-	c.bus.Acquire(addr)
+	c.bus.Acquire(addr, c.id)
 	defer c.bus.Release(addr)
 	sh := c.shard(addr)
 	sh.mu.Lock()
@@ -461,7 +461,7 @@ func (c *Cache) pushLine(addr bus.Addr, event core.LocalEvent) error {
 	case core.Flush:
 		sh.stats.Flushes++
 	}
-	c.noteStall(sh, addr, res.Cost)
+	c.noteStall(sh, addr, res.StallCost())
 	sh.mu.Unlock()
 	return nil
 }

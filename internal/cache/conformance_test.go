@@ -91,18 +91,30 @@ type memImage interface {
 // conformanceRig builds a fresh fabric (a single bus, or an interleaved
 // backplane when shards > 1) with the protocol under test (A), a MOESI
 // environment cache (B, optional), and a raw master id.
-func conformanceRig(t *testing.T, name string, withB bool, shards int) (bus.Fabric, memImage, *Cache, *Cache) {
+func conformanceRig(t *testing.T, name string, withB bool, shards int, tenure string) (bus.Fabric, memImage, *Cache, *Cache) {
 	t.Helper()
+	cfg := bus.Config{LineSize: testLineSize}
+	if tenure != "" && tenure != "atomic" {
+		tp, err := bus.NewTenure(tenure, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disc, err := bus.NewDiscipline("rr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Tenure, cfg.Discipline = tp, disc
+	}
 	var b bus.Fabric
 	var mem memImage
 	if shards == 1 {
 		m := memory.New(testLineSize)
-		b = bus.New(m, bus.Config{LineSize: testLineSize})
+		b = bus.New(m, cfg)
 		mem = m
 	} else {
 		m := memory.NewSharded(testLineSize, shards, 1)
 		b = bus.NewInterleaved(m.Ports(), bus.InterleavedConfig{
-			Config: bus.Config{LineSize: testLineSize}, Shards: shards, Granularity: 1,
+			Config: cfg, Shards: shards, Granularity: 1,
 		})
 		mem = m
 	}
@@ -123,6 +135,11 @@ func conformanceRig(t *testing.T, name string, withB bool, shards int) (bus.Fabr
 // line's serialisation point is a single bus or one shard of an
 // interleaved backplane.
 var conformanceShards = []int{1, 2, 4}
+
+// conformanceTenures: every cell must resolve identically whether the
+// bus holds one atomic tenure per transaction or splits the data phase
+// into a separate tenure — the tenure policy is timing, never protocol.
+var conformanceTenures = []string{"atomic", "split"}
 
 // conformanceProtocols are the deterministic cached protocols (the
 // dynamic choosers pick a different legal action per draw, so they have
@@ -164,35 +181,37 @@ func TestSnoopConformance(t *testing.T) {
 						if withB && s.ExclusiveCopy() {
 							continue
 						}
-						_, mem, a, envB := conformanceRig(t, name, withB, nsh)
-						if !s.OwnedCopy() {
-							// Unowned states must match the owner; with no
-							// owner the image is memory.
-							mem.WriteLine(addr, lineData)
-						}
-						a.forceLine(addr, s, lineData)
-						if envB != nil {
-							envB.forceLine(addr, core.Shared, lineData)
-						}
+						for _, ten := range conformanceTenures {
+							_, mem, a, envB := conformanceRig(t, name, withB, nsh, ten)
+							if !s.OwnedCopy() {
+								// Unowned states must match the owner; with no
+								// owner the image is memory.
+								mem.WriteLine(addr, lineData)
+							}
+							a.forceLine(addr, s, lineData)
+							if envB != nil {
+								envB.forceLine(addr, core.Shared, lineData)
+							}
 
-						tx := &bus.Transaction{MasterID: 9, Signals: col.Signals(), Addr: addr}
-						switch col {
-						case core.BusCacheRead, core.BusPlainRead:
-							tx.Op = core.BusRead
-						case core.BusCacheRFO:
-							tx.Op = core.BusAddrOnly
-						default:
-							tx.Op = core.BusWrite
-							tx.Partial = &bus.PartialWrite{Word: 0, Val: 0x77}
+							tx := &bus.Transaction{MasterID: 9, Signals: col.Signals(), Addr: addr}
+							switch col {
+							case core.BusCacheRead, core.BusPlainRead:
+								tx.Op = core.BusRead
+							case core.BusCacheRFO:
+								tx.Op = core.BusAddrOnly
+							default:
+								tx.Op = core.BusWrite
+								tx.Partial = &bus.PartialWrite{Word: 0, Val: 0x77}
+							}
+							if _, err := a.bus.Execute(tx); err != nil {
+								t.Fatalf("%s state %s col %d (B=%t, shards=%d, tenure=%s): %v", name, s.Letter(), col.Column(), withB, nsh, ten, err)
+							}
+							if got := a.State(addr); got != want {
+								t.Errorf("%s: state %s, col %d, B=%t, shards=%d, tenure=%s: engine went to %s, table says %s",
+									name, s.Letter(), col.Column(), withB, nsh, ten, got.Letter(), want.Letter())
+							}
+							checked++
 						}
-						if _, err := a.bus.Execute(tx); err != nil {
-							t.Fatalf("%s state %s col %d (B=%t, shards=%d): %v", name, s.Letter(), col.Column(), withB, nsh, err)
-						}
-						if got := a.State(addr); got != want {
-							t.Errorf("%s: state %s, col %d, B=%t, shards=%d: engine went to %s, table says %s",
-								name, s.Letter(), col.Column(), withB, nsh, got.Letter(), want.Letter())
-						}
-						checked++
 					}
 				}
 			}
@@ -229,35 +248,37 @@ func TestLocalConformance(t *testing.T) {
 						if withB && s.ExclusiveCopy() {
 							continue
 						}
-						_, mem, a, envB := conformanceRig(t, name, withB, nsh)
-						if !s.OwnedCopy() {
-							mem.WriteLine(addr, lineData)
-						}
-						if s.Valid() {
-							a.forceLine(addr, s, lineData)
-						}
-						if envB != nil {
-							envB.forceLine(addr, core.Shared, lineData)
-						}
+						for _, ten := range conformanceTenures {
+							_, mem, a, envB := conformanceRig(t, name, withB, nsh, ten)
+							if !s.OwnedCopy() {
+								mem.WriteLine(addr, lineData)
+							}
+							if s.Valid() {
+								a.forceLine(addr, s, lineData)
+							}
+							if envB != nil {
+								envB.forceLine(addr, core.Shared, lineData)
+							}
 
-						switch e {
-						case core.LocalRead:
-							_, err = a.ReadWord(addr, 0)
-						case core.LocalWrite:
-							err = a.WriteWord(addr, 0, 0x99)
-						case core.Pass:
-							err = a.Pass(addr)
-						case core.Flush:
-							err = a.Flush(addr)
+							switch e {
+							case core.LocalRead:
+								_, err = a.ReadWord(addr, 0)
+							case core.LocalWrite:
+								err = a.WriteWord(addr, 0, 0x99)
+							case core.Pass:
+								err = a.Pass(addr)
+							case core.Flush:
+								err = a.Flush(addr)
+							}
+							if err != nil {
+								t.Fatalf("%s state %s %s (B=%t, shards=%d, tenure=%s): %v", name, s.Letter(), e, withB, nsh, ten, err)
+							}
+							if got := a.State(addr); got != want {
+								t.Errorf("%s: state %s, %s, B=%t, shards=%d, tenure=%s: engine went to %s, table says %s",
+									name, s.Letter(), e, withB, nsh, ten, got.Letter(), want.Letter())
+							}
+							checked++
 						}
-						if err != nil {
-							t.Fatalf("%s state %s %s (B=%t, shards=%d): %v", name, s.Letter(), e, withB, nsh, err)
-						}
-						if got := a.State(addr); got != want {
-							t.Errorf("%s: state %s, %s, B=%t, shards=%d: engine went to %s, table says %s",
-								name, s.Letter(), e, withB, nsh, got.Letter(), want.Letter())
-						}
-						checked++
 					}
 				}
 			}

@@ -17,7 +17,7 @@ func TestFetchLineHeld(t *testing.T) {
 	c0, c1 := cs[0], cs[1]
 	mustWrite(t, c1, 4, 0, 0x42) // dirty elsewhere
 
-	b.Acquire(4)
+	b.Acquire(4, -1)
 	data, err := c0.FetchLineHeld(4)
 	b.Release(4)
 	if err != nil {
@@ -36,7 +36,7 @@ func TestFetchLineHeld(t *testing.T) {
 	}
 	// A second fetch is served locally (no new transaction).
 	before := b.Stats().Transactions
-	b.Acquire(4)
+	b.Acquire(4, -1)
 	if _, err := c0.FetchLineHeld(4); err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestAbsorbLineHeld(t *testing.T) {
 	line := bytes.Repeat([]byte{0xAB}, testLineSize)
 
 	// Miss path (RFO fill then overwrite).
-	b.Acquire(7)
+	b.Acquire(7, -1)
 	if err := c0.AbsorbLineHeld(7, line); err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestAbsorbLineHeld(t *testing.T) {
 	mustRead(t, c1, 7, 0) // c0: M→O, c1: S
 	mustRead(t, c0, 7, 0)
 	line2 := bytes.Repeat([]byte{0xCD}, testLineSize)
-	b.Acquire(7)
+	b.Acquire(7, -1)
 	if err := c0.AbsorbLineHeld(7, line2); err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestAbsorbLineHeld(t *testing.T) {
 	// Silent path (already M).
 	line3 := bytes.Repeat([]byte{0xEF}, testLineSize)
 	before := b.Stats().Transactions
-	b.Acquire(7)
+	b.Acquire(7, -1)
 	if err := c0.AbsorbLineHeld(7, line3); err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestAbsorbLineHeld(t *testing.T) {
 	}
 
 	// Wrong-size payload is rejected.
-	b.Acquire(7)
+	b.Acquire(7, -1)
 	err := c0.AbsorbLineHeld(7, []byte{1})
 	b.Release(7)
 	if err == nil {
@@ -111,7 +111,7 @@ func TestInvalidateHeld(t *testing.T) {
 	c := cs[0]
 	mustRead(t, c, 3, 0)
 	before := b.Stats().Transactions
-	b.Acquire(3)
+	b.Acquire(3, -1)
 	c.InvalidateHeld(3)
 	c.InvalidateHeld(99) // absent: no-op (same single bus regardless of address)
 	b.Release(3)

@@ -63,7 +63,7 @@ func (u *Uncached) ReadWord(addr bus.Addr, wordIdx int) (uint32, error) {
 	}
 	u.mu.Lock()
 	u.stats.Reads++
-	u.stats.StallNanos += res.Cost
+	u.stats.StallNanos += res.StallCost()
 	u.mu.Unlock()
 	return binary.LittleEndian.Uint32(res.Data[wordIdx*4:]), nil
 }
@@ -86,7 +86,7 @@ func (u *Uncached) WriteWord(addr bus.Addr, wordIdx int, val uint32) error {
 		Op:       core.BusWrite,
 		Partial:  &bus.PartialWrite{Word: wordIdx, Val: val},
 	}
-	u.bus.Acquire(addr)
+	u.bus.Acquire(addr, u.id)
 	res, err := u.bus.ExecuteHeld(tx)
 	if err == nil && u.onWrite != nil {
 		u.onWrite(addr, wordIdx, val)
@@ -97,7 +97,7 @@ func (u *Uncached) WriteWord(addr bus.Addr, wordIdx int, val uint32) error {
 	}
 	u.mu.Lock()
 	u.stats.Writes++
-	u.stats.StallNanos += res.Cost
+	u.stats.StallNanos += res.StallCost()
 	u.mu.Unlock()
 	return nil
 }

@@ -210,8 +210,14 @@ func (c *SectorCache) Stats() SectorStats {
 func (c *SectorCache) noteStall(sh *sectorShard, addr bus.Addr, cost int64) {
 	sh.stats.StallNanos += cost
 	if rec := c.obs; rec != nil {
+		// Split-mode stalls include off-bus time, which can exceed the
+		// occupancy clock's advance; clamp the span start at 0.
+		ts := rec.Clock() - cost
+		if ts < 0 {
+			ts = 0
+		}
 		rec.Emit(obs.Event{
-			TS: rec.Clock() - cost, Dur: cost, Kind: obs.KindStall,
+			TS: ts, Dur: cost, Kind: obs.KindStall,
 			Bus: c.bus.SegmentID(addr), Proc: c.id, Addr: uint64(addr),
 		})
 	}
@@ -336,7 +342,7 @@ func (c *SectorCache) ReadWord(addr bus.Addr, wordIdx int) (uint32, error) {
 	}
 	sh.mu.Unlock()
 
-	c.bus.Acquire(addr)
+	c.bus.Acquire(addr, c.id)
 	defer c.bus.Release(addr)
 	data, err := c.fillSub(addr, core.LocalRead)
 	if err != nil {
@@ -372,7 +378,7 @@ func (c *SectorCache) WriteWord(addr bus.Addr, wordIdx int, val uint32) error {
 	}
 	sh.mu.Unlock()
 
-	c.bus.Acquire(addr)
+	c.bus.Acquire(addr, c.id)
 	defer c.bus.Release(addr)
 	return c.writeHeld(addr, wordIdx, val)
 }
@@ -420,7 +426,7 @@ func (c *SectorCache) writeHeld(addr bus.Addr, wordIdx int, val uint32) error {
 	c.setSubState(sh, addr, &e.subs[si], action.Next.Resolve(res.CH), "write-upgrade", res.TxID)
 	putWord(e.subs[si].data, wordIdx, val)
 	c.touch(sh, e)
-	c.noteStall(sh, addr, res.Cost)
+	c.noteStall(sh, addr, res.StallCost())
 	c.note(addr, wordIdx, val)
 	return nil
 }
@@ -466,7 +472,7 @@ func (c *SectorCache) writeMissHeld(addr bus.Addr, wordIdx int, val uint32) erro
 			return err
 		}
 		sh.mu.Lock()
-		c.noteStall(sh, addr, res.Cost)
+		c.noteStall(sh, addr, res.StallCost())
 		sh.mu.Unlock()
 		c.note(addr, wordIdx, val)
 		return nil
@@ -514,7 +520,7 @@ func (c *SectorCache) fillSubWith(addr bus.Addr, action core.LocalAction) ([]byt
 
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	c.noteStall(sh, addr, res.Cost)
+	c.noteStall(sh, addr, res.StallCost())
 	e, si := c.lookup(addr)
 	if e == nil {
 		return nil, fmt.Errorf("sector cache %d: allocated sector of %#x vanished", c.id, uint64(addr))
@@ -590,7 +596,7 @@ func (c *SectorCache) allocateSector(addr bus.Addr) error {
 			return err
 		}
 		sh.mu.Lock()
-		c.noteStall(sh, pushes[i].Addr, res.Cost)
+		c.noteStall(sh, pushes[i].Addr, res.StallCost())
 		sh.mu.Unlock()
 	}
 	return nil

@@ -12,7 +12,7 @@ func (c *SectorCache) Update(addr bus.Addr, wordIdx int, f func(uint32) uint32) 
 	if err := c.checkWord(wordIdx); err != nil {
 		return 0, 0, err
 	}
-	c.bus.Acquire(addr)
+	c.bus.Acquire(addr, c.id)
 	defer c.bus.Release(addr)
 
 	sh := c.shard(addr)

@@ -125,7 +125,7 @@ func (c *SectorCache) Recover(b *bus.Bus, aborted *bus.Transaction, resp bus.Sno
 	if err != nil {
 		return err
 	}
-	c.noteStall(sh, aborted.Addr, res.Cost)
+	c.noteStall(sh, aborted.Addr, res.StallCost())
 	next := rec.Next
 	if !next.Valid() {
 		next = core.Invalid

@@ -169,7 +169,7 @@ func (c *Cache) Recover(b *bus.Bus, aborted *bus.Transaction, resp bus.SnoopResp
 	if err != nil {
 		return err
 	}
-	c.noteStall(sh, aborted.Addr, res.Cost)
+	c.noteStall(sh, aborted.Addr, res.StallCost())
 	c.setStateTx(sh, l, rec.Next, "bs-recovery", res.TxID)
 	return nil
 }

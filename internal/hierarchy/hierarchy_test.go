@@ -244,7 +244,7 @@ func TestClusterCheckerDetectsStaleCopy(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Absorb a divergent line into the bridge directly.
-	sys.Global.Acquire(3)
+	sys.Global.Acquire(3, -1)
 	err := sys.Clusters[0].Bridge.Store().AbsorbLineHeld(3, make([]byte, sys.Global.LineSize()))
 	sys.Global.Release(3)
 	if err != nil {

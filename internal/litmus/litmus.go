@@ -151,6 +151,18 @@ type Test struct {
 	// single bus). Litmus outcomes must not depend on it: the fabric
 	// serialises per line, which is all the assertions ever observe.
 	Shards int
+	// Tenure and Discipline select the bus tenure policy ("" or
+	// "atomic", "split") and arbitration discipline ("" or "fcfs",
+	// "rr", "priority", "bounded") for every system the test builds.
+	// Litmus outcomes must not depend on either — they change timing,
+	// never the memory image. Set by the harness (fblitmus
+	// -bus/-discipline), not a file directive.
+	Tenure     string
+	Discipline string
+	// Watch attaches the runtime invariant monitor to every schedule;
+	// any violation fails the run outright (the simulator, not the
+	// test, is broken).
+	Watch bool
 }
 
 // registers returns every register name a test assigns.

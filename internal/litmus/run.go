@@ -7,6 +7,8 @@ import (
 
 	"futurebus/internal/bus"
 	"futurebus/internal/core"
+	"futurebus/internal/obs"
+	"futurebus/internal/obs/watch"
 	"futurebus/internal/sim"
 	"futurebus/internal/workload"
 )
@@ -96,12 +98,21 @@ func runOnce(t *Test, sched int) (map[string]uint32, map[string]map[int]uint32, 
 	for i, name := range t.Boards {
 		boards[i] = sim.BoardSpec{Protocol: name, SectorSubs: t.Sector[i]}
 	}
+	var mon *watch.Monitor
+	var rec *obs.Recorder
+	if t.Watch {
+		mon = watch.New(watch.Config{})
+		rec = obs.New(mon)
+	}
 	sys, err := sim.New(sim.Config{
-		LineSize: t.LineSize,
-		Boards:   boards,
-		Shadow:   true,
-		Paranoid: true,
-		Shards:   t.Shards,
+		LineSize:   t.LineSize,
+		Boards:     boards,
+		Shadow:     true,
+		Paranoid:   true,
+		Shards:     t.Shards,
+		Tenure:     t.Tenure,
+		Discipline: t.Discipline,
+		Obs:        rec,
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -209,6 +220,15 @@ func runOnce(t *Test, sched int) (map[string]uint32, map[string]map[int]uint32, 
 		memView[name] = words
 	}
 
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			return nil, nil, nil, err
+		}
+		if rep := mon.Report(); rep.Total != 0 {
+			return nil, nil, nil, fmt.Errorf("litmus %s schedule %d: invariant monitor: %s",
+				t.Name, sched, rep.Summary())
+		}
+	}
 	return regs, memView, sys.Checker().MustPass(), nil
 }
 
@@ -311,7 +331,21 @@ func runParallelOnce(t *Test, round int) (map[string]uint32, map[string]map[int]
 	for i, name := range t.Boards {
 		boards[i] = sim.BoardSpec{Protocol: name, SectorSubs: t.Sector[i]}
 	}
-	sys, err := sim.New(sim.Config{LineSize: t.LineSize, Boards: boards, Shadow: true, Shards: t.Shards})
+	var mon *watch.Monitor
+	var rec *obs.Recorder
+	if t.Watch {
+		mon = watch.New(watch.Config{})
+		rec = obs.New(mon)
+	}
+	sys, err := sim.New(sim.Config{
+		LineSize:   t.LineSize,
+		Boards:     boards,
+		Shadow:     true,
+		Shards:     t.Shards,
+		Tenure:     t.Tenure,
+		Discipline: t.Discipline,
+		Obs:        rec,
+	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -395,6 +429,15 @@ func runParallelOnce(t *Test, round int) (map[string]uint32, map[string]map[int]
 				uint32(line[w*4+2])<<16 | uint32(line[w*4+3])<<24
 		}
 		memView[name] = words
+	}
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			return nil, nil, nil, err
+		}
+		if rep := mon.Report(); rep.Total != 0 {
+			return nil, nil, nil, fmt.Errorf("litmus %s round %d: invariant monitor: %s",
+				t.Name, round, rep.Summary())
+		}
 	}
 	return regs, memView, sys.Checker().MustPass(), nil
 }

@@ -63,6 +63,24 @@ const (
 	// invariant monitor — reset their per-line shadow on it so state
 	// from a finished system is not misread as the next one's.
 	KindEpoch Kind = "epoch"
+	// KindPend marks a split-mode transaction entering the pending
+	// table: its address tenure ended, memory service proceeds off-bus.
+	// Dur (and PendNS) is the off-bus first-word latency.
+	KindPend Kind = "pend"
+	// KindData is a split-mode data tenure: a pending response won
+	// arbitration and retired its transfer beats. TxID is the original
+	// transaction; CauseID the tenure it queued behind (pending-wait
+	// causal edge); Dur (and DeferNS) the beats.
+	KindData Kind = "data"
+	// KindNack is a split-mode NACK: a transaction found the pending
+	// table full and was charged one retry address cycle (Dur) — the
+	// split-mode fold of the BS abort.
+	KindNack Kind = "nack"
+	// KindRetryExhausted marks a transaction failing with
+	// ErrTooManyRetries: BS aborts never quiesced. The runtime monitor
+	// folds it into a forward-progress violation; Retries carries the
+	// abort count.
+	KindRetryExhausted Kind = "retry-exhausted"
 )
 
 // Event is one structured observation. The zero value of every field
@@ -126,6 +144,12 @@ type Event struct {
 	IntvNS  int64 `json:"intv_ns,omitempty"`
 	MemNS   int64 `json:"mem_ns,omitempty"`
 	RetryNS int64 `json:"retry_ns,omitempty"`
+	// PendNS and DeferNS are the split-mode off-bus phases of a KindTx
+	// (and the Dur of KindPend / KindData events): memory service spent
+	// in the pending table and data-tenure beats retired after the
+	// address tenure. Neither is part of Dur — the bus was free.
+	PendNS  int64 `json:"pend_ns,omitempty"`
+	DeferNS int64 `json:"defer_ns,omitempty"`
 	// TxID links the grant, abort, recover and tx events of one
 	// mastership (0 = unassigned). IDs are allocated by the arbiter, so
 	// they are unique and monotonic across every bus sharing it. Cache

@@ -80,6 +80,8 @@ const (
 	fbtTxID
 	fbtCauseID
 	fbtProto
+	fbtPendNS
+	fbtDeferNS
 )
 
 // seedKinds is the kind dictionary written into the header, in a fixed
@@ -90,6 +92,7 @@ var seedKinds = []Kind{
 	KindTx, KindGrant, KindAbort, KindRecover, KindState, KindIntervene,
 	KindUpdate, KindCapture, KindEvict, KindStall, KindBlocked,
 	KindMemRead, KindMemWrite,
+	KindPend, KindData, KindNack, KindRetryExhausted,
 }
 
 // RecordSink serialises the event stream to a .fbt binary trace. It
@@ -217,6 +220,12 @@ func (s *RecordSink) Consume(e *Event) {
 	if e.Proto != "" {
 		flags |= fbtProto
 	}
+	if e.PendNS != 0 {
+		flags |= fbtPendNS
+	}
+	if e.DeferNS != 0 {
+		flags |= fbtDeferNS
+	}
 
 	b := s.scratch[:0]
 	kindIdx, ok := s.kinds[e.Kind]
@@ -280,6 +289,12 @@ func (s *RecordSink) Consume(e *Event) {
 	}
 	if flags&fbtProto != 0 {
 		b = s.appendRef(b, e.Proto)
+	}
+	if flags&fbtPendNS != 0 {
+		b = binary.AppendUvarint(b, zigzag(e.PendNS))
+	}
+	if flags&fbtDeferNS != 0 {
+		b = binary.AppendUvarint(b, zigzag(e.DeferNS))
 	}
 	_, s.err = s.bw.Write(b)
 	s.scratch = b[:0]
@@ -537,6 +552,22 @@ func (t *TraceReader) Next(e *Event) error {
 		if e.Proto, err = t.ref(); err != nil {
 			return fail("proto", err)
 		}
+	}
+	for _, f := range [...]struct {
+		name string
+		bit  uint64
+		dst  *int64
+	}{
+		{"pend_ns", fbtPendNS, &e.PendNS}, {"defer_ns", fbtDeferNS, &e.DeferNS},
+	} {
+		if flags&f.bit == 0 {
+			continue
+		}
+		v, err := t.uvarint()
+		if err != nil {
+			return fail(f.name, err)
+		}
+		*f.dst = unzigzag(v)
 	}
 	t.n++
 	return nil

@@ -36,6 +36,8 @@ func TestFbtSchemaAppendOnly(t *testing.T) {
 		{"fbtTxID", fbtTxID, 1 << 17},
 		{"fbtCauseID", fbtCauseID, 1 << 18},
 		{"fbtProto", fbtProto, 1 << 19},
+		{"fbtPendNS", fbtPendNS, 1 << 20},
+		{"fbtDeferNS", fbtDeferNS, 1 << 21},
 	}
 	for _, f := range wantFlags {
 		if f.got != f.want {
@@ -48,6 +50,7 @@ func TestFbtSchemaAppendOnly(t *testing.T) {
 		KindTx, KindGrant, KindAbort, KindRecover, KindState,
 		KindIntervene, KindUpdate, KindCapture, KindEvict, KindStall,
 		KindBlocked, KindMemRead, KindMemWrite,
+		KindPend, KindData, KindNack, KindRetryExhausted,
 	}
 	if len(seedKinds) < len(wantKinds) {
 		t.Fatalf("seedKinds shrank to %d entries (want at least %d) — seed dictionary is append-only",

@@ -21,6 +21,8 @@ const (
 	MetricStall            = "futurebus_proc_stall_ns"
 	MetricSSEFrames        = "futurebus_sse_frames_total"
 	MetricSSEShed          = "futurebus_sse_shed_total"
+	MetricNacks            = "futurebus_bus_nacks_total"
+	MetricRetryExhausted   = "futurebus_retry_exhausted_total"
 	MetricDropped          = "obs_events_dropped_total"
 
 	// Coherence analytics (see internal/obs/coherence and the
@@ -162,6 +164,8 @@ type metricsSink struct {
 	cinv   map[string]*Counter
 	aborts *Counter
 	retry  *Counter
+	nacks  *Counter
+	exh    *Counter
 	phases [obs.NumPhases]*SummaryMetric
 	txLat  *SummaryMetric
 	stall  *SummaryMetric
@@ -177,8 +181,12 @@ func newMetricsSink(reg *Registry) *metricsSink {
 		cinv:   make(map[string]*Counter),
 		aborts: reg.Counter(MetricAborts, "", "BS aborts of bus transaction attempts."),
 		retry:  reg.Counter(MetricRetries, "", "BS abort/retry rounds across all transactions."),
-		txLat:  reg.Summary(MetricTxLatency, "", "Per-transaction bus occupancy in simulated ns."),
-		stall:  reg.Summary(MetricStall, "", "Per-bus-op processor stall in simulated ns."),
+		nacks: reg.Counter(MetricNacks, "",
+			"Split-mode NACKs: address tenures bounced because the pending table was full."),
+		exh: reg.Counter(MetricRetryExhausted, "",
+			"Transactions that gave up after the BS abort/retry bound (ErrTooManyRetries)."),
+		txLat: reg.Summary(MetricTxLatency, "", "Per-transaction bus occupancy in simulated ns."),
+		stall: reg.Summary(MetricStall, "", "Per-bus-op processor stall in simulated ns."),
 	}
 	for ph, name := range obs.PhaseNames {
 		m.phases[ph] = reg.Summary(MetricPhaseLatency, fmt.Sprintf("phase=%q", name),
@@ -258,6 +266,10 @@ func (m *metricsSink) Consume(e *obs.Event) {
 		}
 	case obs.KindStall:
 		m.stall.Observe(e.Dur)
+	case obs.KindNack:
+		m.nacks.Inc()
+	case obs.KindRetryExhausted:
+		m.exh.Inc()
 	}
 }
 

@@ -1,0 +1,24 @@
+package obshttp
+
+import (
+	"testing"
+
+	"futurebus/internal/obs"
+)
+
+// Split-mode stream events surface as their own counter families:
+// NACKs (pending table full) and retry exhaustion (ErrTooManyRetries),
+// so a scrape distinguishes back-pressure from livelock.
+func TestMetricsSinkSplitCounters(t *testing.T) {
+	reg := NewRegistry()
+	m := newMetricsSink(reg)
+	m.Consume(&obs.Event{Kind: obs.KindNack, Bus: 0})
+	m.Consume(&obs.Event{Kind: obs.KindNack, Bus: 1})
+	m.Consume(&obs.Event{Kind: obs.KindRetryExhausted, Proc: 3})
+	if got := reg.Counter(MetricNacks, "", "x").Value(); got != 2 {
+		t.Errorf("%s = %d, want 2", MetricNacks, got)
+	}
+	if got := reg.Counter(MetricRetryExhausted, "", "x").Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricRetryExhausted, got)
+	}
+}

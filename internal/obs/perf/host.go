@@ -58,7 +58,12 @@ func ReadHostStats() HostStats {
 	read := func(name string) (uint64, bool) {
 		for i := range samples {
 			if samples[i].Name == name && samples[i].Value.Kind() == metrics.KindUint64 {
-				return samples[i].Value.Uint64(), true
+				// A zero reading falls through to the MemStats value:
+				// metrics.Read has been observed returning unpopulated
+				// (all-zero) samples on single-CPU kernels, while
+				// ReadMemStats forces a consistent accounting pass.
+				v := samples[i].Value.Uint64()
+				return v, v != 0
 			}
 		}
 		return 0, false

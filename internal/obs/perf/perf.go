@@ -47,7 +47,9 @@ const (
 	// that suffered at least one abort.
 	MetricRetry = "perf.retry_backoff_ns"
 	// MetricMemSvc is the memory first-word service time of
-	// memory-sourced transactions (cache-intervened reads excluded).
+	// memory-sourced transactions (cache-intervened reads excluded). In
+	// split mode the service happens off-bus, reported by KindPend; the
+	// metric covers both so atomic and split runs stay comparable.
 	MetricMemSvc = "perf.mem_service_ns"
 )
 
@@ -88,6 +90,18 @@ type Snapshot struct {
 	Latency map[string]obs.Summary `json:"latency"`
 	// Queue holds per-shard arbitration queue stats, ordered by Bus.
 	Queue []QueueStats `json:"queue"`
+	// Nacks counts split-mode NACKs (pending table full) in the window.
+	Nacks int64 `json:"nacks,omitempty"`
+	// WaitingBoards is the number of distinct boards that reported at
+	// least one arbitration wait — the population the fairness index is
+	// computed over.
+	WaitingBoards int `json:"waiting_boards,omitempty"`
+	// ArbFairness is the Jain fairness index (Σx)²/(n·Σx²) of per-board
+	// cumulative arbitration wait: 1 when every waiting board waited
+	// equally, approaching 1/n when one board absorbs all the waiting —
+	// the starvation signature of priority arbitration under overload.
+	// Zero when no board waited (index undefined).
+	ArbFairness float64 `json:"arb_fairness,omitempty"`
 }
 
 // PeakQueueDepth returns the deepest arbitration queue across shards.
@@ -115,6 +129,12 @@ func (s *Snapshot) Render() string {
 	for _, q := range s.Queue {
 		fmt.Fprintf(&b, "arb queue bus=%-3d waits=%d peak=%d p50=%d p99=%d\n",
 			q.Bus, q.Waits, q.Peak, q.Depth.P50, q.Depth.P99)
+	}
+	if s.WaitingBoards > 0 {
+		fmt.Fprintf(&b, "arb fairness %.3f over %d waiting boards\n", s.ArbFairness, s.WaitingBoards)
+	}
+	if s.Nacks > 0 {
+		fmt.Fprintf(&b, "split nacks %d\n", s.Nacks)
 	}
 	return b.String()
 }
@@ -172,10 +192,32 @@ type accum struct {
 	retry   obs.Histogram
 	memSvc  obs.Histogram
 	queues  map[int]*queueAccum
+	// boardWait is each board's cumulative arbitration wait — the
+	// fairness-index input. Small dense population (one entry per
+	// board), so a map is off the per-sample hot path concern.
+	boardWait map[int]int64
+	nacks     int64
 }
 
 func newAccum() *accum {
-	return &accum{queues: make(map[int]*queueAccum)}
+	return &accum{queues: make(map[int]*queueAccum), boardWait: make(map[int]int64)}
+}
+
+// jain computes the Jain fairness index over the per-board waits.
+func jain(waits map[int]int64) (float64, int) {
+	if len(waits) == 0 {
+		return 0, 0
+	}
+	var sum, sumSq float64
+	for _, w := range waits {
+		v := float64(w)
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 0, 0
+	}
+	return sum * sum / (float64(len(waits)) * sumSq), len(waits)
 }
 
 func (a *accum) queue(bus int) *queueAccum {
@@ -205,6 +247,8 @@ func (a *accum) snapshot(withTimeline bool) *Snapshot {
 			s.Latency[m.name] = m.h.Summary()
 		}
 	}
+	s.Nacks = a.nacks
+	s.ArbFairness, s.WaitingBoards = jain(a.boardWait)
 	buses := make([]int, 0, len(a.queues))
 	for bus := range a.queues {
 		buses = append(buses, bus)
@@ -271,7 +315,8 @@ func (s *Sink) SetObservers(onLatency func(metric string, v int64), onDepth func
 // batching upstream can skip the rest early.
 func Relevant(k obs.Kind) bool {
 	switch k {
-	case obs.KindTx, obs.KindGrant, obs.KindBlocked, obs.KindEpoch:
+	case obs.KindTx, obs.KindGrant, obs.KindBlocked, obs.KindEpoch,
+		obs.KindPend, obs.KindNack:
 		return true
 	}
 	return false
@@ -301,7 +346,20 @@ func (s *Sink) Consume(e *obs.Event) {
 			return
 		}
 		s.observe(MetricArbWait, &s.cum.arbWait, &s.epoch.arbWait, e.Dur)
+		if e.Proc >= 0 {
+			s.cum.boardWait[e.Proc] += e.Dur
+			s.epoch.boardWait[e.Proc] += e.Dur
+		}
 		s.observeDepth(e.Bus, e.TS, e.Dur)
+	case obs.KindPend:
+		// Split-mode off-bus memory service (the first-word latency a
+		// pending transaction spends in the table).
+		if e.Dur > 0 {
+			s.observe(MetricMemSvc, &s.cum.memSvc, &s.epoch.memSvc, e.Dur)
+		}
+	case obs.KindNack:
+		s.cum.nacks++
+		s.epoch.nacks++
 	case obs.KindTx:
 		s.observe(MetricTenure, &s.cum.tenure, &s.epoch.tenure, e.Dur)
 		if e.RetryNS > 0 {

@@ -164,3 +164,62 @@ func TestObservers(t *testing.T) {
 		t.Errorf("depth callbacks = %d, want 1", dep)
 	}
 }
+
+// The Jain fairness index over per-board arbitration waits: 1.0 when
+// every board waits equally, 1/n when one board absorbs all the wait.
+func TestArbFairnessIndex(t *testing.T) {
+	s := NewSink(0)
+	// Two boards, equal waits → index 1.
+	s.Consume(&obs.Event{Kind: obs.KindGrant, Bus: 0, Proc: 0, TS: 100, Dur: 50})
+	s.Consume(&obs.Event{Kind: obs.KindGrant, Bus: 0, Proc: 1, TS: 200, Dur: 50})
+	snap := s.Snapshot()
+	if snap.WaitingBoards != 2 || snap.ArbFairness < 0.999 {
+		t.Fatalf("equal waits: boards=%d fairness=%.3f, want 2/1.0",
+			snap.WaitingBoards, snap.ArbFairness)
+	}
+	// Board 2 starves: its wait dwarfs the others, the index collapses
+	// toward 1/n.
+	s.Consume(&obs.Event{Kind: obs.KindBlocked, Bus: 0, Proc: 2, TS: 300, Dur: 1e6})
+	snap = s.Snapshot()
+	if snap.WaitingBoards != 3 || snap.ArbFairness > 0.5 {
+		t.Fatalf("starved board: boards=%d fairness=%.3f, want 3/<0.5",
+			snap.WaitingBoards, snap.ArbFairness)
+	}
+}
+
+// No waits → the index is undefined and reported as 0 with no boards,
+// not NaN.
+func TestArbFairnessUndefinedWithoutWaits(t *testing.T) {
+	s := NewSink(0)
+	s.Consume(&obs.Event{Kind: obs.KindTx, Bus: 0, TS: 100, Dur: 10})
+	snap := s.Snapshot()
+	if snap.WaitingBoards != 0 || snap.ArbFairness != 0 {
+		t.Fatalf("got boards=%d fairness=%v, want 0/0", snap.WaitingBoards, snap.ArbFairness)
+	}
+}
+
+// Split-mode events: KindNack increments the window's NACK counter and
+// KindPend's duration folds into the memory-service distribution, both
+// respecting the epoch reset.
+func TestSplitEventsFolded(t *testing.T) {
+	s := NewSink(0)
+	if !Relevant(obs.KindNack) || !Relevant(obs.KindPend) {
+		t.Fatal("split kinds not relevant to the perf sink")
+	}
+	s.Consume(&obs.Event{Kind: obs.KindNack, Bus: 0, TS: 100})
+	s.Consume(&obs.Event{Kind: obs.KindPend, Bus: 0, TS: 150, Dur: 400})
+	snap := s.Snapshot()
+	if snap.Nacks != 1 {
+		t.Errorf("nacks = %d, want 1", snap.Nacks)
+	}
+	if got := snap.Latency[MetricMemSvc].Count; got != 1 {
+		t.Errorf("pend not folded into mem service: count = %d, want 1", got)
+	}
+	s.Consume(&obs.Event{Kind: obs.KindEpoch})
+	if ep := s.EpochSnapshot(); ep.Nacks != 0 {
+		t.Errorf("epoch nacks not reset: %d", ep.Nacks)
+	}
+	if cum := s.Snapshot(); cum.Nacks != 1 {
+		t.Errorf("cumulative nacks lost on epoch: %d", cum.Nacks)
+	}
+}

@@ -56,12 +56,24 @@ const (
 	// match the shadow's recorded state for that copy, meaning the
 	// stream skipped a transition (truncated or corrupted trace).
 	InvShadow Invariant = "shadow-divergence"
+	// InvPendingTx — split-mode pending-table legality: every data
+	// tenure (KindData) must retire a transaction that actually entered
+	// the pending table (KindPend) and is still outstanding, and no
+	// transaction may enter the table twice. An interleaving that
+	// breaks the pairing means the split bookkeeping double-granted or
+	// fabricated a response.
+	InvPendingTx Invariant = "split-pending-tx"
+	// InvProgress — forward progress: a transaction exhausted its BS
+	// retry budget (KindRetryExhausted) — the protocol wedged instead of
+	// quiescing.
+	InvProgress Invariant = "forward-progress"
 )
 
 // Invariants lists every invariant in reporting order.
 var Invariants = []Invariant{
 	InvSingleOwner, InvExclusivity, InvMemoryOwner,
 	InvLegalLocal, InvLegalSnoop, InvShadow,
+	InvPendingTx, InvProgress,
 }
 
 // Config bounds the monitor's memory.
@@ -321,6 +333,13 @@ type Monitor struct {
 
 	pending []pendEntry // direct-mapped by txid & (maxPending-1)
 
+	// splitPend tracks split-mode transactions currently in a pending
+	// table (KindPend seen, KindData not yet), bounded at maxPending.
+	// splitDropped flags that the bound evicted entries, so an unknown
+	// txid on KindData is excused rather than misreported.
+	splitPend    map[uint64]struct{}
+	splitDropped bool
+
 	procProto []string // indexed by proc; "" = unknown
 
 	events, states, txs, truncated int64
@@ -360,7 +379,21 @@ func (m *Monitor) Consume(e *obs.Event) {
 		m.consumeTx(e)
 	case obs.KindEpoch:
 		m.reset()
-	case obs.KindAbort, obs.KindRecover, obs.KindCapture:
+	case obs.KindPend:
+		m.consumePend(e)
+	case obs.KindData:
+		m.consumeData(e)
+	case obs.KindRetryExhausted:
+		ln := m.lookup(e.Bus, e.Addr, true)
+		if ln == nil {
+			m.truncated++
+			return
+		}
+		ln.remember(e, m.cfg.ContextDepth)
+		m.report(InvProgress, e, ln, fmt.Sprintf(
+			"transaction gave up after %d BS aborts (ErrTooManyRetries) — recovery pushes never quiesced the line",
+			e.Retries))
+	case obs.KindNack, obs.KindAbort, obs.KindRecover, obs.KindCapture:
 		// Rare recovery-path events are kept as violation context. The
 		// chatty per-cycle kinds (blocked/update/intervene/evict) are
 		// deliberately not remembered: they restate information already
@@ -375,6 +408,57 @@ func (m *Monitor) Consume(e *obs.Event) {
 
 // Flush implements obs.Sink.
 func (m *Monitor) Flush() error { return nil }
+
+// consumePend admits a split transaction into the shadow pending set;
+// a duplicate admission means the bus split one address tenure into
+// two pending entries.
+func (m *Monitor) consumePend(e *obs.Event) {
+	ln := m.lookup(e.Bus, e.Addr, true)
+	if ln == nil {
+		m.truncated++
+		return
+	}
+	ln.remember(e, m.cfg.ContextDepth)
+	if e.TxID == 0 {
+		return
+	}
+	if m.splitPend == nil {
+		m.splitPend = make(map[uint64]struct{}, 64)
+	}
+	if _, dup := m.splitPend[e.TxID]; dup {
+		m.report(InvPendingTx, e, ln,
+			"transaction entered the pending table twice without an intervening data tenure")
+		return
+	}
+	if len(m.splitPend) >= maxPending {
+		m.splitDropped = true
+		return
+	}
+	m.splitPend[e.TxID] = struct{}{}
+}
+
+// consumeData retires a split transaction from the shadow pending set;
+// a data tenure for a transaction that never pended (and could not have
+// been evicted by the bound) is a fabricated response.
+func (m *Monitor) consumeData(e *obs.Event) {
+	ln := m.lookup(e.Bus, e.Addr, true)
+	if ln == nil {
+		m.truncated++
+		return
+	}
+	ln.remember(e, m.cfg.ContextDepth)
+	if e.TxID == 0 {
+		return
+	}
+	if _, ok := m.splitPend[e.TxID]; ok {
+		delete(m.splitPend, e.TxID)
+		return
+	}
+	if !m.splitDropped {
+		m.report(InvPendingTx, e, ln,
+			"data tenure retired a transaction that never entered the pending table")
+	}
+}
 
 // reset clears the per-line shadow at a system boundary (KindEpoch)
 // while keeping cumulative violation counters and records.
@@ -392,6 +476,8 @@ func (m *Monitor) reset() {
 	}
 	m.lastLine = nil
 	clear(m.pending)
+	clear(m.splitPend)
+	m.splitDropped = false
 	clear(m.procProto)
 }
 

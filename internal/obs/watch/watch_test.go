@@ -344,3 +344,73 @@ func TestViolationString(t *testing.T) {
 		}
 	}
 }
+
+// splitEvent feeds one split-phase event (pend/data/nack/exhausted).
+func (r *rig) split(kind obs.Kind, proc int, addr uint64, txid uint64, retries int) {
+	r.ts++
+	r.m.Consume(&obs.Event{
+		TS: r.ts, Kind: kind, Bus: 0, Proc: proc, Addr: addr,
+		TxID: txid, Retries: retries,
+	})
+}
+
+// TestSplitPendingLifecycleClean: a legal pend→data pairing (with a
+// NACK in between) raises nothing.
+func TestSplitPendingLifecycleClean(t *testing.T) {
+	r := newRig(t, Config{})
+	const a = 0x8000
+	r.split(obs.KindPend, 0, a, 1, 0)
+	r.split(obs.KindNack, 1, a+1, 2, 0)
+	r.split(obs.KindPend, 1, a+1, 2, 0)
+	r.split(obs.KindData, 0, a, 1, 0)
+	r.split(obs.KindData, 1, a+1, 2, 0)
+	r.wantClean()
+}
+
+// TestSplitDoublePendCaught: the same transaction entering the pending
+// table twice is a split-bookkeeping bug.
+func TestSplitDoublePendCaught(t *testing.T) {
+	r := newRig(t, Config{})
+	const a = 0x8100
+	r.split(obs.KindPend, 0, a, 7, 0)
+	r.split(obs.KindPend, 0, a, 7, 0)
+	v := r.wantViolation(InvPendingTx)
+	if v.TxID != 7 {
+		t.Fatalf("violation blames tx %d, want 7", v.TxID)
+	}
+}
+
+// TestSplitPhantomDataCaught: a data tenure for a transaction that
+// never entered the pending table is a fabricated response.
+func TestSplitPhantomDataCaught(t *testing.T) {
+	r := newRig(t, Config{})
+	r.split(obs.KindData, 0, 0x8200, 9, 0)
+	r.wantViolation(InvPendingTx)
+}
+
+// TestSplitPendResetsOnEpoch: a new system boundary clears the shadow
+// pending set — a pend left over from the previous epoch must not make
+// the next epoch's same-txid pend look like a duplicate.
+func TestSplitPendResetsOnEpoch(t *testing.T) {
+	r := newRig(t, Config{})
+	const a = 0x8300
+	r.split(obs.KindPend, 0, a, 3, 0)
+	r.m.Consume(&obs.Event{Kind: obs.KindEpoch, Bus: 0, Proc: -1})
+	r.split(obs.KindPend, 0, a, 3, 0)
+	r.split(obs.KindData, 0, a, 3, 0)
+	r.wantClean()
+}
+
+// TestRetryExhaustedIsProgressViolation: KindRetryExhausted folds into
+// a forward-progress violation carrying the abort count.
+func TestRetryExhaustedIsProgressViolation(t *testing.T) {
+	r := newRig(t, Config{})
+	r.split(obs.KindRetryExhausted, 2, 0x8400, 11, 33)
+	v := r.wantViolation(InvProgress)
+	if v.Proc != 2 || v.TxID != 11 {
+		t.Fatalf("violation blames proc %d tx %d, want 2/11", v.Proc, v.TxID)
+	}
+	if !strings.Contains(v.Detail, "33") {
+		t.Fatalf("detail should carry the abort count: %q", v.Detail)
+	}
+}

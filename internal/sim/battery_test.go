@@ -65,7 +65,7 @@ func TestRunBatteryError(t *testing.T) {
 // TestBatteryMatchesAllExperiments: AllExperiments is the sequential
 // battery — same IDs, same order.
 func TestBatteryMatchesAllExperiments(t *testing.T) {
-	ids := []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "F1/F2", "F2B"}
+	ids := []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "P11", "F1/F2", "F2B"}
 	battery := Battery()
 	if len(battery) != len(ids) {
 		t.Fatalf("battery has %d experiments, want %d", len(battery), len(ids))

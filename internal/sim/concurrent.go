@@ -48,6 +48,9 @@ func RunConcurrent(sys *System, gens []workload.Generator, refsPerProc int) (Met
 			return Metrics{}, err
 		}
 	}
+	// Retire any split-mode responses still pending before snapshotting
+	// stats, so every owed data tenure is accounted.
+	sys.Bus.DrainPending()
 
 	m := Metrics{
 		System:     sys.Describe(),

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"futurebus/internal/bus"
 	"futurebus/internal/obs"
 	"futurebus/internal/workload"
 )
@@ -28,6 +29,12 @@ type Engine struct {
 type procEvent struct {
 	time int64
 	proc int
+	// rank orders simultaneous contenders for a busy shard the way the
+	// shard's arbitration Discipline would: it is the discipline key of
+	// the board's deferred access, 0 when no discipline is configured
+	// (or the event is not a deferred bus access), so the legacy
+	// time/seq order is untouched by default.
+	rank int64
 	seq  int64 // tie-break for determinism
 }
 
@@ -37,6 +44,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
+	}
+	if h[i].rank != h[j].rank {
+		return h[i].rank < h[j].rank
 	}
 	return h[i].seq < h[j].seq
 }
@@ -68,16 +78,37 @@ func (e *Engine) Run(refsPerProc int) (Metrics, error) {
 		// equivalent of the concurrent engine's arbitration wait.
 		waited  int64
 		blocker uint64
+		// ticket is the access's sticky arbitration ticket (drawn on its
+		// first deferral, kept across re-deferrals so the discipline sees
+		// one aging request); -1 = no ticket outstanding. defers counts
+		// deferral rounds — Skips for the discipline key.
+		ticket int64
+		defers int
 	}
 	procs := make([]procState, len(e.Sys.Boards))
 	h := make(eventHeap, 0, len(procs))
 	var seq int64
 	for i := range procs {
 		procs[i].remaining = refsPerProc
+		procs[i].ticket = -1
 		h = append(h, procEvent{time: 0, proc: i, seq: seq})
 		seq++
 	}
 	heap.Init(&h)
+
+	// Per-shard arbitration state: a private Discipline instance per
+	// shard (mirroring the concurrent engine's per-shard arbiter) and
+	// its arrival-ticket counter. discs stays nil with no discipline
+	// configured, keeping the legacy deferral order bit-exact.
+	var discs []bus.Discipline
+	var tickets []int64
+	if e.Sys.disc != nil {
+		discs = make([]bus.Discipline, e.Sys.Bus.Shards())
+		for i := range discs {
+			discs[i] = e.Sys.disc()
+		}
+		tickets = make([]int64, e.Sys.Bus.Shards())
+	}
 
 	// Each fabric shard has its own occupancy clock: a board only
 	// waits when the home shard of its next access is busy, which is
@@ -107,6 +138,16 @@ func (e *Engine) Run(refsPerProc int) (Metrics, error) {
 				p.waited += busFreeAt[si] - ev.time
 				p.blocker = e.Sys.Bus.Shard(si).LastTxID()
 			}
+			if discs != nil {
+				if p.ticket < 0 {
+					p.ticket = tickets[si]
+					tickets[si]++
+					p.defers = 0
+				} else {
+					p.defers++
+				}
+				ev.rank = discs[si].Key(bus.Waiter{Board: ev.proc, Ticket: p.ticket, Skips: p.defers})
+			}
 			ev.time = busFreeAt[si]
 			h.replaceTop(ev)
 			continue
@@ -127,6 +168,10 @@ func (e *Engine) Run(refsPerProc int) (Metrics, error) {
 		}
 
 		before := board.Stall()
+		var busyBefore int64
+		if e.Sys.split {
+			busyBefore = e.Sys.Bus.Shard(si).BusyNanos()
+		}
 		var err error
 		if ref.Write {
 			err = board.Write(busAddr(ref.Line), ref.Word, ref.Val)
@@ -144,14 +189,31 @@ func (e *Engine) Run(refsPerProc int) (Metrics, error) {
 
 		p.time += hit + busCost
 		if busCost > 0 {
-			busFreeAt[si] = p.time
+			if discs != nil {
+				discs[si].Granted(ev.proc)
+			}
+			if e.Sys.split {
+				// Split mode: the shard is occupied only for the on-bus
+				// portion (address tenure, drained data tenures, NACK
+				// cycles) — the occupancy-clock delta — while the board's
+				// own clock also absorbs the off-bus service it stalled
+				// on. Overlapped tenures fall out: the next contender may
+				// start before this board's stall ends.
+				if free := ev.time + (e.Sys.Bus.Shard(si).BusyNanos() - busyBefore); free > busFreeAt[si] {
+					busFreeAt[si] = free
+				}
+			} else {
+				busFreeAt[si] = p.time
+			}
 		}
+		p.ticket, p.defers = -1, 0
 		if p.time > elapsed {
 			elapsed = p.time
 		}
 
 		if p.remaining > 0 {
 			ev.time = p.time
+			ev.rank = 0
 			ev.seq = seq
 			seq++
 			h.replaceTop(ev)
@@ -160,6 +222,9 @@ func (e *Engine) Run(refsPerProc int) (Metrics, error) {
 		}
 	}
 
+	// Retire any split-mode responses still pending so the final stats
+	// account every owed data tenure.
+	e.Sys.Bus.DrainPending()
 	return e.metrics(refs, elapsed, hit), nil
 }
 

@@ -36,6 +36,22 @@ type ExperimentOpts struct {
 	// recorder's own perf sink (if any) already covers every run, and a
 	// second recorder would split the event stream.
 	Perf bool
+	// Tenure, Discipline and PendingTable select the bus-tenure policy
+	// and arbitration discipline for every system the experiments build
+	// ("" = atomic tenure, FCFS ticket order; see bus.NewTenure and
+	// bus.NewDiscipline). P11 sweeps its own tenure×discipline axis and
+	// ignores these two.
+	Tenure       string
+	Discipline   string
+	PendingTable int
+}
+
+// apply copies the sweep-wide system knobs onto a config an experiment
+// built, so every experiment honours the same fabric/tenure/discipline
+// selection without repeating the field list.
+func (o ExperimentOpts) apply(cfg *Config) {
+	cfg.Obs, cfg.Shards = o.Obs, o.Shards
+	cfg.Tenure, cfg.Discipline, cfg.PendingTable = o.Tenure, o.Discipline, o.PendingTable
 }
 
 // DefaultOpts is used by the commands; tests use smaller runs.
@@ -62,7 +78,7 @@ func abWorkload(sys *System, pShared, pWrite float64, seed uint64) []workload.Ge
 // model, and returns the metrics.
 func runHomogeneous(protocol string, n int, pShared, pWrite float64, opts ExperimentOpts) (Metrics, error) {
 	cfg := Homogeneous(protocol, n)
-	cfg.Obs, cfg.Shards = opts.Obs, opts.Shards
+	opts.apply(&cfg)
 	var rec *obs.Recorder
 	if opts.Perf && opts.Obs == nil {
 		// A private recorder per run keeps the battery parallelisable:
@@ -168,7 +184,7 @@ func UpdateVsInvalidate(opts ExperimentOpts) (*Report, error) {
 	for _, pat := range patterns {
 		for _, name := range protos {
 			cfg := Homogeneous(name, 4)
-			cfg.Obs, cfg.Shards = opts.Obs, opts.Shards
+			opts.apply(&cfg)
 			sys, err := New(cfg)
 			if err != nil {
 				return nil, err
@@ -205,8 +221,8 @@ func MixedBus(opts ExperimentOpts) (*Report, error) {
 			{Protocol: "uncached"},
 		},
 		Shadow: true,
-		Obs:    opts.Obs,
 	}
+	opts.apply(&cfg)
 	sys, err := New(cfg)
 	if err != nil {
 		return nil, err
@@ -244,7 +260,9 @@ func RandomChoice(opts ExperimentOpts) (*Report, error) {
 		{{Protocol: "round-robin"}, {Protocol: "round-robin"}, {Protocol: "round-robin"}, {Protocol: "round-robin"}},
 		{{Protocol: "random"}, {Protocol: "round-robin"}, {Protocol: "moesi"}, {Protocol: "berkeley"}},
 	} {
-		sys, err := New(Config{Boards: mix, Shadow: true, Obs: opts.Obs})
+		cfg := Config{Boards: mix, Shadow: true}
+		opts.apply(&cfg)
+		sys, err := New(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -321,7 +339,7 @@ func LineSizeSweep(opts ExperimentOpts) (*Report, error) {
 		// Keep capacity constant at 4 KiB per cache.
 		cfg.CacheSets = 4096 / lineSize / 2
 		cfg.CacheWays = 2
-		cfg.Obs, cfg.Shards = opts.Obs, opts.Shards
+		opts.apply(&cfg)
 		sys, err := New(cfg)
 		if err != nil {
 			return nil, err
@@ -360,7 +378,7 @@ func AbortRetryOverhead(opts ExperimentOpts) (*Report, error) {
 	}
 	for _, name := range []string{"moesi-invalidate", "berkeley", "illinois", "synapse", "write-once", "firefly"} {
 		cfg := Homogeneous(name, 4)
-		cfg.Obs, cfg.Shards = opts.Obs, opts.Shards
+		opts.apply(&cfg)
 		sys, err := New(cfg)
 		if err != nil {
 			return nil, err
@@ -395,7 +413,7 @@ func HandshakePenalty(opts ExperimentOpts) (*Report, error) {
 		cfg := Homogeneous("moesi", 4)
 		cfg.Timing = bus.DefaultTiming()
 		cfg.Timing.WiredORPenalty = penalty
-		cfg.Obs, cfg.Shards = opts.Obs, opts.Shards
+		opts.apply(&cfg)
 		sys, err := New(cfg)
 		if err != nil {
 			return nil, err
@@ -408,6 +426,69 @@ func HandshakePenalty(opts ExperimentOpts) (*Report, error) {
 		rep.AddRow(d(penalty), d(m.Bus.BusyNanos), f(m.BusUtilization()), f(m.Efficiency()))
 	}
 	rep.AddNote("\"the exacted penalty on the Futurebus is that broadcast handshaking is 25 nanoseconds slower than single slave transactions. The reward is that broadcast operations are guaranteed to work\" (§2.2)")
+	return rep, nil
+}
+
+// ArbitrationDisciplines is experiment P11: the bus tenure × arbitration
+// discipline matrix under ping-pong overload — every board hammering a
+// tiny shared set, the workload where the grant order IS the
+// performance story. Fairness is the Jain index of per-board
+// cumulative arbitration wait: 1 when the discipline spreads waiting
+// evenly, collapsing toward 1/n as one board's requests starve.
+func ArbitrationDisciplines(opts ExperimentOpts) (*Report, error) {
+	rep := &Report{
+		ID:    "P11",
+		Title: "bus tenure × arbitration discipline, ping-pong overload (8 boards)",
+		Columns: []string{"tenure", "discipline", "p50arb", "p99arb", "fairness",
+			"peakQ", "nacks", "busBusy(ms)", "efficiency"},
+	}
+	for _, tenure := range []string{"atomic", "split"} {
+		for _, disc := range bus.DisciplineNames() {
+			cfg := Homogeneous("moesi", 8)
+			opts.apply(&cfg)
+			cfg.Tenure, cfg.Discipline = tenure, disc
+			// The arbitration columns are the experiment, so a perf sink is
+			// attached unconditionally when no shared recorder covers the
+			// sweep (unlike P1, where telemetry is opt-in via Perf).
+			var rec *obs.Recorder
+			if opts.Obs == nil {
+				rec = obs.New(perf.NewSink(0))
+				cfg.Obs = rec
+			}
+			sys, err := New(cfg)
+			if err != nil {
+				if rec != nil {
+					_ = rec.Close()
+				}
+				return nil, fmt.Errorf("P11 %s/%s: %w", tenure, disc, err)
+			}
+			gens := sys.Generators(func(proc int) workload.Generator {
+				return workload.NewPingPong(proc, 4, sys.WordsPerLine(), opts.Seed)
+			})
+			eng := Engine{Sys: sys, Gens: gens}
+			m, err := eng.Run(opts.RefsPerProc)
+			if rec != nil {
+				_ = rec.Close()
+			}
+			if err != nil {
+				return nil, fmt.Errorf("P11 %s/%s: %w", tenure, disc, err)
+			}
+			if err := sys.Checker().MustPass(); err != nil {
+				return nil, err
+			}
+			p50, p99, fair, peakQ := "-", "-", "-", "-"
+			if m.Perf != nil {
+				p50 = d(m.Perf.Latency[perf.MetricArbWait].P50)
+				p99 = d(m.Perf.Latency[perf.MetricArbWait].P99)
+				fair = f(m.Perf.ArbFairness)
+				peakQ = d(m.Perf.PeakQueueDepth())
+			}
+			rep.AddRow(tenure, disc, p50, p99, fair, peakQ, d(m.Bus.Nacks),
+				f2(float64(m.Bus.BusyNanos)/1e6), f(m.Efficiency()))
+		}
+	}
+	rep.AddNote("grant order: fcfs serves arrival order (no bound on one board's tail under overload); rr rotates from the last grantee (bounded skips); priority always prefers the lowest board number (high boards starve — watch fairness fall); bounded is priority with a skip cap that promotes starved waiters")
+	rep.AddNote("split tenure decouples the address grant from the data-return grant (responses re-arbitrate; a full pending table NACKs, see the nacks column) — overlap shortens busBusy, and the discipline picks who benefits")
 	return rep, nil
 }
 
@@ -437,6 +518,7 @@ func Battery() []NamedExperiment {
 		{"P8", AbortRetryOverhead},
 		{"P9", MultiBusScaling},
 		{"P10", SectorVsPlain},
+		{"P11", ArbitrationDisciplines},
 		{"F1/F2", HandshakePenalty},
 		{"F2B", SlowBoardTax},
 	}
@@ -524,7 +606,7 @@ func SlowBoardTax(opts ExperimentOpts) (*Report, error) {
 		cfg := Homogeneous("moesi", 4)
 		cfg.Timing = bus.DefaultTiming()
 		cfg.Timing.AddressCycle = tr.Complete - cfg.Timing.WiredORPenalty
-		cfg.Obs, cfg.Shards = opts.Obs, opts.Shards
+		opts.apply(&cfg)
 		sys, err := New(cfg)
 		if err != nil {
 			return nil, err

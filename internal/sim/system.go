@@ -83,6 +83,16 @@ type Config struct {
 	// boards (1 if none), so a whole sector is always homed on one
 	// shard; every board's SectorSubs must divide it.
 	Shards int
+	// Tenure selects the bus-tenure policy: "" or "atomic" (one grant
+	// covers address, data and memory service), or "split" (address and
+	// data phases are decoupled grants; see bus.TenurePolicy).
+	Tenure string
+	// PendingTable bounds the split-mode per-shard pending-transaction
+	// table (0 = bus.DefaultPendingTable). Ignored in atomic mode.
+	PendingTable int
+	// Discipline names the arbitration grant order per shard: "" or
+	// "fcfs", "rr", "priority", "bounded" (see bus.NewDiscipline).
+	Discipline string
 }
 
 // System is an assembled machine.
@@ -101,7 +111,19 @@ type System struct {
 	// refsDone counts references completed by any engine — the only
 	// engine-side progress counter safe to read mid-run (LiveMetrics).
 	refsDone atomic.Int64
+
+	// split records whether the fabric runs split-transaction tenures —
+	// the deterministic engine switches its occupancy accounting on it.
+	split bool
+	// disc is the configured arbitration-discipline factory (nil =
+	// FCFS); the deterministic engine instantiates one per shard to
+	// order its deferred-access queue the same way the concurrent
+	// engine's arbiter does.
+	disc bus.DisciplineFactory
 }
+
+// Split reports whether the system runs split-transaction bus tenures.
+func (s *System) Split() bool { return s.split }
 
 // noteRef records one completed reference for live progress reporting.
 func (s *System) noteRef() { s.refsDone.Add(1) }
@@ -195,9 +217,20 @@ func New(cfg Config) (*System, error) {
 	if cfg.Obs != nil {
 		mem.SetObs(cfg.Obs)
 	}
+	tenure, err := bus.NewTenure(cfg.Tenure, cfg.PendingTable)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	var disc bus.DisciplineFactory
+	if cfg.Discipline != "" {
+		if disc, err = bus.NewDiscipline(cfg.Discipline); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
 	busCfg := bus.Config{
 		LineSize: lineSize, Timing: cfg.Timing, Paranoid: cfg.Paranoid,
 		Obs: cfg.Obs, ObsID: cfg.ObsID,
+		Tenure: tenure, Discipline: disc,
 	}
 	var b bus.Fabric
 	if shards == 1 {
@@ -207,7 +240,7 @@ func New(cfg Config) (*System, error) {
 			Config: busCfg, Shards: shards, Granularity: gran,
 		})
 	}
-	sys := &System{Bus: b, Memory: mem, Obs: cfg.Obs}
+	sys := &System{Bus: b, Memory: mem, Obs: cfg.Obs, split: tenure.TableSize() > 0, disc: disc}
 	if cfg.Obs != nil {
 		// Mark the system boundary on the stream: sweeps reuse one
 		// recorder across many systems, and stateful sinks (the runtime
