@@ -43,6 +43,7 @@ import (
 
 	"futurebus/internal/obs"
 	"futurebus/internal/obs/perf"
+	"futurebus/internal/obs/regress"
 	"futurebus/internal/sim"
 	"futurebus/internal/workload"
 )
@@ -307,7 +308,8 @@ func (d delta) regressed(rel float64) bool {
 	if !d.gate {
 		return false
 	}
-	return d.new > d.old*(1+rel) && d.new-d.old > d.abs
+	th := regress.Thresholds{Rel: rel, Abs: d.abs}
+	return th.Breached(d.old, d.new-d.old)
 }
 
 func (d delta) relChange() float64 {

@@ -20,6 +20,7 @@ import (
 	"futurebus/internal/bus"
 	"futurebus/internal/faults"
 	"futurebus/internal/obs"
+	"futurebus/internal/obs/ledger"
 	"futurebus/internal/obs/obshttp"
 	"futurebus/internal/obs/perf"
 	"futurebus/internal/obs/watch"
@@ -59,6 +60,7 @@ func main() {
 	audit := flag.Uint64("audit", 0, "print the event history of this line address after the run (0 = off)")
 	serveAddr := flag.String("serve", "", "serve live observability on this address ("+obshttp.EndpointList()+")")
 	serveLinger := flag.Duration("serve-linger", 0, "keep the -serve endpoint up this long after the run finishes")
+	ledgerPath := flag.String("ledger", "", "with -serve: judge the live run against this run ledger's rolling baseline on /trend (see fbtrend)")
 	flag.Parse()
 
 	var boards []sim.BoardSpec
@@ -126,7 +128,13 @@ func main() {
 			// /violations and the violation metrics are live.
 			wsink = svc.EnableWatch(watch.Config{})
 		}
+		if *ledgerPath != "" {
+			_, err := svc.EnableTrend(*ledgerPath, "", ledger.GateOpts{})
+			fail(err)
+		}
 		sinks = append(sinks, svc.Sinks()...)
+	} else if *ledgerPath != "" {
+		fail(fmt.Errorf("-ledger requires -serve (the verdict lives on /trend)"))
 	}
 	var mon *watch.Monitor
 	if *watchFlag && wsink == nil {

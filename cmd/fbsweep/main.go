@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -35,6 +36,7 @@ func main() {
 	outDir := flag.String("out", "", "also write each report as <dir>/<ID>.csv")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of every system the sweep ran")
 	metricsJSON := flag.String("metrics-json", "", "write the reports as JSON to this file ('-' = stdout)")
+	jsonOut := flag.String("json", "", "write the battery as a machine-readable document to this file ('-' = stdout): {fbsweep, _meta, reports}, ingestable by fbtrend")
 	recordOut := flag.String("record-out", "", "write the sweep's full event stream as a compact binary .fbt trace (analyze offline with fbcausal)")
 	hist := flag.Bool("hist", false, "print sweep-wide p50/p95/p99 latency/stall/retry histograms")
 	perfFlag := flag.Bool("perf", false, "collect per-run saturation telemetry; P1 gains the p99arb and peakQ columns")
@@ -160,16 +162,39 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(reports), *outDir)
 	}
-	for i, rep := range reports {
-		if i > 0 {
-			fmt.Println()
+	// With -json - the machine-readable document owns stdout and the
+	// tables are suppressed, so `fbsweep ... -json - | jq` stays
+	// parseable.
+	if *jsonOut != "-" {
+		for i, rep := range reports {
+			if i > 0 {
+				fmt.Println()
+			}
+			if *format == "csv" {
+				fmt.Printf("# %s — %s\n", rep.ID, rep.Title)
+				fmt.Print(rep.CSV())
+			} else {
+				fmt.Print(rep.Render())
+			}
 		}
-		if *format == "csv" {
-			fmt.Printf("# %s — %s\n", rep.ID, rep.Title)
-			fmt.Print(rep.CSV())
+	}
+	if *jsonOut != "" {
+		doc := batteryDoc{
+			Fbsweep: batteryParams{
+				Exp: strings.ToUpper(*exp), Refs: *refs, Seed: *seed, Shards: *shards,
+			},
+			Meta:    readMeta(),
+			Reports: reports,
+		}
+		out, err := json.MarshalIndent(doc, "", "  ")
+		fail(err)
+		out = append(out, '\n')
+		if *jsonOut == "-" {
+			_, err = os.Stdout.Write(out)
 		} else {
-			fmt.Print(rep.Render())
+			err = os.WriteFile(*jsonOut, out, 0o644)
 		}
+		fail(err)
 	}
 
 	if srv != nil {
@@ -223,6 +248,48 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// batteryDoc is the fbsweep -json document: the sweep's parameters,
+// run provenance, and every report table. internal/obs/ledger's sweep
+// ingester mirrors this shape — keep the two in lockstep.
+type batteryDoc struct {
+	Fbsweep batteryParams `json:"fbsweep"`
+	Meta    batteryMeta   `json:"_meta"`
+	Reports []*sim.Report `json:"reports"`
+}
+
+type batteryParams struct {
+	Exp    string `json:"exp"`
+	Refs   int    `json:"refs"`
+	Seed   uint64 `json:"seed"`
+	Shards int    `json:"shards"`
+}
+
+// batteryMeta pins the environment the document was produced in,
+// mirroring fbperf's _meta block so the run ledger treats both alike.
+type batteryMeta struct {
+	GitSHA     string `json:"git_sha,omitempty"`
+	Go         string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUs       int    `json:"cpus"`
+	DateUTC    string `json:"date_utc"`
+}
+
+// readMeta pins the environment. The git SHA is best-effort: the
+// sweep may run from an exported tree, and a missing SHA must not
+// fail the battery.
+func readMeta() batteryMeta {
+	m := batteryMeta{
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
+		DateUTC:    time.Now().UTC().Format(time.RFC3339),
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		m.GitSHA = strings.TrimSpace(string(out))
+	}
+	return m
 }
 
 // effectiveWorkers resolves the -jobs flag: 0 means one worker per

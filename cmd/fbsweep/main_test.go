@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"testing"
+
+	"futurebus/internal/obs/ledger"
+	"futurebus/internal/sim"
+)
 
 // TestEffectiveWorkers pins the -jobs resolution, in particular that a
 // recorder forces the sweep serial and that the override is only
@@ -27,5 +33,42 @@ func TestEffectiveWorkers(t *testing.T) {
 			t.Errorf("%s: effectiveWorkers(%d, %d, %v) = (%d, %v), want (%d, %v)",
 				tc.name, tc.jobs, tc.cpus, tc.tracing, workers, forced, tc.wantWorkers, tc.wantForced)
 		}
+	}
+}
+
+// TestBatteryDocIngestable pins the -json wire format against the run
+// ledger's sweep ingester: the two mirror each other by hand, so a key
+// rename on either side must fail here, not in a user's ledger.
+func TestBatteryDocIngestable(t *testing.T) {
+	doc := batteryDoc{
+		Fbsweep: batteryParams{Exp: "P11", Refs: 2000, Seed: 1986, Shards: 1},
+		Meta:    batteryMeta{GitSHA: "abc1234", Go: "go1.24.0", GOMAXPROCS: 8, CPUs: 8, DateUTC: "2026-08-08T00:00:00Z"},
+		Reports: []*sim.Report{{
+			ID:      "P11",
+			Title:   "tenure × discipline",
+			Columns: []string{"tenure", "discipline", "p99arb", "fairness"},
+			Rows:    [][]string{{"atomic", "fcfs", "4100", "0.91"}},
+		}},
+	}
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ledger.Ingest(blob, "p11.json")
+	if err != nil {
+		t.Fatalf("ledger rejected the -json document: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1: %+v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.Kind != ledger.KindSweep || r.Label != "P11" {
+		t.Errorf("record kind/label = %s/%s, want fbsweep/P11", r.Kind, r.Label)
+	}
+	if r.Meta.GitSHA != "abc1234" {
+		t.Errorf("provenance lost: %+v", r.Meta)
+	}
+	if got := r.Metrics["sweep.atomic/fcfs.p99arb"]; got != 4100 {
+		t.Errorf("sweep.atomic/fcfs.p99arb = %v, want 4100 (keys: %v)", got, ledger.Keys(recs))
 	}
 }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"futurebus/internal/obs/ledger"
+)
+
+func testRecords(n int) []ledger.Record {
+	recs := make([]ledger.Record, n)
+	for i := range recs {
+		recs[i] = ledger.Record{
+			Schema: ledger.Schema,
+			Kind:   ledger.KindPerf,
+			Label:  "fixture/det/p4",
+			Meta:   ledger.Meta{GitSHA: "abc1234"},
+			Metrics: map[string]float64{
+				"perf.arb_wait_ns.p99":     42000 + float64(i),
+				"host.alloc_bytes_per_ref": 128,
+				"host.wall_ns":             1e9,
+			},
+		}
+	}
+	return recs
+}
+
+func TestSeriesKeysGroupedByFamily(t *testing.T) {
+	recs := []ledger.Record{{
+		Schema: ledger.Schema,
+		Kind:   ledger.KindPerf,
+		Metrics: map[string]float64{
+			"queue.peak_depth":         3,
+			"host.wall_ns":             1,
+			"perf.arb_wait_ns.p99":     2,
+			"perf.arb_wait_ns.p50":     1,
+			"host.alloc_bytes_per_ref": 8,
+		},
+	}}
+	got := seriesKeys(recs)
+	want := []string{
+		"host.alloc_bytes_per_ref", "host.wall_ns",
+		"perf.arb_wait_ns.p50", "perf.arb_wait_ns.p99",
+		"queue.peak_depth",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRenderGateMarksRegressions(t *testing.T) {
+	hist := testRecords(5)
+	cand := testRecords(1)[0]
+	cand.Metrics["perf.arb_wait_ns.p99"] = 42000 * 1.5
+	rep := ledger.Gate(hist, cand, ledger.GateOpts{})
+	if rep.Verdict != "regressed" {
+		t.Fatalf("verdict = %q, want regressed", rep.Verdict)
+	}
+	var sb strings.Builder
+	renderGate(&sb, rep)
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSED") {
+		t.Errorf("render lacks REGRESSED marker:\n%s", out)
+	}
+	if !strings.Contains(out, "(advisory)") {
+		t.Errorf("render lacks advisory marker for host.wall_ns:\n%s", out)
+	}
+	if !strings.Contains(out, "verdict: regressed") {
+		t.Errorf("render lacks final verdict line:\n%s", out)
+	}
+}
+
+// TestRenderHTMLEscapesHostileKeys: metric keys come from ingested
+// files; a </script> smuggled into one must not escape the data
+// element.
+func TestRenderHTMLEscapesHostileKeys(t *testing.T) {
+	recs := testRecords(3)
+	recs[0].Metrics[`</script><script>alert(1)</script>`] = 1
+	var sb strings.Builder
+	if err := renderHTML(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "<script>alert(1)") {
+		t.Error("hostile key survived unescaped into the HTML")
+	}
+	if !strings.Contains(out, `</script>`) {
+		t.Error("expected \\u003c-escaped payload in the data element")
+	}
+	// Self-contained: no external asset loads (the SVG namespace URL is
+	// an identifier, not a fetch).
+	if strings.Contains(out, "src=") || strings.Contains(out, "fetch(") {
+		t.Error("report references external assets")
+	}
+	if !strings.Contains(out, "spark") {
+		t.Error("dashboard script missing sparkline renderer")
+	}
+}
+
+func TestSparkbarBounds(t *testing.T) {
+	if got := sparkbar(5, 0, 10); len([]rune(got)) != 24 {
+		t.Errorf("sparkbar width = %d runes, want 24", len([]rune(got)))
+	}
+	if got := sparkbar(7, 7, 7); len([]rune(got)) != 24 {
+		t.Errorf("flat-series sparkbar width = %d runes, want 24", len([]rune(got)))
+	}
+}
+
+func TestFamily(t *testing.T) {
+	for key, want := range map[string]string{
+		"perf.arb_wait_ns.p99": "perf",
+		"host.wall_ns":         "host",
+		"nodots":               "nodots",
+	} {
+		if got := family(key); got != want {
+			t.Errorf("family(%q) = %q, want %q", key, got, want)
+		}
+	}
+}

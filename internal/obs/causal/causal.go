@@ -138,6 +138,11 @@ type TxNode struct {
 	// phases → their categories, and a recovery push's entire Dur →
 	// bs-retry (the push only exists because of the abort).
 	ByCause CauseVec `json:"by_cause"`
+	// Disc is the arbitration discipline in force when this transaction
+	// ran (from the enclosing KindEpoch marker; "" on traces recorded
+	// before the marker carried it). Aggregated into
+	// Analysis.ByDiscipline rather than serialized per node.
+	Disc string `json:"-"`
 }
 
 // causes derives the blame vector from the node's identity and phases.
@@ -170,6 +175,11 @@ type Analyzer struct {
 	blocked  map[int]blockedWait
 	aborts   map[uint64]int // TxID → abort count seen
 	overflow int64
+	// disc is the arbitration discipline named by the most recent
+	// KindEpoch marker; queuedData counts split-mode data tenures that
+	// queued behind another (KindData with a cause edge), per label.
+	disc       string
+	queuedData map[string]int
 }
 
 type blockedWait struct {
@@ -183,6 +193,15 @@ const DefaultLimit = 1 << 20
 // Consume implements obs.Sink.
 func (a *Analyzer) Consume(e *obs.Event) {
 	switch e.Kind {
+	case obs.KindEpoch:
+		a.disc = e.Cause
+	case obs.KindData:
+		if e.CauseID != 0 {
+			if a.queuedData == nil {
+				a.queuedData = make(map[string]int)
+			}
+			a.queuedData[a.disc]++
+		}
 	case obs.KindGrant:
 		if e.TxID != 0 && e.Dur > 0 && e.CauseID != 0 {
 			if a.grants == nil {
@@ -222,6 +241,7 @@ func (a *Analyzer) Consume(e *obs.Event) {
 			Start: e.TS, End: e.TS + e.Dur, Dur: e.Dur,
 			Wait: e.ArbNS, Retries: e.Retries,
 			RecoveredFor: e.CauseID,
+			Disc:         a.disc,
 		}
 		n.Phases = [obs.NumPhases]int64{
 			e.ArbNS, e.AddrNS, e.DataNS, e.IntvNS, e.MemNS, e.RetryNS,
@@ -290,6 +310,24 @@ type BoardBlame struct {
 	ByCause CauseVec `json:"by_cause"`
 }
 
+// DisciplineBlame aggregates arbitration-wait blame under one
+// arbitration discipline. A trace can carry several (a sweep records
+// one system per discipline on a shared recorder), and the table makes
+// their fairness cost directly comparable.
+type DisciplineBlame struct {
+	Discipline string `json:"discipline"`
+	Txs        int    `json:"txs"`
+	WaitNS     int64  `json:"wait_ns"`
+	MaxWaitNS  int64  `json:"max_wait_ns"`
+	// Share is this discipline's fraction of the run's total
+	// mastership wait.
+	Share float64 `json:"wait_share"`
+	// QueuedData counts split-mode data tenures that queued behind
+	// another pending response (the pending-wait causal edge) while
+	// this discipline was in force.
+	QueuedData int `json:"queued_data_tenures,omitempty"`
+}
+
 // Analysis is the result of reconstructing one run.
 type Analysis struct {
 	// Txs counts reconstructed transactions (Truncated more were seen
@@ -310,6 +348,11 @@ type Analysis struct {
 	ByCause CauseVec         `json:"by_cause"`
 	ByPhase map[string]int64 `json:"by_phase"`
 	Boards  []BoardBlame     `json:"boards"`
+	// ByDiscipline attributes mastership waits to the arbitration
+	// discipline in force, sorted by wait descending. Empty (and
+	// omitted from JSON) on traces whose epoch markers carry no
+	// discipline label, so pre-label recordings render unchanged.
+	ByDiscipline []DisciplineBlame `json:"by_discipline,omitempty"`
 	// Path is the critical path in execution order; PathByCause its
 	// blame decomposition; PathCost its summed cost (occupancy + wait).
 	Path        []Segment `json:"path"`
@@ -331,6 +374,7 @@ func (a *Analyzer) Analyze() *Analysis {
 	}
 
 	boards := make(map[int]*BoardBlame)
+	discs := make(map[string]*DisciplineBlame)
 	// prev[proc] is the index of the board's previous transaction, for
 	// program-order edges.
 	prev := make(map[int]int)
@@ -359,6 +403,18 @@ func (a *Analyzer) Analyze() *Analysis {
 		b.Wait += n.Wait
 		b.Retries += n.Retries
 		b.ByCause.Add(n.ByCause)
+		if n.Disc != "" {
+			d := discs[n.Disc]
+			if d == nil {
+				d = &DisciplineBlame{Discipline: n.Disc}
+				discs[n.Disc] = d
+			}
+			d.Txs++
+			d.WaitNS += n.Wait
+			if n.Wait > d.MaxWaitNS {
+				d.MaxWaitNS = n.Wait
+			}
+		}
 		if j, ok := prev[n.Proc]; ok {
 			prevIdx[i] = j
 		} else {
@@ -370,6 +426,33 @@ func (a *Analyzer) Analyze() *Analysis {
 		an.Boards = append(an.Boards, *b)
 	}
 	sort.Slice(an.Boards, func(i, j int) bool { return an.Boards[i].Proc < an.Boards[j].Proc })
+
+	// Fold in split-mode queue pressure and compute wait shares. A
+	// label with queued tenures but no retained transactions (all past
+	// the limit) still earns a row — the queue pressure happened.
+	for label, n := range a.queuedData {
+		if label == "" {
+			continue
+		}
+		d := discs[label]
+		if d == nil {
+			d = &DisciplineBlame{Discipline: label}
+			discs[label] = d
+		}
+		d.QueuedData = n
+	}
+	for _, d := range discs {
+		if an.TotalWait > 0 {
+			d.Share = float64(d.WaitNS) / float64(an.TotalWait)
+		}
+		an.ByDiscipline = append(an.ByDiscipline, *d)
+	}
+	sort.Slice(an.ByDiscipline, func(i, j int) bool {
+		if an.ByDiscipline[i].WaitNS != an.ByDiscipline[j].WaitNS {
+			return an.ByDiscipline[i].WaitNS > an.ByDiscipline[j].WaitNS
+		}
+		return an.ByDiscipline[i].Discipline < an.ByDiscipline[j].Discipline
+	})
 
 	an.Path = a.criticalPath(last, prevIdx)
 	for _, s := range an.Path {

@@ -258,3 +258,69 @@ func TestEmptyAnalysis(t *testing.T) {
 		t.Errorf("empty self-diff regressions = %d", r.Regressions)
 	}
 }
+
+// TestDisciplineBlame: epoch markers label the discipline in force;
+// waits aggregate under the label active when the transaction ran,
+// and split-mode queued data tenures count against it too.
+func TestDisciplineBlame(t *testing.T) {
+	events := []obs.Event{
+		{Seq: 0, Kind: obs.KindEpoch, Proc: -1, Cause: "fcfs"},
+		tx(1, 0, 400, 0, 1, 0),
+		func() obs.Event { e := tx(2, 400, 300, 1, 2, 0); e.ArbNS = 400; return e }(),
+		{Seq: 3, TS: 700, Kind: obs.KindEpoch, Proc: -1, Cause: "rr"},
+		func() obs.Event { e := tx(4, 700, 300, 0, 3, 0); e.ArbNS = 150; return e }(),
+		{Seq: 5, TS: 1000, Dur: 64, Kind: obs.KindData, Proc: 1, TxID: 4, CauseID: 3},
+	}
+	an := AnalyzeEvents(events)
+	if len(an.ByDiscipline) != 2 {
+		t.Fatalf("ByDiscipline = %+v, want 2 rows", an.ByDiscipline)
+	}
+	// Sorted by wait descending: fcfs (400) before rr (150).
+	fcfs, rr := an.ByDiscipline[0], an.ByDiscipline[1]
+	if fcfs.Discipline != "fcfs" || fcfs.Txs != 2 || fcfs.WaitNS != 400 || fcfs.MaxWaitNS != 400 {
+		t.Errorf("fcfs row = %+v, want txs 2 wait 400 max 400", fcfs)
+	}
+	if rr.Discipline != "rr" || rr.Txs != 1 || rr.WaitNS != 150 || rr.QueuedData != 1 {
+		t.Errorf("rr row = %+v, want txs 1 wait 150 queued 1", rr)
+	}
+	if got, want := fcfs.Share, 400.0/550.0; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("fcfs share = %v, want %v", got, want)
+	}
+
+	var buf bytes.Buffer
+	an.Render(&buf, 0)
+	out := buf.String()
+	if !strings.Contains(out, "arb-wait blame by arbitration discipline") {
+		t.Errorf("render missing discipline table:\n%s", out)
+	}
+	if !strings.Contains(out, "fcfs") || !strings.Contains(out, "rr") {
+		t.Errorf("render missing discipline rows:\n%s", out)
+	}
+}
+
+// TestDisciplineBlameUnlabelled: traces recorded before the epoch
+// marker carried a discipline label must analyze and render exactly as
+// before — no table, no by_discipline key in the JSON.
+func TestDisciplineBlameUnlabelled(t *testing.T) {
+	events := []obs.Event{
+		{Seq: 0, Kind: obs.KindEpoch, Proc: -1}, // pre-label marker: empty Cause
+		tx(1, 0, 400, 0, 1, 0),
+		func() obs.Event { e := tx(2, 400, 300, 1, 2, 0); e.ArbNS = 400; return e }(),
+	}
+	an := AnalyzeEvents(events)
+	if len(an.ByDiscipline) != 0 {
+		t.Fatalf("ByDiscipline = %+v, want empty on unlabelled trace", an.ByDiscipline)
+	}
+	var buf bytes.Buffer
+	an.Render(&buf, 0)
+	if strings.Contains(buf.String(), "discipline") {
+		t.Errorf("unlabelled render grew a discipline table:\n%s", buf.String())
+	}
+	blob, err := json.Marshal(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), "by_discipline") {
+		t.Errorf("unlabelled analysis JSON carries by_discipline: %s", blob)
+	}
+}

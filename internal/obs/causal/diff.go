@@ -3,13 +3,16 @@ package causal
 import (
 	"fmt"
 	"io"
+
+	"futurebus/internal/obs/regress"
 )
 
 // Thresholds decide when a cost increase counts as a regression. Both
 // gates must trip: the relative growth must exceed Rel AND the absolute
 // growth must exceed Abs (so tiny baselines don't scream over noise).
 // A category absent from the baseline regresses when it appears with
-// more than Abs nanoseconds.
+// more than Abs nanoseconds. The decision itself lives in
+// internal/obs/regress, shared with every other gate in the tree.
 type Thresholds struct {
 	Rel float64 `json:"rel"` // e.g. 0.10 = 10%
 	Abs int64   `json:"abs"` // nanoseconds
@@ -34,11 +37,8 @@ func (t Thresholds) row(name string, oldV, newV int64) DiffRow {
 	if oldV != 0 {
 		r.Rel = float64(r.Delta) / float64(oldV)
 	}
-	if r.Delta > t.Abs {
-		if oldV == 0 || r.Rel > t.Rel {
-			r.Regression = true
-		}
-	}
+	shared := regress.Thresholds{Rel: t.Rel, Abs: float64(t.Abs)}
+	r.Regression = shared.Breached(float64(oldV), float64(r.Delta))
 	return r
 }
 

@@ -62,6 +62,19 @@ func (an *Analysis) Render(w io.Writer, topN int) {
 		fmt.Fprintf(w, "  %4d %8d %12d %12d %8d %-12s\n",
 			b.Proc, b.Txs, b.Cost, b.Wait, b.Retries, b.ByCause.Dominant())
 	}
+
+	// Only labelled traces get the discipline table; recordings made
+	// before the epoch marker carried the label render exactly as they
+	// always have.
+	if len(an.ByDiscipline) > 0 {
+		fmt.Fprintf(w, "\narb-wait blame by arbitration discipline\n")
+		fmt.Fprintf(w, "  %-10s %8s %14s %14s %7s %8s\n",
+			"discipline", "txs", "wait(ns)", "max-wait(ns)", "share", "queued")
+		for _, d := range an.ByDiscipline {
+			fmt.Fprintf(w, "  %-10s %8d %14d %14d %6.1f%% %8d\n",
+				d.Discipline, d.Txs, d.WaitNS, d.MaxWaitNS, 100*d.Share, d.QueuedData)
+		}
+	}
 }
 
 func pct(v, total int64) float64 {

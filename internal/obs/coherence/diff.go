@@ -3,8 +3,9 @@ package coherence
 import (
 	"fmt"
 	"io"
-	"math"
 	"sort"
+
+	"futurebus/internal/obs/regress"
 )
 
 // DiffRow compares one per-protocol coherence rate between two runs.
@@ -61,8 +62,10 @@ func rate(num, den int64) float64 {
 // regression when the metric moved in its bad direction by more than
 // absThresh absolutely AND more than relThresh relatively (so tiny
 // rates can't trip the relative gate, and identical runs always diff
-// clean). Protocols present in only one run are compared against zero.
+// clean — the shared regress.Thresholds double gate). Protocols
+// present in only one run are compared against zero.
 func Diff(oldA, newA *Analysis, relThresh, absThresh float64) *DiffReport {
+	th := regress.Thresholds{Rel: relThresh, Abs: absThresh}
 	r := &DiffReport{MatrixDelta: make(map[string]int64)}
 	for _, proto := range unionProtos(oldA, newA) {
 		op, np := protoOrZero(oldA, proto), protoOrZero(newA, proto)
@@ -89,7 +92,7 @@ func Diff(oldA, newA *Analysis, relThresh, absThresh float64) *DiffReport {
 			if !m.worseUp {
 				bad = -bad
 			}
-			if bad > absThresh && (ov == 0 || math.Abs(row.Rel) > relThresh) {
+			if th.Breached(ov, bad) {
 				row.Regression = true
 				r.Regressions++
 			}

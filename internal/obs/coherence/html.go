@@ -24,18 +24,20 @@ func (an *Analysis) RenderHTML(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, htmlShell, escapeScriptPayload(payload))
+	_, err = fmt.Fprintf(w, htmlShell, EscapeScriptPayload(payload))
 	return err
 }
 
-// escapeScriptPayload hardens a JSON document for embedding in a
+// EscapeScriptPayload hardens a JSON document for embedding in a
 // <script> element: '<', '>' and '&' become \u00XX escapes, so
 // "</script>" or "<!--" inside a label cannot terminate the element,
 // and U+2028/U+2029 (legal in JSON, line terminators in classic
 // JavaScript) are escaped too. The replacement is byte-level but safe:
 // in valid JSON those characters can only occur inside string
-// literals, where the \u form is equivalent.
-func escapeScriptPayload(b []byte) []byte {
+// literals, where the \u form is equivalent. Exported because every
+// self-contained HTML report in the tree (fblens, fbtrend) embeds its
+// data the same way.
+func EscapeScriptPayload(b []byte) []byte {
 	var out bytes.Buffer
 	out.Grow(len(b) + 64)
 	for i := 0; i < len(b); i++ {

@@ -69,12 +69,12 @@ func keys[V any](m map[string]*V) []string {
 
 func TestEscapeScriptPayloadPassThrough(t *testing.T) {
 	in := []byte(`{"a":"plain text, no breakouts","n":42}`)
-	if got := escapeScriptPayload(in); !bytes.Equal(got, in) {
+	if got := EscapeScriptPayload(in); !bytes.Equal(got, in) {
 		t.Errorf("clean payload was altered: %s", got)
 	}
 	// A stray 0xE2 that is not U+2028/9 must pass through untouched.
 	in2 := []byte("{\"s\":\"☃\xe2\"}")
-	if got := escapeScriptPayload(in2); !bytes.Equal(got, in2) {
+	if got := EscapeScriptPayload(in2); !bytes.Equal(got, in2) {
 		t.Errorf("non-terminator bytes altered: %q", got)
 	}
 }

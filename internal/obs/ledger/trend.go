@@ -1,0 +1,137 @@
+package ledger
+
+import (
+	"futurebus/internal/obs/regress"
+)
+
+// Series extracts the chronological value series of one metric from
+// the records (input order — the ledger is append-only, so input order
+// is run order). Records lacking the key are skipped, so a metric that
+// appears in only some runs still forms a dense series.
+func Series(recs []Record, key string) []float64 {
+	var out []float64
+	for _, r := range recs {
+		if v, ok := r.Metrics[key]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// GateOpts parameterize a rolling-baseline gate.
+type GateOpts struct {
+	// Window is the trailing-run count of the rolling baseline
+	// (regress.DefaultWindow when 0). Fewer history runs than Window is
+	// fine — the baseline uses what exists — but below MinRuns a metric
+	// is not judged at all.
+	Window int
+	// K is the MAD multiplier of the noise envelope
+	// (regress.DefaultK when 0).
+	K float64
+	// Rel is the relative floor (0.10 when 0); the absolute floor is
+	// chosen per metric key by regress.AbsFloor.
+	Rel float64
+	// MinRuns is the minimum baseline size required to judge a metric
+	// (2 when 0): one prior run is a pairwise diff, not a baseline.
+	MinRuns int
+}
+
+func (o GateOpts) withDefaults() GateOpts {
+	if o.Window <= 0 {
+		o.Window = regress.DefaultWindow
+	}
+	if o.K <= 0 {
+		o.K = regress.DefaultK
+	}
+	if o.Rel <= 0 {
+		o.Rel = 0.10
+	}
+	if o.MinRuns <= 0 {
+		o.MinRuns = 2
+	}
+	return o
+}
+
+// GateRow is one metric's verdict against its rolling baseline.
+type GateRow struct {
+	Key      string           `json:"key"`
+	Baseline regress.Baseline `json:"baseline"`
+	Value    float64          `json:"value"`
+	// Direction is the regress.Direction string: "flat", "regressed"
+	// or "improved".
+	Direction string `json:"direction"`
+	// Advisory marks host-load metrics (wall clock, GC) that are
+	// reported but never flip the gate.
+	Advisory bool `json:"advisory,omitempty"`
+	// Skipped is set when the metric had fewer than MinRuns baseline
+	// values and was not judged.
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// GateReport is the full verdict of one candidate run against the
+// rolling baseline of its history.
+type GateReport struct {
+	Kind  string `json:"kind,omitempty"`
+	Label string `json:"label,omitempty"`
+	// Runs is the number of history runs the baselines drew from.
+	Runs int       `json:"runs"`
+	Rows []GateRow `json:"rows"`
+	// Regressions / Improvements count non-advisory stepped rows.
+	Regressions  int `json:"regressions"`
+	Improvements int `json:"improvements"`
+	// Verdict is "ok", "regressed", or "no-baseline" (nothing judged).
+	Verdict string `json:"verdict"`
+}
+
+// Gate judges a candidate run against the rolling baseline of its
+// history (oldest first; pre-filter with Filter so kind and label
+// match the candidate). Every metric present in the candidate is
+// judged against the trailing Window values of that metric in the
+// history; advisory metrics are classified but never counted.
+func Gate(history []Record, candidate Record, opts GateOpts) GateReport {
+	o := opts.withDefaults()
+	rep := GateReport{
+		Kind:  candidate.Kind,
+		Label: candidate.Label,
+		Runs:  len(history),
+	}
+	judged := false
+	for _, key := range Keys([]Record{candidate}) {
+		v := candidate.Metrics[key]
+		row := GateRow{Key: key, Value: v, Advisory: regress.Advisory(key)}
+		series := Series(history, key)
+		if len(series) > o.Window {
+			series = series[len(series)-o.Window:]
+		}
+		row.Baseline = regress.NewBaseline(series)
+		if row.Baseline.N < o.MinRuns {
+			row.Skipped = true
+			row.Direction = regress.Flat.String()
+			rep.Rows = append(rep.Rows, row)
+			continue
+		}
+		th := regress.Thresholds{Rel: o.Rel, Abs: regress.AbsFloor(key)}
+		dir := row.Baseline.Classify(v, o.K, th, !regress.BetterUp(key))
+		row.Direction = dir.String()
+		rep.Rows = append(rep.Rows, row)
+		if row.Advisory {
+			continue
+		}
+		judged = true
+		switch dir {
+		case regress.Regressed:
+			rep.Regressions++
+		case regress.Improved:
+			rep.Improvements++
+		}
+	}
+	switch {
+	case !judged:
+		rep.Verdict = "no-baseline"
+	case rep.Regressions > 0:
+		rep.Verdict = "regressed"
+	default:
+		rep.Verdict = "ok"
+	}
+	return rep
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"futurebus/internal/obs"
+	"futurebus/internal/obs/ledger"
 )
 
 // Server is the embedded observability endpoint. It owns its own mux
@@ -25,6 +26,7 @@ type Server struct {
 	coherence *CoherenceSink
 	watch     *WatchSink
 	perf      *PerfSink
+	trend     *TrendSource
 
 	http *http.Server
 	ln   net.Listener
@@ -67,6 +69,8 @@ var endpointTable = []struct {
 		func(s *Server) http.HandlerFunc { return s.handleViolations }},
 	{Endpoint{"/perf", "saturation telemetry (queue depths, latency quantiles) as JSON"},
 		func(s *Server) http.HandlerFunc { return s.handlePerf }},
+	{Endpoint{"/trend", "rolling-baseline regression verdict vs the run ledger as JSON"},
+		func(s *Server) http.HandlerFunc { return s.handleTrend }},
 	{Endpoint{"/debug/pprof/", "Go runtime profiles"},
 		func(*Server) http.HandlerFunc { return pprof.Index }},
 }
@@ -237,6 +241,22 @@ func (s *Server) handlePerf(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(s.perf.Snapshot())
+}
+
+// handleTrend judges the live run against the rolling baseline of the
+// attached run ledger (see internal/obs/ledger) and returns the gate
+// report as JSON. Without a ledger attached the verdict degrades to
+// "no-baseline" rather than 404, so probes can always parse the body.
+// The gate is recomputed per request on the handler goroutine.
+func (s *Server) handleTrend(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if s.trend == nil {
+		_ = enc.Encode(ledger.GateReport{Verdict: "no-baseline"})
+		return
+	}
+	_ = enc.Encode(s.trend.Gate())
 }
 
 // handleEvents streams the event tail as server-sent events: the

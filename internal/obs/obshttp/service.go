@@ -57,6 +57,9 @@ type Service struct {
 	// Watch is the runtime invariant monitor (nil unless the service
 	// was built with NewServiceWatched or the caller set one).
 	Watch *WatchSink
+	// Trend is the rolling-baseline regression source (nil unless
+	// EnableTrend attached a run ledger); /trend serves its verdict.
+	Trend *TrendSource
 
 	metrics *metricsSink
 }
@@ -146,6 +149,7 @@ func (s *Service) Serve(addr string) (*Server, error) {
 	srv.coherence = s.Coherence
 	srv.watch = s.Watch
 	srv.perf = s.Perf
+	srv.trend = s.Trend
 	if err := srv.Listen(addr); err != nil {
 		return nil, err
 	}

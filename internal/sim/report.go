@@ -6,13 +6,16 @@ import (
 )
 
 // Report is one experiment's output: a titled table of result rows plus
-// free-form notes (the paper-vs-measured commentary).
+// free-form notes (the paper-vs-measured commentary). The json tags
+// are the fbsweep -json wire format the run ledger ingests (see
+// internal/obs/ledger), so they are load-bearing: renaming one breaks
+// every ledger that recorded the old key.
 type Report struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a formatted row.

@@ -19,12 +19,19 @@
 # The "_meta" entry bench.sh embeds (host/toolchain provenance) is not
 # a benchmark and is skipped.
 #
+# With -l the new run is additionally judged against a run ledger's
+# rolling baseline (`fbtrend gate`): trailing-window median + MAD over
+# the last 5 ledgered runs, which catches slow drift a single-baseline
+# diff cannot. The ledger gate's verdict decides the exit code (exit 1
+# on regression).
+#
 # Usage:
 #   scripts/bench-compare.sh                 # run suite, compare vs latest BENCH_*.json
 #   scripts/bench-compare.sh -n new.json     # compare an existing run instead of re-running
 #   scripts/bench-compare.sh -o old.json     # explicit baseline
 #   scripts/bench-compare.sh -p 25           # regression threshold in percent (default 10)
 #   scripts/bench-compare.sh -t 10x          # -benchtime when re-running (default 5x)
+#   scripts/bench-compare.sh -l ledger.jsonl # also gate vs this ledger's rolling baseline
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,13 +40,15 @@ old=""
 new=""
 pct=10
 benchtime='5x'
-while getopts 'o:n:p:t:' opt; do
+ledger=""
+while getopts 'o:n:p:t:l:' opt; do
 	case "$opt" in
 	o) old=$OPTARG ;;
 	n) new=$OPTARG ;;
 	p) pct=$OPTARG ;;
 	t) benchtime=$OPTARG ;;
-	*) echo "usage: scripts/bench-compare.sh [-o old.json] [-n new.json] [-p pct] [-t benchtime]" >&2; exit 2 ;;
+	l) ledger=$OPTARG ;;
+	*) echo "usage: scripts/bench-compare.sh [-o old.json] [-n new.json] [-p pct] [-t benchtime] [-l ledger.jsonl]" >&2; exit 2 ;;
 	esac
 done
 
@@ -53,7 +62,9 @@ if [ -z "$new" ]; then
 	new=$(mktemp)
 	cleanup=$new
 	trap 'rm -f "$cleanup"' EXIT
-	scripts/bench.sh -o "$new" -t "$benchtime"
+	# A compare run is a probe, not a record: disable bench.sh's ledger
+	# append so throwaway runs never pollute the rolling baseline.
+	scripts/bench.sh -o "$new" -t "$benchtime" -L none
 fi
 
 echo "comparing $new against baseline $old (warn past ${pct}% ns/op growth)"
@@ -162,3 +173,11 @@ END {
 	exit fail
 }
 ' "$old" "$new"
+
+# Rolling-baseline gate: judge the new run against the trailing-window
+# median of the ledgered history (see cmd/fbtrend). Exits 1 on a
+# regression verdict, which set -e propagates.
+if [ -n "$ledger" ]; then
+	echo "gating $new against the rolling baseline in $ledger"
+	go run ./cmd/fbtrend gate -ledger "$ledger" -candidate "$new"
+fi

@@ -12,6 +12,9 @@
 #   scripts/bench.sh -c 5           # -count repetitions; keeps the best
 #                                   # (minimum-ns/op) run per benchmark,
 #                                   # the noise-robust choice for gating
+#   scripts/bench.sh -L ledger.jsonl# append the run to this run ledger
+#                                   # (default BENCH_LEDGER.jsonl; 'none'
+#                                   # disables) — see cmd/fbtrend
 #
 # The JSON is an object keyed by benchmark name (GOMAXPROCS suffix
 # stripped): {"BenchmarkCacheReadHit": {"ns_per_op": 123.4, "runs": 5}},
@@ -27,13 +30,15 @@ out=""
 bench='.'
 benchtime='5x'
 count=1
-while getopts 'o:b:t:c:' opt; do
+ledger='BENCH_LEDGER.jsonl'
+while getopts 'o:b:t:c:L:' opt; do
 	case "$opt" in
 	o) out=$OPTARG ;;
 	b) bench=$OPTARG ;;
 	t) benchtime=$OPTARG ;;
 	c) count=$OPTARG ;;
-	*) echo "usage: scripts/bench.sh [-o out.json] [-b regex] [-t benchtime] [-c count]" >&2; exit 2 ;;
+	L) ledger=$OPTARG ;;
+	*) echo "usage: scripts/bench.sh [-o out.json] [-b regex] [-t benchtime] [-c count] [-L ledger|none]" >&2; exit 2 ;;
 	esac
 done
 [ -n "$out" ] || out="BENCH_$(date +%Y-%m-%d).json"
@@ -93,3 +98,9 @@ END {
 
 count=$(grep -c 'ns_per_op' "$out" || true)
 echo "wrote $count benchmark results to $out" >&2
+
+# Append the run to the longitudinal run ledger so fbtrend can judge
+# future runs against a rolling baseline instead of one fixed file.
+if [ "$ledger" != "none" ]; then
+	go run ./cmd/fbtrend ingest -ledger "$ledger" "$out" >&2
+fi
